@@ -1,0 +1,32 @@
+# Convenience targets for the temporal-mst reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples report quickcheck clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+		echo; \
+	done
+
+report:
+	$(PYTHON) -m repro experiment all --quick --markdown report.md
+	@echo "wrote report.md"
+
+quickcheck:
+	$(PYTHON) -m pytest tests/ -x -q -k "not property and not examples"
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,42 @@
+"""Shared machinery for the pytest-benchmark harness.
+
+Workload configurations live in :mod:`repro.experiments.workloads` so
+the programmatic experiment harness and this pytest-benchmark suite
+measure exactly the same shapes; this module re-exports them and adds
+the table-printing helpers the bench reports use.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.workloads import (  # noqa: F401  (re-exported)
+    MSTA_SCALE,
+    MSTW_WORKLOADS,
+    MSTwWorkload,
+    WorkloadConfig,
+    msta_graph,
+    msta_protocol,
+    mstw_workload,
+)
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render a paper-style table to stdout (shown with ``pytest -s``)."""
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = " | ".join(str(h).rjust(w) for h, w in zip(header, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print(" | ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}"
+
+
+def fmt_s(seconds: float) -> str:
+    return f"{seconds:.3f}"

@@ -1,0 +1,72 @@
+"""Ablation -- lazy vs eager closure for shallow solves (beyond the paper).
+
+At level ``i = 1`` the DST algorithms read only the root's closure row,
+so materialising all ``|V(G)|`` rows up front (Table 4's dominant cost)
+is wasted work.  This bench compares end-to-end prepare+solve time of
+the eager closure against :class:`repro.static.lazy.LazyMetricClosure`
+at ``i = 1``, and shows the advantage disappearing at ``i = 2`` where
+every row is scanned anyway.
+"""
+
+import pytest
+
+from repro.static.lazy import prepare_instance_lazy
+from repro.steiner.instance import prepare_instance
+from repro.steiner.pruned import pruned_dst
+
+from _common import MSTW_WORKLOADS, fmt_s, mstw_workload, print_table
+
+CONFIG = next(c for c in MSTW_WORKLOADS if c.name == "facebook")
+
+_results = {}
+
+
+def _instance():
+    return mstw_workload(CONFIG).prepared.instance
+
+
+@pytest.mark.parametrize("mode", ["eager", "lazy"])
+@pytest.mark.parametrize("level", [1, 2])
+def test_lazy_vs_eager(benchmark, mode, level):
+    instance = _instance()
+
+    def run():
+        if mode == "lazy":
+            prepared = prepare_instance_lazy(instance)
+        else:
+            prepared = prepare_instance(instance, closure_method="dijkstra")
+        return prepared, pruned_dst(prepared, level)
+
+    prepared, tree = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[(mode, level)] = (benchmark.stats.stats.mean, tree.cost)
+    assert tree.covered == frozenset(prepared.terminals)
+
+
+def test_lazy_report(benchmark):
+    benchmark(lambda: None)
+    rows = []
+    for level in (1, 2):
+        eager = _results.get(("eager", level))
+        lazy = _results.get(("lazy", level))
+        if not (eager and lazy):
+            continue
+        rows.append(
+            [
+                f"i={level}",
+                fmt_s(eager[0]),
+                fmt_s(lazy[0]),
+                f"{eager[0] / lazy[0]:.1f}x",
+            ]
+        )
+        # identical answers regardless of closure strategy
+        assert eager[1] == pytest.approx(lazy[1])
+    print_table(
+        f"Ablation: eager vs lazy closure on {CONFIG.name} (prepare + solve)",
+        ["level", "eager", "lazy", "lazy speedup"],
+        rows,
+    )
+    # at level 1 the lazy variant must win clearly
+    eager1 = _results.get(("eager", 1))
+    lazy1 = _results.get(("lazy", 1))
+    if eager1 and lazy1:
+        assert lazy1[0] < eager1[0]

@@ -1,0 +1,93 @@
+"""Figure 8 -- runtime scaling of the improved DST algorithms.
+
+(a) fix |V| and sweep the density |E|/|V|: Algorithm 6's runtime stays
+    flat, because the solver's input is the transitive closure and the
+    average degree of the base graph only affects preprocessing.
+(b) fix |E|/|V| and k/|V| and sweep |V|: runtime grows polynomially,
+    reflecting the O(|V|^i k^i) bound for Alg4/Alg6.
+
+The paper sweeps SteinLib I320/WRP4 instances; we sweep the same shape
+parameters on the synthetic generator.
+"""
+
+import pytest
+
+from repro.steiner.improved import improved_dst
+from repro.steiner.instance import prepare_instance
+from repro.steiner.pruned import pruned_dst
+from repro.steiner.steinlib import generate_b_instance
+
+from _common import fmt_s, print_table
+
+DENSITIES = [2, 4, 6, 8]  # |E|/|V| at fixed |V|
+FIXED_N = 60
+FIXED_K = 8
+
+SIZES = [30, 45, 60, 75]  # |V| at fixed |E|/|V| = 3, k/|V| ~ 0.13
+LEVEL = 3
+
+_density_results = {}
+_size_results = {}
+
+
+def _density_instance(ratio):
+    problem = generate_b_instance(
+        FIXED_N, FIXED_N * ratio, FIXED_K, name=f"density-{ratio}", seed=500 + ratio
+    )
+    return prepare_instance(problem.to_dst_instance())
+
+
+def _size_instance(n):
+    k = max(3, int(round(n * 0.13)))
+    problem = generate_b_instance(n, 3 * n, k, name=f"size-{n}", seed=700 + n)
+    return prepare_instance(problem.to_dst_instance())
+
+
+@pytest.mark.parametrize("ratio", DENSITIES)
+def test_fig8a_density_sweep(benchmark, ratio):
+    prepared = _density_instance(ratio)
+    tree = benchmark.pedantic(
+        pruned_dst, args=(prepared, LEVEL), rounds=1, iterations=1
+    )
+    _density_results[ratio] = benchmark.stats.stats.mean
+    assert tree.covered == frozenset(prepared.terminals)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("solver_name", ["Alg4", "Alg6"])
+def test_fig8b_size_sweep(benchmark, n, solver_name):
+    prepared = _size_instance(n)
+    solver = improved_dst if solver_name == "Alg4" else pruned_dst
+    tree = benchmark.pedantic(solver, args=(prepared, LEVEL), rounds=1, iterations=1)
+    _size_results[(solver_name, n)] = benchmark.stats.stats.mean
+    assert tree.covered == frozenset(prepared.terminals)
+
+
+def test_fig8_report(benchmark):
+    benchmark(lambda: None)
+    print_table(
+        f"Figure 8(a): Alg6-{LEVEL} runtime (s) vs |E|/|V| at |V|={FIXED_N}, k={FIXED_K}",
+        ["|E|/|V|"] + [str(r) for r in DENSITIES],
+        [["time"] + [fmt_s(_density_results.get(r, float("nan"))) for r in DENSITIES]],
+    )
+    rows = []
+    for solver_name in ("Alg4", "Alg6"):
+        rows.append(
+            [solver_name]
+            + [fmt_s(_size_results.get((solver_name, n), float("nan"))) for n in SIZES]
+        )
+    print_table(
+        f"Figure 8(b): runtime (s) vs |V| at |E|/|V|=3, k/|V|~0.13, i={LEVEL}",
+        ["alg"] + [str(n) for n in SIZES],
+        rows,
+    )
+    # Shape (a): flat -- the densest sweep point is within 4x of the sparsest
+    if len(_density_results) == len(DENSITIES):
+        times = [_density_results[r] for r in DENSITIES]
+        assert max(times) <= 4 * min(times) + 0.05
+    # Shape (b): growing -- the largest size is slower than the smallest
+    for solver_name in ("Alg4", "Alg6"):
+        t_small = _size_results.get((solver_name, SIZES[0]))
+        t_large = _size_results.get((solver_name, SIZES[-1]))
+        if t_small and t_large:
+            assert t_large > t_small

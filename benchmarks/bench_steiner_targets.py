@@ -1,0 +1,88 @@
+"""Extension bench -- temporal directed Steiner trees (the paper's §7).
+
+Sweeps the number of target sites on one transformed dataset and
+measures the targeted tree's weight and runtime against the full
+``MST_w`` broadcast.  Expected shape: weight grows with the target
+count and meets the broadcast weight when every vertex is a target;
+runtime grows with k (the O(n^i k^i) law, now with k = #targets).
+"""
+
+import pytest
+
+from repro.core.postprocess import closure_tree_to_temporal
+from repro.core.steiner_temporal import minimum_steiner_tree_w
+from repro.steiner.pruned import pruned_dst
+
+from _common import MSTW_WORKLOADS, fmt_s, mstw_workload, print_table
+
+CONFIG = next(c for c in MSTW_WORKLOADS if c.name == "epinions")
+TARGET_COUNTS = [2, 5, 10, "all"]
+LEVEL = 2
+
+_results = {}
+
+
+def _targets(workload, count):
+    reachable = sorted(
+        (v for v in workload.graph.vertices if v != workload.root), key=repr
+    )
+    covered = [
+        v
+        for v in reachable
+        if ("dummy", v) in {t for t in workload.prepared.instance.terminals}
+    ]
+    if count == "all":
+        return covered
+    return covered[:count]
+
+
+@pytest.mark.parametrize("count", TARGET_COUNTS)
+def test_steiner_target_sweep(benchmark, count):
+    workload = mstw_workload(CONFIG)
+    targets = _targets(workload, count)
+
+    result = benchmark.pedantic(
+        minimum_steiner_tree_w,
+        args=(workload.graph, workload.root, targets),
+        kwargs={"window": workload.window, "level": LEVEL},
+        rounds=1,
+        iterations=1,
+    )
+    result.tree.validate(workload.graph)
+    assert set(targets) <= result.tree.vertices
+    _results[count] = (
+        benchmark.stats.stats.mean,
+        result.weight,
+        len(result.steiner_vertices),
+    )
+
+
+def test_steiner_report(benchmark):
+    benchmark(lambda: None)
+    workload = mstw_workload(CONFIG)
+    closure_tree = pruned_dst(workload.prepared, LEVEL)
+    broadcast = closure_tree_to_temporal(
+        workload.transformed, workload.prepared, closure_tree
+    )
+    rows = []
+    for count in TARGET_COUNTS:
+        stored = _results.get(count)
+        if stored is None:
+            continue
+        elapsed, weight, relays = stored
+        rows.append([str(count), fmt_s(elapsed), f"{weight:.2f}", relays])
+    rows.append(
+        ["MST_w", "-", f"{broadcast.total_weight:.2f}", 0]
+    )
+    print_table(
+        f"Temporal Steiner trees on {CONFIG.name}: weight vs target count (i={LEVEL})",
+        ["targets", "time (s)", "weight", "relays"],
+        rows,
+    )
+    # shape: weight is monotone in the target count and bounded by the
+    # full broadcast's weight
+    weights = [
+        _results[c][1] for c in TARGET_COUNTS if c in _results
+    ]
+    assert all(a <= b + 1e-9 for a, b in zip(weights, weights[1:]))
+    assert weights[-1] <= broadcast.total_weight * 1.01 + 1e-9

@@ -1,0 +1,62 @@
+"""Table 1 -- dataset statistics.
+
+Regenerates the paper's Table 1 (|V|, |E|, |E_s|, deg, deg_s, pi,
+|Gamma_G|) for the seven synthetic dataset stand-ins, and benchmarks
+the single-pass statistics computation itself.
+
+The absolute sizes are scaled down (see DESIGN.md); the *regimes* the
+paper highlights are asserted: Epinions' pi = 1, Facebook/Enron's heavy
+multiplicity, Phone's extreme M/n ratio.
+"""
+
+import pytest
+
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.temporal.stats import compute_statistics
+
+from _common import print_table
+
+DATASET_NAMES = sorted(DATASETS)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {name: load_dataset(name, scale=0.5) for name in DATASET_NAMES}
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_table1_statistics(benchmark, graphs, name):
+    stats = benchmark(compute_statistics, graphs[name])
+    assert stats.num_temporal_edges == graphs[name].num_edges
+
+
+def test_table1_report(benchmark, graphs):
+    def build_rows():
+        rows = []
+        for name in DATASET_NAMES:
+            s = compute_statistics(graphs[name])
+            rows.append(
+                [
+                    name,
+                    s.num_vertices,
+                    s.num_temporal_edges,
+                    s.num_static_edges,
+                    s.max_temporal_degree,
+                    s.max_static_degree,
+                    s.max_multiplicity,
+                    s.distinct_time_instances,
+                ]
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    print_table(
+        "Table 1: dataset statistics (synthetic stand-ins, scale=0.5)",
+        ["dataset", "|V|", "|E|", "|E_s|", "deg", "deg_s", "pi", "|Gamma|"],
+        rows,
+    )
+    by_name = {r[0]: r for r in rows}
+    # the structural regimes the paper's Table 1 exhibits
+    assert by_name["epinions"][6] == 1  # pi = 1
+    assert by_name["facebook"][6] >= 5  # heavy multiplicity
+    assert by_name["phone"][2] / by_name["phone"][1] > 50  # huge M/n

@@ -1,0 +1,113 @@
+"""Table 7 -- runtime on small DST instances with a certified optimum.
+
+The paper uses SteinLib's ``b`` set (random sparse graphs, weights
+1..10) whose optima are published by ZIB; we generate instances with
+the same shapes (terminal counts capped at 12 so the exact
+Dreyfus-Wagner solver can certify the optimum -- see DESIGN.md) and
+compare Charik-3 against Alg6 at i = 3 and 4.  Alg6-5 is reported for
+the two smallest instances (the paper's Alg6-5 column also grows into
+hours).
+
+Expected shape: Alg6-3 is orders of magnitude faster than Charik-3,
+and Alg6's runtime grows steeply with the level.
+"""
+
+import pytest
+
+from repro.steiner.charikar import charikar_dst
+from repro.steiner.exact import exact_dst_cost
+from repro.steiner.instance import prepare_instance
+from repro.steiner.pruned import pruned_dst
+from repro.steiner.steinlib import generate_b_series
+
+from _common import fmt_s, print_table
+
+INSTANCES = ["b01", "b03", "b05", "b07", "b09", "b11", "b13", "b15", "b17"]
+ALG6_4_INSTANCES = {"b01", "b03", "b05", "b07", "b09", "b11"}
+ALG6_5_INSTANCES = {"b01"}
+
+_problems = {}
+_prepared = {}
+_results = {}
+_opt = {}
+
+
+def _get_prepared(name):
+    if name not in _prepared:
+        if not _problems:
+            _problems.update(generate_b_series(INSTANCES))
+        _prepared[name] = prepare_instance(_problems[name].to_dst_instance())
+    return _prepared[name]
+
+
+@pytest.mark.parametrize("name", INSTANCES)
+def test_table7_exact_optimum(benchmark, name):
+    prepared = _get_prepared(name)
+    opt = benchmark.pedantic(exact_dst_cost, args=(prepared,), rounds=1, iterations=1)
+    _opt[name] = opt
+    assert opt > 0
+
+
+@pytest.mark.parametrize("name", INSTANCES)
+def test_table7_charik3(benchmark, name):
+    prepared = _get_prepared(name)
+    tree = benchmark.pedantic(
+        charikar_dst, args=(prepared, 3), rounds=1, iterations=1
+    )
+    _results[(name, "Charik-3")] = (benchmark.stats.stats.mean, tree.cost)
+
+
+@pytest.mark.parametrize("name", INSTANCES)
+def test_table7_alg6_level3(benchmark, name):
+    prepared = _get_prepared(name)
+    tree = benchmark.pedantic(
+        pruned_dst, args=(prepared, 3), rounds=1, iterations=1
+    )
+    _results[(name, "Alg6-3")] = (benchmark.stats.stats.mean, tree.cost)
+
+
+@pytest.mark.parametrize("name", sorted(ALG6_4_INSTANCES))
+def test_table7_alg6_level4(benchmark, name):
+    prepared = _get_prepared(name)
+    tree = benchmark.pedantic(
+        pruned_dst, args=(prepared, 4), rounds=1, iterations=1
+    )
+    _results[(name, "Alg6-4")] = (benchmark.stats.stats.mean, tree.cost)
+
+
+@pytest.mark.parametrize("name", sorted(ALG6_5_INSTANCES))
+def test_table7_alg6_level5(benchmark, name):
+    prepared = _get_prepared(name)
+    tree = benchmark.pedantic(
+        pruned_dst, args=(prepared, 5), rounds=1, iterations=1
+    )
+    _results[(name, "Alg6-5")] = (benchmark.stats.stats.mean, tree.cost)
+
+
+def test_table7_report(benchmark):
+    benchmark(lambda: None)
+    rows = []
+    for name in INSTANCES:
+        problem = _problems[name]
+        cells = [
+            name,
+            problem.num_vertices,
+            len(problem.edges),
+            len(problem.terminals),
+            f"{_opt.get(name, float('nan')):.0f}",
+        ]
+        for column in ("Charik-3", "Alg6-3", "Alg6-4", "Alg6-5"):
+            stored = _results.get((name, column))
+            cells.append(fmt_s(stored[0]) if stored else "-")
+        rows.append(cells)
+    print_table(
+        "Table 7: runtime (s) on b-series instances with certified optima",
+        ["G", "|V|", "|E|", "|X|", "Opt", "Charik-3", "Alg6-3", "Alg6-4", "Alg6-5"],
+        rows,
+    )
+    # shape: Alg6-3 is dramatically faster than Charik-3 on every row
+    for name in INSTANCES:
+        charik = _results.get((name, "Charik-3"))
+        alg6 = _results.get((name, "Alg6-3"))
+        if charik and alg6:
+            assert alg6[0] < charik[0], name

@@ -1,0 +1,85 @@
+"""Table 8 -- result quality: relative error vs the certified optimum.
+
+For each b-series instance and each level i = 1..5 (i = 4, 5 only on
+the smaller instances to bound the run), the relative error
+``(Approx - Opt) / Opt`` of Algorithm 6 -- the paper's Table 8.
+
+Expected shape: errors are far below the theoretical
+``i^2 (i-1) k^(1/i)`` bound, shrink as i grows, and are small by i = 3.
+"""
+
+import pytest
+
+from repro.steiner.exact import exact_dst_cost
+from repro.steiner.instance import approximation_ratio, prepare_instance
+from repro.steiner.pruned import pruned_dst
+from repro.steiner.steinlib import generate_b_series
+
+from _common import print_table
+
+INSTANCES = ["b01", "b03", "b05", "b07", "b09", "b11", "b13", "b15", "b17"]
+DEEP_INSTANCES = {"b01", "b03", "b05"}  # get i = 4, 5 as well
+
+_problems = {}
+_prepared = {}
+_opt = {}
+_errors = {}
+
+
+def _get_prepared(name):
+    if name not in _prepared:
+        if not _problems:
+            _problems.update(generate_b_series(INSTANCES))
+        _prepared[name] = prepare_instance(_problems[name].to_dst_instance())
+        _opt[name] = exact_dst_cost(_prepared[name])
+    return _prepared[name]
+
+
+def _cases():
+    cases = []
+    for name in INSTANCES:
+        max_level = 5 if name in DEEP_INSTANCES else 3
+        for level in range(1, max_level + 1):
+            cases.append((name, level))
+    return cases
+
+
+@pytest.mark.parametrize("name,level", _cases())
+def test_table8_relative_error(benchmark, name, level):
+    prepared = _get_prepared(name)
+    tree = benchmark.pedantic(
+        pruned_dst, args=(prepared, level), rounds=1, iterations=1
+    )
+    opt = _opt[name]
+    error = (tree.cost - opt) / opt
+    _errors[(name, level)] = error
+    k = prepared.num_terminals
+    assert error >= -1e-9
+    assert tree.cost <= approximation_ratio(level, k) * opt + 1e-9
+
+
+def test_table8_report(benchmark):
+    benchmark(lambda: None)
+    rows = []
+    for level in range(1, 6):
+        row = [f"i={level}"]
+        for name in INSTANCES:
+            err = _errors.get((name, level))
+            row.append(f"{err:.2f}" if err is not None else "-")
+        rows.append(row)
+    print_table(
+        "Table 8: relative error (Approx-Opt)/Opt of Alg6 per level",
+        ["level"] + INSTANCES,
+        rows,
+    )
+    # shape: per instance, the error at the deepest level run is no
+    # worse than at i=1, and the i=3 average error is small
+    errors_i3 = []
+    for name in INSTANCES:
+        e1 = _errors.get((name, 1))
+        e3 = _errors.get((name, 3))
+        if e1 is not None and e3 is not None:
+            assert e3 <= e1 + 1e-9, name
+            errors_i3.append(e3)
+    if errors_i3:
+        assert sum(errors_i3) / len(errors_i3) < 1.0

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Adds the repository root to ``sys.path`` so bench modules can import
+the shared ``_common`` helpers regardless of invocation directory, and
+registers a summary hook that reminds the user the paper-style tables
+are printed on stdout (run with ``-s`` to see them inline).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

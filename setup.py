@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment has no `wheel` package, so
+editable installs go through `pip install -e . --no-use-pep517`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Reproduction of "Minimum Spanning Trees in Temporal Graphs" (SIGMOD 2015).
+
+The package implements the paper's two temporal minimum-spanning-tree
+problems together with every substrate they depend on:
+
+* :mod:`repro.temporal` -- temporal graphs, input formats, window
+  extraction, temporal path algorithms, and statistics.
+* :mod:`repro.static` -- static weighted digraphs, shortest paths, metric
+  (transitive) closures, and classical MST/arborescence algorithms.
+* :mod:`repro.steiner` -- directed Steiner tree solvers: the Charikar et
+  al. baseline (Algorithm 3), the paper's improved algorithm
+  (Algorithms 4+5), the density-ordering pruned variant (Algorithm 6),
+  and an exact subset-DP solver used to certify optima.
+* :mod:`repro.core` -- the paper's contribution: linear-time ``MST_a``
+  (Algorithms 1 and 2) and the DST-based ``MST_w`` pipeline
+  (transformation, approximation, postprocessing).
+* :mod:`repro.baselines` -- the Bhadra-Ferreira modified Prim-Dijkstra
+  comparator and brute-force oracles.
+* :mod:`repro.hardness` -- the NP-hardness reduction of Theorem 3 as an
+  executable construction.
+* :mod:`repro.datasets` -- synthetic stand-ins for the paper's seven
+  real temporal networks and the SteinLib benchmark instances.
+
+Quickstart::
+
+    from repro import TemporalEdge, TemporalGraph, minimum_spanning_tree_a
+
+    edges = [TemporalEdge(0, 1, 1, 3, 2), TemporalEdge(1, 2, 3, 5, 1)]
+    graph = TemporalGraph(edges)
+    tree = minimum_spanning_tree_a(graph, root=0)
+    print(tree.arrival_times)
+"""
+
+from repro.core.errors import (
+    GraphFormatError,
+    ReproError,
+    UnreachableRootError,
+    ZeroDurationError,
+)
+from repro.core.msta import (
+    minimum_spanning_tree_a,
+    msta_chronological,
+    msta_stack,
+)
+from repro.core.mstw import MSTwResult, minimum_spanning_tree_w
+from repro.core.spanning_tree import TemporalSpanningTree
+from repro.core.steiner_temporal import TemporalSteinerResult, minimum_steiner_tree_w
+from repro.core.transformation import TransformedGraph, transform_temporal_graph
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+__all__ = [
+    "GraphFormatError",
+    "MSTwResult",
+    "ReproError",
+    "TemporalEdge",
+    "TemporalGraph",
+    "TemporalSpanningTree",
+    "TemporalSteinerResult",
+    "TimeWindow",
+    "TransformedGraph",
+    "UnreachableRootError",
+    "ZeroDurationError",
+    "minimum_spanning_tree_a",
+    "minimum_spanning_tree_w",
+    "minimum_steiner_tree_w",
+    "msta_chronological",
+    "msta_stack",
+    "transform_temporal_graph",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,23 @@
+"""Comparator algorithms: the Bhadra-Ferreira MST_a baseline and
+exhaustive brute-force oracles used to certify correctness on small
+inputs."""
+
+from repro.baselines.bhadra import bhadra_msta
+from repro.baselines.brute_force import (
+    brute_force_earliest_arrival,
+    brute_force_mstw_weight,
+)
+from repro.baselines.static_projection import (
+    StaticComparison,
+    realize_static_tree,
+    static_arborescence,
+)
+
+__all__ = [
+    "StaticComparison",
+    "bhadra_msta",
+    "brute_force_earliest_arrival",
+    "brute_force_mstw_weight",
+    "realize_static_tree",
+    "static_arborescence",
+]

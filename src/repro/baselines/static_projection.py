@@ -1,0 +1,176 @@
+"""The "ignore time" baseline: static MSTs evaluated temporally.
+
+The paper's introduction motivates temporal MSTs by how differently
+they behave from static ones.  This module quantifies that: compute
+the classical minimum spanning arborescence (Chu-Liu/Edmonds) on the
+*static projection* -- each ordered pair keeps its cheapest temporal
+weight, timestamps discarded -- then try to realise the static tree's
+paths with actual time-respecting edges.  The realisation regularly
+fails (a parent is reached after the only departure to its child), and
+the comparison reports exactly how often and at what cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.bhadra import _StaticEdgeGroup
+from repro.core.errors import UnreachableRootError
+from repro.static.arborescence import minimum_spanning_arborescence
+from repro.temporal.edge import TemporalEdge, Vertex
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+
+@dataclass(frozen=True)
+class StaticComparison:
+    """Outcome of realising a static MST inside the temporal graph.
+
+    Attributes
+    ----------
+    static_weight:
+        Weight of the Chu-Liu/Edmonds arborescence on the projection --
+        a lower bound that pretends every edge is always available.
+    realized_weight:
+        Total weight of the feasible part after temporal realisation.
+    feasible / infeasible:
+        Vertices whose static-tree path could / could not be realised
+        with time-respecting edges.
+    realized_arrivals:
+        Arrival times achieved by the realised (partial) tree.
+    """
+
+    static_weight: float
+    realized_weight: float
+    feasible: Set[Vertex]
+    infeasible: Set[Vertex]
+
+    @property
+    def feasible_fraction(self) -> float:
+        total = len(self.feasible) + len(self.infeasible)
+        if total == 0:
+            return 1.0
+        return len(self.feasible) / total
+
+
+def static_arborescence(
+    graph: TemporalGraph,
+    root: Vertex,
+) -> List[Tuple[Vertex, Vertex, float]]:
+    """Chu-Liu/Edmonds on the static projection restricted to the
+    statically reachable component of ``root``.
+
+    Raises
+    ------
+    UnreachableRootError
+        If the root has no outgoing static edge at all.
+    """
+    static = graph.static_edges()
+    adjacency: Dict[Vertex, List[Vertex]] = {}
+    for (u, v) in static:
+        adjacency.setdefault(u, []).append(v)
+    reached = {root}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for v in adjacency.get(u, ()):  # pragma: no branch
+            if v not in reached:
+                reached.add(v)
+                stack.append(v)
+    if reached == {root}:
+        raise UnreachableRootError(
+            f"root {root!r} reaches nothing even statically"
+        )
+    edges = [
+        (u, v, w) for (u, v), w in static.items() if u in reached and v in reached
+    ]
+    return minimum_spanning_arborescence(edges, root)
+
+
+def realize_static_tree(
+    graph: TemporalGraph,
+    root: Vertex,
+    window: Optional[TimeWindow] = None,
+) -> StaticComparison:
+    """Build the static MST and greedily realise it with temporal edges.
+
+    The static tree is traversed from the root; at each vertex the
+    earliest-arriving temporal edge departing no earlier than the
+    parent's realised arrival is used.  A child with no such edge --
+    and its entire subtree -- is infeasible.
+    """
+    if window is None:
+        window = TimeWindow.unbounded()
+    tree = static_arborescence(graph, root)
+    static_weight = sum(w for _, _, w in tree)
+
+    children: Dict[Vertex, List[Vertex]] = {}
+    for u, v, _ in tree:
+        children.setdefault(u, []).append(v)
+
+    groups: Dict[Tuple[Vertex, Vertex], _StaticEdgeGroup] = {}
+    by_pair: Dict[Tuple[Vertex, Vertex], List[TemporalEdge]] = {}
+    for edge in graph.edges:
+        if edge.within(window.t_alpha, window.t_omega):
+            by_pair.setdefault(edge.static_key(), []).append(edge)
+    for pair, edges in by_pair.items():
+        groups[pair] = _StaticEdgeGroup(edges)
+
+    arrivals: Dict[Vertex, float] = {root: window.t_alpha}
+    realized_weight = 0.0
+    feasible: Set[Vertex] = set()
+    infeasible: Set[Vertex] = set()
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for v in children.get(u, ()):  # pragma: no branch
+            group = groups.get((u, v))
+            edge = group.earliest_from(arrivals[u]) if group is not None else None
+            if edge is None:
+                _mark_subtree_infeasible(v, children, infeasible)
+                continue
+            arrivals[v] = edge.arrival
+            realized_weight += edge.weight
+            feasible.add(v)
+            stack.append(v)
+    return StaticComparison(
+        static_weight=static_weight,
+        realized_weight=realized_weight,
+        feasible=feasible,
+        infeasible=infeasible,
+    )
+
+
+def _mark_subtree_infeasible(
+    vertex: Vertex,
+    children: Dict[Vertex, List[Vertex]],
+    infeasible: Set[Vertex],
+) -> None:
+    stack = [vertex]
+    while stack:
+        u = stack.pop()
+        infeasible.add(u)
+        stack.extend(children.get(u, ()))
+
+
+def static_gap_report(
+    graph: TemporalGraph,
+    root: Vertex,
+    temporal_weight: float,
+    window: Optional[TimeWindow] = None,
+) -> Dict[str, float]:
+    """Headline numbers comparing static and temporal solutions.
+
+    ``temporal_weight`` is the weight of a temporal ``MST_w`` for the
+    same root/window (computed by the caller, typically via
+    :func:`repro.core.mstw.minimum_spanning_tree_w`).
+    """
+    comparison = realize_static_tree(graph, root, window)
+    return {
+        "static_weight": comparison.static_weight,
+        "realized_weight": comparison.realized_weight,
+        "temporal_weight": temporal_weight,
+        "feasible_fraction": comparison.feasible_fraction,
+        "coverage_lost": float(len(comparison.infeasible)),
+    }

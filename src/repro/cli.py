@@ -1,0 +1,304 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the ``temporal-mst`` console script)
+exposes the library's main entry points on edge-list files:
+
+* ``stats``    -- Table-1 style statistics of a temporal graph file;
+* ``msta``     -- earliest-arrival spanning tree (Algorithms 1/2);
+* ``mstw``     -- minimum-weight spanning tree (the Section 4 pipeline);
+* ``steiner``  -- targeted dissemination (temporal directed Steiner);
+* ``generate`` -- write a synthetic dataset in the native format;
+* ``experiment`` -- regenerate a paper table/figure (table1..table8,
+  fig8a, fig8b, or ``all``).
+
+Files use the native 5-column format ``u v start arrival weight`` or
+KONECT rows (``--format konect``); ``-`` reads stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.errors import ReproError
+from repro.core.export import tree_to_dot, tree_to_json
+from repro.core.msta import minimum_spanning_tree_a
+from repro.core.mstw import minimum_spanning_tree_w
+from repro.core.steiner_temporal import minimum_steiner_tree_w
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.temporal import io as tio
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.stats import GraphStatistics, compute_statistics
+from repro.temporal.window import TimeWindow
+
+
+def _load_graph(path: str, fmt: str, duration: float) -> TemporalGraph:
+    source = sys.stdin if path == "-" else path
+    if fmt == "native":
+        return tio.read_native(source)
+    return tio.read_konect(source, duration=duration)
+
+
+def _parse_vertex(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _emit_tree(tree, args, header: str) -> None:
+    """Print a tree in the requested output format (table/json/dot)."""
+    fmt = getattr(args, "output", "table")
+    if fmt == "json":
+        print(tree_to_json(tree, indent=2))
+    elif fmt == "dot":
+        print(tree_to_dot(tree), end="")
+    else:
+        print(header)
+        print("# vertex parent start arrival weight")
+        for vertex in sorted(tree.parent_edge, key=repr):
+            edge = tree.parent_edge[vertex]
+            print(
+                f"{vertex} {edge.source} {edge.start:g} "
+                f"{edge.arrival:g} {edge.weight:g}"
+            )
+
+
+def _window_from(args) -> Optional[TimeWindow]:
+    if args.t_alpha is None and args.t_omega is None:
+        return None
+    t_alpha = args.t_alpha if args.t_alpha is not None else 0.0
+    t_omega = args.t_omega if args.t_omega is not None else float("inf")
+    return TimeWindow(t_alpha, t_omega)
+
+
+def _add_io_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("graph", help="edge list file, or '-' for stdin")
+    parser.add_argument(
+        "--format",
+        choices=["native", "konect"],
+        default="native",
+        help="input format (default: native 'u v start arrival weight')",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="contact duration applied when loading konect rows",
+    )
+
+
+def _add_window_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--t-alpha", type=float, default=None, help="window start")
+    parser.add_argument("--t-omega", type=float, default=None, help="window end")
+
+
+def _add_output_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--output",
+        choices=["table", "json", "dot"],
+        default="table",
+        help="tree output format (default: plain table)",
+    )
+
+
+def _cmd_stats(args) -> int:
+    graph = _load_graph(args.graph, args.format, args.duration)
+    stats = compute_statistics(graph)
+    print(GraphStatistics.header())
+    print(stats.as_row(args.name))
+    return 0
+
+
+def _cmd_msta(args) -> int:
+    graph = _load_graph(args.graph, args.format, args.duration)
+    tree = minimum_spanning_tree_a(
+        graph, _parse_vertex(args.root), _window_from(args), algorithm=args.algorithm
+    )
+    _emit_tree(
+        tree, args, f"# root {args.root}; {tree.num_edges} vertices reached"
+    )
+    return 0
+
+
+def _cmd_mstw(args) -> int:
+    graph = _load_graph(args.graph, args.format, args.duration)
+    result = minimum_spanning_tree_w(
+        graph,
+        _parse_vertex(args.root),
+        _window_from(args),
+        level=args.level,
+        algorithm=args.algorithm,
+    )
+    _emit_tree(
+        result.tree,
+        args,
+        f"# root {args.root}; weight {result.weight:g}; "
+        f"{result.num_terminals} terminals; level {result.level}",
+    )
+    return 0
+
+
+def _cmd_steiner(args) -> int:
+    graph = _load_graph(args.graph, args.format, args.duration)
+    terminals = [_parse_vertex(t) for t in args.terminals.split(",") if t]
+    result = minimum_steiner_tree_w(
+        graph,
+        _parse_vertex(args.root),
+        terminals,
+        _window_from(args),
+        level=args.level,
+        algorithm=args.algorithm,
+        allow_unreachable=args.allow_unreachable,
+    )
+    _emit_tree(
+        result.tree,
+        args,
+        f"# root {args.root}; weight {result.weight:g}; "
+        f"targets {len(result.terminals)}; unreachable {len(result.unreachable)}; "
+        f"steiner relays {len(result.steiner_vertices)}",
+    )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    graph = load_dataset(
+        args.dataset, scale=args.scale, seed=args.seed, weighted=args.weighted
+    )
+    if args.out == "-":
+        tio.write_native(graph, sys.stdout)
+    else:
+        tio.write_native(graph, args.out)
+        print(
+            f"wrote {graph.num_edges} edges / {graph.num_vertices} vertices "
+            f"to {args.out}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    if args.markdown:
+        from repro.experiments.report import build_report
+
+        document = build_report(names, quick=args.quick)
+        if args.markdown == "-":
+            print(document, end="")
+        else:
+            with open(args.markdown, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            print(f"wrote report to {args.markdown}", file=sys.stderr)
+        return 0
+    for name in names:
+        try:
+            result = run_experiment(name, quick=args.quick)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(result.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="temporal-mst",
+        description="Minimum spanning trees in temporal graphs (SIGMOD 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="Table-1 style graph statistics")
+    _add_io_arguments(p_stats)
+    p_stats.add_argument("--name", default="graph", help="row label")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_msta = sub.add_parser("msta", help="earliest-arrival spanning tree")
+    _add_io_arguments(p_msta)
+    _add_window_arguments(p_msta)
+    _add_output_argument(p_msta)
+    p_msta.add_argument("--root", required=True)
+    p_msta.add_argument(
+        "--algorithm",
+        choices=["auto", "chronological", "stack"],
+        default="auto",
+    )
+    p_msta.set_defaults(func=_cmd_msta)
+
+    p_mstw = sub.add_parser("mstw", help="minimum-weight spanning tree")
+    _add_io_arguments(p_mstw)
+    _add_window_arguments(p_mstw)
+    _add_output_argument(p_mstw)
+    p_mstw.add_argument("--root", required=True)
+    p_mstw.add_argument("--level", type=int, default=2, help="DST iterations i")
+    p_mstw.add_argument(
+        "--algorithm",
+        choices=["pruned", "improved", "charikar"],
+        default="pruned",
+    )
+    p_mstw.set_defaults(func=_cmd_mstw)
+
+    p_steiner = sub.add_parser(
+        "steiner", help="targeted dissemination (temporal Steiner tree)"
+    )
+    _add_io_arguments(p_steiner)
+    _add_window_arguments(p_steiner)
+    _add_output_argument(p_steiner)
+    p_steiner.add_argument("--root", required=True)
+    p_steiner.add_argument(
+        "--terminals", required=True, help="comma-separated target vertices"
+    )
+    p_steiner.add_argument("--level", type=int, default=2)
+    p_steiner.add_argument(
+        "--algorithm",
+        choices=["pruned", "improved", "charikar"],
+        default="pruned",
+    )
+    p_steiner.add_argument("--allow-unreachable", action="store_true")
+    p_steiner.set_defaults(func=_cmd_steiner)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic dataset")
+    p_gen.add_argument("dataset", choices=sorted(DATASETS))
+    p_gen.add_argument("--scale", type=float, default=0.1)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--weighted", action="store_true")
+    p_gen.add_argument("--out", default="-", help="output file, or '-' for stdout")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate a paper table or figure"
+    )
+    p_exp.add_argument(
+        "name",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment key, or 'all'",
+    )
+    p_exp.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads and fewer levels (CI-friendly)",
+    )
+    p_exp.add_argument(
+        "--markdown",
+        default=None,
+        help="write a markdown report to this file ('-' for stdout)",
+    )
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

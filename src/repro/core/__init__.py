@@ -1,0 +1,53 @@
+"""The paper's primary contribution: temporal MST algorithms.
+
+* :mod:`repro.core.msta` -- Algorithms 1 and 2 (linear-time ``MST_a``).
+* :mod:`repro.core.transformation` -- the Section 4.2 temporal-to-static
+  graph expansion.
+* :mod:`repro.core.postprocess` -- Section 4.3's two postprocessing
+  steps mapping a DST result back to a temporal spanning tree.
+* :mod:`repro.core.mstw` -- the end-to-end ``MST_w`` pipeline.
+* :mod:`repro.core.spanning_tree` -- result objects and validation.
+"""
+
+from repro.core.errors import (
+    GraphFormatError,
+    InvalidTreeError,
+    ReproError,
+    UnreachableRootError,
+    ZeroDurationError,
+)
+from repro.core.clustering import cluster_by_delay, cluster_by_weight
+from repro.core.export import tree_from_json, tree_to_dot, tree_to_json
+from repro.core.msta import minimum_spanning_tree_a, msta_chronological, msta_stack
+from repro.core.online import OnlineMSTa
+from repro.core.sliding import sliding_msta, sliding_mstw
+from repro.core.mstw import MSTwResult, minimum_spanning_tree_w
+from repro.core.spanning_tree import TemporalSpanningTree
+from repro.core.steiner_temporal import TemporalSteinerResult, minimum_steiner_tree_w
+from repro.core.transformation import TransformedGraph, transform_temporal_graph
+
+__all__ = [
+    "GraphFormatError",
+    "InvalidTreeError",
+    "MSTwResult",
+    "OnlineMSTa",
+    "ReproError",
+    "TemporalSpanningTree",
+    "TemporalSteinerResult",
+    "TransformedGraph",
+    "UnreachableRootError",
+    "ZeroDurationError",
+    "cluster_by_delay",
+    "cluster_by_weight",
+    "minimum_spanning_tree_a",
+    "minimum_spanning_tree_w",
+    "minimum_steiner_tree_w",
+    "msta_chronological",
+    "msta_stack",
+    "sliding_msta",
+    "sliding_mstw",
+    "transform_temporal_graph",
+    "tree_from_json",
+    "tree_to_dot",
+    "tree_to_json",
+]

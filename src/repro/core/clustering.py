@@ -1,0 +1,110 @@
+"""MST-based clustering of temporal graphs (Section 2.3's application).
+
+The paper notes that ``MST_w`` "can also be useful for clustering
+[2, 33], which is related to community search in social networks".
+This module implements the classical Zahn-style procedure on temporal
+spanning trees: compute a tree rooted at a hub, delete its ``k - 1``
+most expensive (or most delaying) edges, and read the connected
+components off the remaining forest.
+
+Two flavours:
+
+* :func:`cluster_by_weight` -- cut the heaviest-cost edges of a
+  ``MST_w`` (communities = cheap-to-inform groups);
+* :func:`cluster_by_delay` -- cut the edges with the largest waiting
+  gap ``t_s(e) − arrival(parent)`` of a ``MST_a`` (communities =
+  groups reached in the same wave of the dissemination).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.errors import ReproError
+from repro.core.spanning_tree import TemporalSpanningTree
+from repro.temporal.edge import TemporalEdge, Vertex
+
+
+def _components_after_cuts(
+    tree: TemporalSpanningTree,
+    cut_edges: Set[TemporalEdge],
+) -> List[Set[Vertex]]:
+    """Connected components of the tree with ``cut_edges`` removed."""
+    component_of: Dict[Vertex, Vertex] = {}
+
+    def find_root(v: Vertex) -> Vertex:
+        # walk up until the tree root or a cut edge
+        path = []
+        current = v
+        while True:
+            if current in component_of:
+                anchor = component_of[current]
+                break
+            edge = tree.parent_edge.get(current)
+            if edge is None or edge in cut_edges:
+                anchor = current
+                break
+            path.append(current)
+            current = edge.source
+        for node in path:
+            component_of[node] = anchor
+        component_of[v] = anchor
+        return anchor
+
+    groups: Dict[Vertex, Set[Vertex]] = {}
+    for v in tree.vertices:
+        groups.setdefault(find_root(v), set()).add(v)
+    return sorted(groups.values(), key=lambda s: (-len(s), repr(sorted(s, key=repr))))
+
+
+def cluster_tree(
+    tree: TemporalSpanningTree,
+    num_clusters: int,
+    key,
+) -> List[Set[Vertex]]:
+    """Cut the ``num_clusters - 1`` edges maximising ``key(edge)``.
+
+    Ties are broken deterministically by the edge tuple.  Returns the
+    components sorted by decreasing size.
+
+    Raises
+    ------
+    ReproError
+        If ``num_clusters`` is not in ``[1, covered vertices]``.
+    """
+    if num_clusters < 1:
+        raise ReproError(f"need at least one cluster, got {num_clusters}")
+    if num_clusters > len(tree.vertices):
+        raise ReproError(
+            f"cannot split {len(tree.vertices)} vertices into "
+            f"{num_clusters} clusters"
+        )
+    edges = sorted(tree.edges, key=lambda e: (-key(e), tuple(map(repr, e))))
+    cuts = set(edges[: num_clusters - 1])
+    return _components_after_cuts(tree, cuts)
+
+
+def cluster_by_weight(
+    tree: TemporalSpanningTree,
+    num_clusters: int,
+) -> List[Set[Vertex]]:
+    """Zahn's criterion: remove the heaviest tree edges."""
+    return cluster_tree(tree, num_clusters, key=lambda e: e.weight)
+
+
+def cluster_by_delay(
+    tree: TemporalSpanningTree,
+    num_clusters: int,
+) -> List[Set[Vertex]]:
+    """Temporal criterion: remove the edges with the longest waiting gap.
+
+    The gap of an edge is ``t_s(e) − arrival(parent)``: how long the
+    information sat at the parent before this hop happened.  Large gaps
+    separate dissemination waves.
+    """
+    arrivals = tree.arrival_times
+
+    def gap(edge: TemporalEdge) -> float:
+        return edge.start - arrivals[edge.source]
+
+    return cluster_tree(tree, num_clusters, key=gap)

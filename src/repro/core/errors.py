@@ -1,0 +1,39 @@
+"""Exception hierarchy for the temporal-MST library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch a single base class while still distinguishing input-format
+problems from algorithmic preconditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphFormatError(ReproError):
+    """An input graph, edge list, or file violates the expected format.
+
+    Raised, for example, when a temporal edge arrives before it starts,
+    when a chronological edge list is not sorted, or when a SteinLib
+    ``.stp`` file is malformed.
+    """
+
+
+class ZeroDurationError(ReproError):
+    """Algorithm 1 was invoked on a graph containing a zero-duration edge.
+
+    Theorem 1 of the paper only guarantees correctness of the one-pass
+    streaming algorithm when ``t_s(e) != t_a(e)`` for every edge; use
+    Algorithm 2 (:func:`repro.core.msta.msta_stack`) for graphs with
+    zero-duration edges.
+    """
+
+
+class UnreachableRootError(ReproError):
+    """The requested root cannot reach any other vertex in the window."""
+
+
+class InvalidTreeError(ReproError):
+    """A produced tree failed structural or time-respecting validation."""

@@ -1,0 +1,117 @@
+"""Exporting spanning trees: JSON round-trip and Graphviz DOT.
+
+Downstream pipelines need the computed trees out of Python: the JSON
+form is loss-free (root, window, every chosen edge) and round-trips via
+:func:`tree_from_json`; the DOT form renders the dissemination
+structure with departure/arrival annotations for quick inspection.
+Vertex labels must be JSON-representable (int/str) for the JSON path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional
+
+from repro.core.errors import GraphFormatError
+from repro.core.spanning_tree import TemporalSpanningTree
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.window import TimeWindow
+
+_FORMAT_VERSION = 1
+
+
+def tree_to_json(tree: TemporalSpanningTree, indent: Optional[int] = None) -> str:
+    """Serialise a spanning tree to a JSON document."""
+    payload = {
+        "format": "temporal-mst/spanning-tree",
+        "version": _FORMAT_VERSION,
+        "root": tree.root,
+        "window": {
+            "t_alpha": tree.window.t_alpha,
+            "t_omega": (
+                None if math.isinf(tree.window.t_omega) else tree.window.t_omega
+            ),
+        },
+        "edges": [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "start": edge.start,
+                "arrival": edge.arrival,
+                "weight": edge.weight,
+            }
+            for _, edge in sorted(tree.parent_edge.items(), key=lambda kv: repr(kv[0]))
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def tree_from_json(document: str) -> TemporalSpanningTree:
+    """Parse a tree previously produced by :func:`tree_to_json`.
+
+    Raises
+    ------
+    GraphFormatError
+        If the document is not a spanning-tree export or is malformed.
+    """
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise GraphFormatError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != (
+        "temporal-mst/spanning-tree"
+    ):
+        raise GraphFormatError("document is not a temporal-mst spanning tree")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise GraphFormatError(
+            f"unsupported format version {payload.get('version')!r}"
+        )
+    try:
+        window_info = payload["window"]
+        t_omega = window_info["t_omega"]
+        window = TimeWindow(
+            float(window_info["t_alpha"]),
+            math.inf if t_omega is None else float(t_omega),
+        )
+        parent_edge = {}
+        for item in payload["edges"]:
+            edge = TemporalEdge(
+                item["source"],
+                item["target"],
+                float(item["start"]),
+                float(item["arrival"]),
+                float(item["weight"]),
+            )
+            parent_edge[edge.target] = edge
+        return TemporalSpanningTree(payload["root"], parent_edge, window)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphFormatError(f"malformed spanning-tree document: {exc}") from exc
+
+
+def _dot_escape(label) -> str:
+    return str(label).replace('"', '\\"')
+
+
+def tree_to_dot(
+    tree: TemporalSpanningTree,
+    name: str = "temporal_mst",
+    show_weights: bool = True,
+) -> str:
+    """Render a spanning tree as a Graphviz digraph.
+
+    Each edge is annotated ``[start, arrival] (weight)``; the root is
+    drawn as a double circle.
+    """
+    lines = [f'digraph "{_dot_escape(name)}" {{', "  rankdir=TB;"]
+    lines.append(f'  "{_dot_escape(tree.root)}" [shape=doublecircle];')
+    for vertex, edge in sorted(tree.parent_edge.items(), key=lambda kv: repr(kv[0])):
+        label = f"[{edge.start:g}, {edge.arrival:g}]"
+        if show_weights:
+            label += f" ({edge.weight:g})"
+        lines.append(
+            f'  "{_dot_escape(edge.source)}" -> "{_dot_escape(vertex)}" '
+            f'[label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,130 @@
+"""Online (streaming) maintenance of a ``MST_a``.
+
+Algorithm 1 is inherently *online*: edges arrive ordered by start time
+(exactly how CDR/contact streams are produced) and each edge is
+processed in O(1).  :class:`OnlineMSTa` wraps that loop in an
+incremental API -- feed edges as they happen, query the current tree,
+arrival times, or coverage at any moment.
+
+The zero-duration caveat of Theorem 1 applies: with instantaneous
+edges, an edge enabling a *same-timestamp* successor that was already
+streamed cannot retroactively relax it.  The class tracks whether any
+zero-duration edge was ingested and exposes ``may_be_incomplete`` so
+callers can fall back to the offline Algorithm 2 when exactness
+matters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+from repro.core.errors import GraphFormatError
+from repro.core.spanning_tree import TemporalSpanningTree
+from repro.temporal.edge import TemporalEdge, Vertex
+from repro.temporal.window import TimeWindow
+
+
+class OnlineMSTa:
+    """Incremental earliest-arrival spanning tree over an edge stream.
+
+    Parameters
+    ----------
+    root:
+        The source of the dissemination.
+    window:
+        Time window; edges outside it are ignored.
+    enforce_order:
+        When True (default), feeding an edge whose start time is
+        smaller than a previously fed edge raises
+        :class:`GraphFormatError` -- the correctness precondition of
+        the one-pass algorithm.
+    """
+
+    def __init__(
+        self,
+        root: Vertex,
+        window: Optional[TimeWindow] = None,
+        enforce_order: bool = True,
+    ) -> None:
+        self.root = root
+        self.window = window if window is not None else TimeWindow.unbounded()
+        self.enforce_order = enforce_order
+        self._arrival: Dict[Vertex, float] = {root: self.window.t_alpha}
+        self._parent: Dict[Vertex, TemporalEdge] = {}
+        self._last_start = -math.inf
+        self._edges_seen = 0
+        self._edges_applied = 0
+        self._saw_zero_duration = False
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(self, edge: TemporalEdge) -> bool:
+        """Process one edge; returns True when it improved the tree."""
+        if not isinstance(edge, TemporalEdge):
+            edge = TemporalEdge(*edge)
+        if self.enforce_order and edge.start < self._last_start:
+            raise GraphFormatError(
+                f"edge stream not in chronological order: start {edge.start} "
+                f"after {self._last_start}"
+            )
+        self._last_start = max(self._last_start, edge.start)
+        self._edges_seen += 1
+        if edge.duration == 0:
+            self._saw_zero_duration = True
+        if edge.start < self.window.t_alpha or edge.arrival > self.window.t_omega:
+            return False
+        inf = math.inf
+        if (
+            edge.start >= self._arrival.get(edge.source, inf)
+            and edge.arrival < self._arrival.get(edge.target, inf)
+        ):
+            self._arrival[edge.target] = edge.arrival
+            self._parent[edge.target] = edge
+            self._edges_applied += 1
+            return True
+        return False
+
+    def feed_many(self, edges: Iterable[TemporalEdge]) -> int:
+        """Process a batch; returns how many edges improved the tree."""
+        return sum(1 for edge in edges if self.feed(edge))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def coverage(self) -> int:
+        """Vertices reached so far (root excluded)."""
+        return len(self._parent)
+
+    @property
+    def edges_seen(self) -> int:
+        return self._edges_seen
+
+    @property
+    def edges_applied(self) -> int:
+        return self._edges_applied
+
+    @property
+    def may_be_incomplete(self) -> bool:
+        """True when zero-duration edges were streamed (Theorem 1 caveat)."""
+        return self._saw_zero_duration
+
+    def arrival_time(self, vertex: Vertex) -> Optional[float]:
+        """Current earliest known arrival at ``vertex`` (None if unreached)."""
+        return self._arrival.get(vertex)
+
+    def arrival_times(self) -> Dict[Vertex, float]:
+        """Snapshot of all current arrival times (root included)."""
+        return dict(self._arrival)
+
+    def snapshot(self) -> TemporalSpanningTree:
+        """The current spanning tree as an immutable result object."""
+        return TemporalSpanningTree(self.root, dict(self._parent), self.window)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OnlineMSTa(root={self.root!r}, covered={self.coverage}, "
+            f"seen={self._edges_seen})"
+        )

@@ -1,0 +1,138 @@
+"""Section 4.3 postprocessing: from a DST answer back to a temporal tree.
+
+Step 1 (performed in the transformed graph 𝔾, by
+:func:`repro.steiner.tree.expand_closure_tree`): replace closure edges
+with shortest paths and keep one (cheapest) incoming edge per 𝔾 vertex.
+
+Step 2 (this module): (a) drop virtual edges and map every remaining
+solid edge back to its original temporal edge, merging all copies of
+each original vertex; (b) keep, per original vertex, the single
+incoming temporal edge with the smallest arrival time.  Theorem 6 shows
+neither step increases the cost, so the DST approximation ratio carries
+over to ``MST_w``.
+
+Degenerate zero-duration graphs can contain mutually-enabling edges at
+identical timestamps, in which case the literal smallest-arrival rule
+may select a parent that is itself only reachable through the child.  A
+repair pass (:func:`_repair_selection`) re-selects among the *same*
+candidate edges with earliest-arrival propagation from the root, which
+never increases the arrival times and restores a valid tree.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.core.errors import InvalidTreeError
+from repro.core.spanning_tree import TemporalSpanningTree
+from repro.core.transformation import TransformedGraph
+from repro.steiner.instance import PreparedInstance
+from repro.steiner.tree import ClosureTree, expand_closure_tree
+from repro.temporal.edge import TemporalEdge, Vertex
+
+
+def closure_tree_to_temporal(
+    transformed: TransformedGraph,
+    prepared: PreparedInstance,
+    closure_tree: ClosureTree,
+) -> TemporalSpanningTree:
+    """Apply postprocessing Steps 1 and 2 to a DST result.
+
+    Parameters
+    ----------
+    transformed:
+        The 𝔾 expansion the DST instance was built from.
+    prepared:
+        The prepared (closure) instance the solver ran on.
+    closure_tree:
+        The solver's output tree over closure edges.
+
+    Returns
+    -------
+    A validated :class:`TemporalSpanningTree` over the original graph.
+    """
+    _, base_edges = expand_closure_tree(prepared, closure_tree)
+    candidates = _solid_candidates(transformed, prepared, base_edges)
+    parent = _smallest_arrival_selection(candidates)
+    tree = TemporalSpanningTree(transformed.root, parent, transformed.window)
+    try:
+        tree.validate()
+    except InvalidTreeError:
+        parent = _repair_selection(transformed.root, transformed.window.t_alpha, candidates)
+        tree = TemporalSpanningTree(transformed.root, parent, transformed.window)
+        tree.validate()
+    return tree
+
+
+def _solid_candidates(
+    transformed: TransformedGraph,
+    prepared: PreparedInstance,
+    base_edges: List[Tuple[int, int, float]],
+) -> Dict[Vertex, List[TemporalEdge]]:
+    """Step 2(a): original temporal edges behind the tree's solid edges."""
+    graph = prepared.instance.graph
+    candidates: Dict[Vertex, List[TemporalEdge]] = {}
+    for u_idx, v_idx, w in base_edges:
+        source_label = graph.label_of(u_idx)
+        target_label = graph.label_of(v_idx)
+        temporal = transformed.original_edge(source_label, target_label, w)
+        if temporal is None:
+            continue  # virtual (chain or dummy) edge
+        candidates.setdefault(temporal.target, []).append(temporal)
+    return candidates
+
+
+def _smallest_arrival_selection(
+    candidates: Dict[Vertex, List[TemporalEdge]],
+) -> Dict[Vertex, TemporalEdge]:
+    """Step 2(b): per vertex, the incoming edge with the smallest arrival."""
+    return {
+        v: min(edges, key=lambda e: (e.arrival, e.weight, e.start))
+        for v, edges in candidates.items()
+    }
+
+
+def _repair_selection(
+    root: Vertex,
+    t_alpha: float,
+    candidates: Dict[Vertex, List[TemporalEdge]],
+) -> Dict[Vertex, TemporalEdge]:
+    """Earliest-arrival re-selection among the candidate edges.
+
+    A Dijkstra-style sweep over the candidate edge set (grouped by
+    source) that assigns every coverable vertex its earliest feasible
+    in-edge.  Vertices that remain uncoverable indicate a genuinely
+    broken DST answer and raise :class:`InvalidTreeError`.
+    """
+    by_source: Dict[Vertex, List[TemporalEdge]] = {}
+    for edges in candidates.values():
+        for edge in edges:
+            by_source.setdefault(edge.source, []).append(edge)
+    arrival: Dict[Vertex, float] = {root: t_alpha}
+    parent: Dict[Vertex, TemporalEdge] = {}
+    inf = float("inf")
+    heap: List[Tuple[float, int, Vertex]] = [(t_alpha, 0, root)]
+    counter = 1
+    settled = set()
+    while heap:
+        t, _, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        for edge in by_source.get(u, ()):  # pragma: no branch
+            if edge.start < t:
+                continue
+            if edge.arrival < arrival.get(edge.target, inf):
+                arrival[edge.target] = edge.arrival
+                parent[edge.target] = edge
+                heapq.heappush(heap, (edge.arrival, counter, edge.target))
+                counter += 1
+    uncovered = set(candidates) - set(parent) - {root}
+    if uncovered:
+        raise InvalidTreeError(
+            f"postprocessing could not connect {len(uncovered)} vertices "
+            f"(e.g. {next(iter(uncovered))!r}); the DST answer does not "
+            "contain a feasible temporal tree"
+        )
+    return parent

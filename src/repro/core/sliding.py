@@ -1,0 +1,128 @@
+"""Sliding-window analysis (Section 2.3's forward-looking use case).
+
+The paper motivates ``MST_w`` with: *"As the time window slides
+forward, we can predict the minimum cost for the future."*  This module
+packages that protocol: slide a fixed-length window across a temporal
+graph, recompute the requested tree per window, and collect the
+coverage / cost / makespan series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.errors import ReproError, UnreachableRootError
+from repro.core.msta import minimum_spanning_tree_a
+from repro.core.mstw import minimum_spanning_tree_w
+from repro.core.spanning_tree import TemporalSpanningTree
+from repro.temporal.edge import Vertex
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.index import TemporalEdgeIndex
+from repro.temporal.window import TimeWindow
+
+
+@dataclass(frozen=True)
+class WindowMeasurement:
+    """One window's outcome in a sliding sweep.
+
+    ``tree`` is None when the root reaches nothing inside the window;
+    ``coverage``, ``cost``, and ``makespan`` are then 0/0/NaN-free
+    (0, 0.0, None) so the series stays plottable.
+    """
+
+    window: TimeWindow
+    tree: Optional[TemporalSpanningTree]
+
+    @property
+    def coverage(self) -> int:
+        """Number of vertices reached besides the root."""
+        return self.tree.num_edges if self.tree is not None else 0
+
+    @property
+    def cost(self) -> float:
+        """Total tree weight (0 when nothing is reached)."""
+        return self.tree.total_weight if self.tree is not None else 0.0
+
+    @property
+    def makespan(self) -> Optional[float]:
+        """Latest arrival time, or None when nothing is reached."""
+        if self.tree is None or self.tree.num_edges == 0:
+            return None
+        return self.tree.max_arrival_time
+
+
+def iter_windows(
+    graph: TemporalGraph,
+    window_length: float,
+    step: Optional[float] = None,
+) -> Iterator[TimeWindow]:
+    """Fixed-length windows sliding across the graph's full time range.
+
+    The first window starts at ``t_A``; subsequent windows advance by
+    ``step`` (default: half the window length); the last window always
+    ends exactly at ``t_Omega``.
+    """
+    if window_length <= 0:
+        raise ReproError("window_length must be positive")
+    t_start, t_end = graph.time_span()
+    if window_length >= t_end - t_start:
+        yield TimeWindow(t_start, t_end)
+        return
+    if step is None:
+        step = window_length / 2
+    if step <= 0:
+        raise ReproError("step must be positive")
+    t = t_start
+    while True:
+        if t + window_length >= t_end:
+            yield TimeWindow(t_end - window_length, t_end)
+            return
+        yield TimeWindow(t, t + window_length)
+        t += step
+
+
+def sliding_msta(
+    graph: TemporalGraph,
+    root: Vertex,
+    window_length: float,
+    step: Optional[float] = None,
+) -> List[WindowMeasurement]:
+    """Earliest-arrival tree per sliding window (epidemic-style sweep)."""
+    index = TemporalEdgeIndex(graph)
+    results = []
+    for window in iter_windows(graph, window_length, step):
+        active = index.subgraph(window)
+        if root not in active.vertices:
+            results.append(WindowMeasurement(window, None))
+            continue
+        tree = minimum_spanning_tree_a(active, root, window)
+        results.append(WindowMeasurement(window, tree))
+    return results
+
+
+def sliding_mstw(
+    graph: TemporalGraph,
+    root: Vertex,
+    window_length: float,
+    step: Optional[float] = None,
+    level: int = 2,
+    algorithm: str = "pruned",
+) -> List[WindowMeasurement]:
+    """Minimum-cost tree per sliding window (the paper's cost forecast)."""
+    index = TemporalEdgeIndex(graph)
+    results = []
+    for window in iter_windows(graph, window_length, step):
+        active = index.subgraph(window)
+        if root not in active.vertices:
+            results.append(WindowMeasurement(window, None))
+            continue
+        try:
+            result = minimum_spanning_tree_w(
+                active, root, window, level=level, algorithm=algorithm
+            )
+        except UnreachableRootError:
+            results.append(WindowMeasurement(window, None))
+            continue
+        results.append(WindowMeasurement(window, result.tree))
+    return results

@@ -1,0 +1,169 @@
+"""Temporal spanning tree result objects and validation.
+
+Both ``MST_a`` and ``MST_w`` produce a :class:`TemporalSpanningTree`:
+one chosen incoming temporal edge per reachable non-root vertex, such
+that following parents from any vertex yields a time-respecting path
+from the root (Section 2.2's spanning-tree conditions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.errors import InvalidTreeError
+from repro.temporal.edge import TemporalEdge, Vertex
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+
+class TemporalSpanningTree:
+    """A rooted spanning tree over the reachable vertex set ``V_r``.
+
+    Attributes
+    ----------
+    root:
+        The prescribed root ``r``.
+    parent_edge:
+        For every covered vertex ``v != root``, the single incoming
+        temporal edge of ``v`` in the tree.
+    window:
+        The time window within which the tree's paths are valid.
+    """
+
+    __slots__ = ("root", "parent_edge", "window")
+
+    def __init__(
+        self,
+        root: Vertex,
+        parent_edge: Dict[Vertex, TemporalEdge],
+        window: Optional[TimeWindow] = None,
+    ) -> None:
+        if root in parent_edge:
+            raise InvalidTreeError("the root must not have an incoming edge")
+        self.root = root
+        self.parent_edge = dict(parent_edge)
+        self.window = window if window is not None else TimeWindow.unbounded()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> Set[Vertex]:
+        """All covered vertices ``V_r`` (root included)."""
+        return set(self.parent_edge) | {self.root}
+
+    @property
+    def edges(self) -> List[TemporalEdge]:
+        """The tree's temporal edges (one per non-root vertex)."""
+        return list(self.parent_edge.values())
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.parent_edge)
+
+    def parent(self, vertex: Vertex) -> Optional[Vertex]:
+        """The parent of ``vertex`` (None for the root)."""
+        if vertex == self.root:
+            return None
+        return self.parent_edge[vertex].source
+
+    def children(self) -> Dict[Vertex, List[Vertex]]:
+        """Child lists keyed by parent."""
+        kids: Dict[Vertex, List[Vertex]] = {}
+        for v, edge in self.parent_edge.items():
+            kids.setdefault(edge.source, []).append(v)
+        return kids
+
+    def path_to(self, vertex: Vertex) -> List[TemporalEdge]:
+        """The root-to-``vertex`` path as a list of temporal edges.
+
+        Raises
+        ------
+        KeyError
+            If ``vertex`` is not covered by the tree.
+        InvalidTreeError
+            If parent pointers do not lead back to the root.
+        """
+        if vertex == self.root:
+            return []
+        path: List[TemporalEdge] = []
+        current = vertex
+        seen = set()
+        while current != self.root:
+            if current in seen:
+                raise InvalidTreeError(f"parent cycle at vertex {current!r}")
+            seen.add(current)
+            edge = self.parent_edge[current]
+            path.append(edge)
+            current = edge.source
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # Objectives
+    # ------------------------------------------------------------------
+    @property
+    def total_weight(self) -> float:
+        """``ζ(ST(r))``: the sum of the tree's edge weights."""
+        return sum(edge.weight for edge in self.parent_edge.values())
+
+    @property
+    def arrival_times(self) -> Dict[Vertex, float]:
+        """The arrival time at every covered vertex (root at ``t_alpha``)."""
+        arrivals = {self.root: self.window.t_alpha}
+        for v, edge in self.parent_edge.items():
+            arrivals[v] = edge.arrival
+        return arrivals
+
+    @property
+    def max_arrival_time(self) -> float:
+        """The latest arrival over all covered vertices (broadcast makespan)."""
+        return max(self.arrival_times.values())
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, graph: Optional[TemporalGraph] = None) -> None:
+        """Check the Section 2.2 spanning-tree conditions.
+
+        Verifies: every tree edge lies within the window; parent chains
+        reach the root without cycles; each path is time-respecting;
+        and (when ``graph`` is given) every tree edge is a graph edge.
+
+        Raises
+        ------
+        InvalidTreeError
+            On the first violated condition.
+        """
+        if graph is not None:
+            graph_edges = set(graph.edges)
+            for edge in self.parent_edge.values():
+                if edge not in graph_edges:
+                    raise InvalidTreeError(f"{edge} is not an edge of the graph")
+        for v, edge in self.parent_edge.items():
+            if edge.target != v:
+                raise InvalidTreeError(
+                    f"edge stored for {v!r} targets {edge.target!r}"
+                )
+            if not edge.within(self.window.t_alpha, self.window.t_omega):
+                raise InvalidTreeError(f"{edge} lies outside {self.window}")
+        for v in self.parent_edge:
+            path = self.path_to(v)  # raises on cycles / missing parents
+            previous_arrival = self.window.t_alpha
+            for edge in path:
+                if edge.start < previous_arrival:
+                    raise InvalidTreeError(
+                        f"path to {v!r} violates the time constraint at {edge}"
+                    )
+                previous_arrival = edge.arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TemporalSpanningTree(root={self.root!r}, "
+            f"covered={len(self.parent_edge)}, weight={self.total_weight:g})"
+        )
+
+
+def arrival_map_of(tree: TemporalSpanningTree) -> Dict[Vertex, float]:
+    """Convenience alias used by benchmarks: the tree's arrival times."""
+    return tree.arrival_times

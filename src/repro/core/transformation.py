@@ -1,0 +1,220 @@
+"""Section 4.2: transforming a temporal graph into a static DST instance.
+
+For every vertex ``v`` of the temporal graph, the transformed graph 𝔾
+contains one *virtual* vertex per distinct arrival time instance of
+``v`` plus one *dummy* vertex; zero-weight virtual edges chain the
+copies in time order and end at the dummy, while each temporal edge
+``(u, v, t_u, t̂_v, w)`` becomes a *solid* edge of weight ``w`` from the
+latest copy of ``u`` whose time instance is ``<= t_u`` to the copy of
+``v`` at time ``t̂_v``.  The root contributes a single copy at time
+``t_alpha`` and no dummy.  𝔾 has ``O(|E|)`` vertices and edges
+(Lemma 2), and a minimum DST in 𝔾 with the dummies as terminals yields
+a ``MST_w`` of the temporal graph (Theorem 5).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import UnreachableRootError
+from repro.static.digraph import StaticDigraph
+from repro.steiner.instance import DSTInstance
+from repro.temporal.edge import TemporalEdge, Vertex
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+
+def copy_label(vertex: Vertex, position: int) -> Tuple[str, Vertex, int]:
+    """The label of ``vertex``'s ``position``-th virtual copy in 𝔾."""
+    return ("copy", vertex, position)
+
+
+def dummy_label(vertex: Vertex) -> Tuple[str, Vertex]:
+    """The label of ``vertex``'s dummy (terminal) vertex in 𝔾."""
+    return ("dummy", vertex)
+
+
+class TransformedGraph:
+    """The static expansion 𝔾 of a temporal graph.
+
+    Attributes
+    ----------
+    digraph:
+        The expanded static multigraph (virtual + solid edges).
+    root_label:
+        The label of the root's single copy.
+    arrival_instances:
+        Per original vertex, the sorted distinct arrival times that
+        index its virtual copies.
+    solid_origin:
+        Maps ``(source_label, target_label, weight)`` of a solid edge to
+        a representative original temporal edge (used by postprocessing
+        Step 2 to restore temporal edges).
+    """
+
+    __slots__ = (
+        "source",
+        "window",
+        "root",
+        "digraph",
+        "root_label",
+        "arrival_instances",
+        "solid_origin",
+        "skipped_edges",
+    )
+
+    def __init__(
+        self,
+        source: TemporalGraph,
+        window: TimeWindow,
+        root: Vertex,
+        digraph: StaticDigraph,
+        root_label: Tuple,
+        arrival_instances: Dict[Vertex, List[float]],
+        solid_origin: Dict[Tuple, TemporalEdge],
+        skipped_edges: int,
+    ) -> None:
+        self.source = source
+        self.window = window
+        self.root = root
+        self.digraph = digraph
+        self.root_label = root_label
+        self.arrival_instances = arrival_instances
+        self.solid_origin = solid_origin
+        self.skipped_edges = skipped_edges
+
+    @property
+    def num_vertices(self) -> int:
+        """``|V(𝔾)|`` (Table 4's size column)."""
+        return self.digraph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """``|E(𝔾)|`` (Table 4's size column)."""
+        return self.digraph.num_edges
+
+    def dummies(self) -> List[Tuple]:
+        """Dummy labels of every non-root original vertex."""
+        return [dummy_label(v) for v in self.source.vertices if v != self.root]
+
+    def dst_instance(self, terminals: Optional[Sequence[Vertex]] = None) -> DSTInstance:
+        """The DST problem on 𝔾 (Theorem 5): root copy -> dummy terminals.
+
+        Parameters
+        ----------
+        terminals:
+            Original vertices whose dummies form the terminal set.
+            Defaults to every non-root vertex that has at least one
+            virtual copy (i.e. at least one in-window incoming edge);
+            restrict to the reachable set ``V_r`` for general windows.
+        """
+        if terminals is None:
+            chosen = [
+                v
+                for v in self.source.vertices
+                if v != self.root and self.arrival_instances.get(v)
+            ]
+        else:
+            chosen = [v for v in terminals if v != self.root]
+        labels = tuple(dummy_label(v) for v in chosen)
+        return DSTInstance(self.digraph, self.root_label, labels)
+
+    def original_edge(self, source_label: Tuple, target_label: Tuple, weight: float):
+        """The temporal edge behind a solid 𝔾 edge (None for virtual edges)."""
+        return self.solid_origin.get((source_label, target_label, weight))
+
+
+def transform_temporal_graph(
+    graph: TemporalGraph,
+    root: Vertex,
+    window: Optional[TimeWindow] = None,
+) -> TransformedGraph:
+    """Build 𝔾 from ``graph`` following Section 4.2's two steps.
+
+    Edges outside the window are ignored.  Temporal edges whose source
+    has no copy at or before their start time (i.e. the source cannot
+    have been reached in time to use them) can never appear on a
+    root-originating path, and are skipped; the count is recorded in
+    ``skipped_edges``.
+
+    Raises
+    ------
+    UnreachableRootError
+        If ``root`` is not a vertex of the graph.
+    """
+    if root not in graph.vertices:
+        raise UnreachableRootError(f"root {root!r} is not a vertex of the graph")
+    if window is None:
+        window = TimeWindow.unbounded()
+
+    in_window = [e for e in graph.edges if e.within(window.t_alpha, window.t_omega)]
+
+    # Step 1(a): arrival time instances per vertex; the root has the
+    # single instance t_alpha (the paper's {0}).
+    arrival_instances: Dict[Vertex, List[float]] = {}
+    for edge in in_window:
+        if edge.target == root or edge.source == edge.target:
+            continue
+        arrival_instances.setdefault(edge.target, []).append(edge.arrival)
+    for v, instants in arrival_instances.items():
+        arrival_instances[v] = sorted(set(instants))
+    arrival_instances[root] = [window.t_alpha]
+
+    digraph = StaticDigraph()
+    root_label = copy_label(root, 0)
+    digraph.add_vertex(root_label)
+
+    # Step 1(b) + Step 2(a): copies, dummies, and zero-weight chains.
+    for v, instants in arrival_instances.items():
+        if v == root:
+            continue
+        previous = None
+        for i, _ in enumerate(instants):
+            label = copy_label(v, i)
+            digraph.add_vertex(label)
+            if previous is not None:
+                digraph.add_edge(previous, label, 0.0)
+            previous = label
+        digraph.add_edge(previous, dummy_label(v), 0.0)
+
+    # Step 2(b): solid edges.
+    solid_origin: Dict[Tuple, TemporalEdge] = {}
+    skipped = 0
+    for edge in in_window:
+        if edge.target == root or edge.source == edge.target:
+            skipped += 1
+            continue
+        source_instants = arrival_instances.get(edge.source)
+        if not source_instants:
+            skipped += 1
+            continue
+        # The latest copy of the source whose instance is <= the start.
+        i = bisect_right(source_instants, edge.start) - 1
+        if i < 0:
+            skipped += 1
+            continue
+        source_label = copy_label(edge.source, i)
+        j = bisect_left(arrival_instances[edge.target], edge.arrival)
+        target_label = copy_label(edge.target, j)
+        key = (source_label, target_label, edge.weight)
+        existing = solid_origin.get(key)
+        if existing is None:
+            digraph.add_edge(source_label, target_label, edge.weight)
+            solid_origin[key] = edge
+        elif edge.start < existing.start:
+            # Parallel duplicates (same copies, same weight) are
+            # interchangeable; keep the earliest-starting representative
+            # and do not duplicate the static edge.
+            solid_origin[key] = edge
+
+    return TransformedGraph(
+        source=graph,
+        window=window,
+        root=root,
+        digraph=digraph,
+        root_label=root_label,
+        arrival_instances=arrival_instances,
+        solid_origin=solid_origin,
+        skipped_edges=skipped,
+    )

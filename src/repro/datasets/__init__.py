@@ -1,0 +1,14 @@
+"""Dataset substrate: paper figures, synthetic KONECT stand-ins, weights."""
+
+from repro.datasets.paper_examples import figure1_graph, figure3_graph
+from repro.datasets.registry import DATASETS, DatasetConfig, load_dataset
+from repro.datasets.weights import weight_cascade_weights
+
+__all__ = [
+    "DATASETS",
+    "DatasetConfig",
+    "figure1_graph",
+    "figure3_graph",
+    "load_dataset",
+    "weight_cascade_weights",
+]

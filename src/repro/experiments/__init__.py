@@ -1,0 +1,21 @@
+"""Programmatic experiment harness.
+
+Each module regenerates one table or figure of the paper's Section 5 as
+a :class:`repro.experiments.runner.TableResult` -- rows of plain Python
+values plus a rendered text form.  The pytest-benchmark suite under
+``benchmarks/`` is the statistically careful harness; this package is
+the *scriptable* one: quick single-shot timings for notebooks, the CLI
+(``temporal-mst experiment table5``), and downstream pipelines.
+
+Usage::
+
+    from repro.experiments import run_experiment, EXPERIMENTS
+    result = run_experiment("table5", quick=True)
+    print(result.render())
+    rows = result.rows          # machine-readable
+"""
+
+from repro.experiments.runner import TableResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "TableResult", "run_experiment"]

@@ -1,0 +1,120 @@
+"""Experiments: Tables 4, 5, and 6 -- the MST_w pipeline."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.postprocess import closure_tree_to_temporal
+from repro.experiments.runner import TableResult, timed
+from repro.experiments.workloads import (
+    MSTW_WORKLOADS,
+    QUICK_MSTW_WORKLOADS,
+    mstw_workload,
+)
+from repro.steiner.charikar import charikar_dst
+from repro.steiner.improved import improved_dst
+from repro.steiner.pruned import pruned_dst
+
+SOLVERS = {
+    "Charik": (charikar_dst, "charikar_max_level"),
+    "Alg4": (improved_dst, "improved_max_level"),
+    "Alg6": (pruned_dst, "pruned_max_level"),
+}
+
+
+def _configs(quick: bool):
+    return QUICK_MSTW_WORKLOADS if quick else MSTW_WORKLOADS
+
+
+def run_table4(quick: bool = False) -> TableResult:
+    """Table 4: window extraction / transformation sizes / Tprep."""
+    result = TableResult(
+        name="table4",
+        title="Table 4: extracted G', transformed graph sizes, preprocessing (s)",
+        header=[
+            "dataset",
+            "|V(G')|",
+            "|E(G')|",
+            "|V_r|",
+            "|V(GG)|",
+            "|E(GG)|",
+            "Tprep",
+        ],
+    )
+    for config in sorted(_configs(quick), key=lambda c: c.name):
+        workload = mstw_workload(config)
+        result.add_row(
+            config.name,
+            workload.graph.num_vertices,
+            workload.graph.num_edges,
+            workload.prepared.num_terminals,
+            workload.transformed.num_vertices,
+            workload.transformed.num_edges,
+            workload.preprocessing_seconds,
+        )
+    result.notes.append("Tprep is dominated by the transitive closure (Lemma 2 sizes)")
+    return result
+
+
+def run_table5(quick: bool = False) -> TableResult:
+    """Table 5: DST runtime, Charik vs Alg4 vs Alg6 at i = 1..3."""
+    configs = sorted(_configs(quick), key=lambda c: c.name)
+    levels = (1, 2) if quick else (1, 2, 3)
+    result = TableResult(
+        name="table5",
+        title="Table 5: DST runtime (s) on transformed datasets ('-' = over budget)",
+        header=["alg-i"] + [c.name for c in configs],
+    )
+    timings: Dict[Tuple[str, str, int], float] = {}
+    for solver_name, (solver, cap_attr) in SOLVERS.items():
+        for level in levels:
+            row = [f"{solver_name}-{level}"]
+            for config in configs:
+                if level > getattr(config, cap_attr):
+                    row.append("-")
+                    continue
+                workload = mstw_workload(config)
+                elapsed, _ = timed(solver, workload.prepared, level)
+                timings[(solver_name, config.name, level)] = elapsed
+                row.append(elapsed)
+            result.rows.append(row)
+    speedups = []
+    for config in configs:
+        charik = timings.get(("Charik", config.name, 2))
+        alg6 = timings.get(("Alg6", config.name, 2))
+        if charik and alg6:
+            speedups.append(charik / alg6)
+    if speedups:
+        result.notes.append(
+            f"Alg6 speedup over Charik at i=2: "
+            f"{min(speedups):.1f}x - {max(speedups):.1f}x"
+        )
+    return result
+
+
+def run_table6(quick: bool = False) -> TableResult:
+    """Table 6: weights of the MST_w solutions per iteration count."""
+    configs = sorted(_configs(quick), key=lambda c: c.name)
+    levels = (1, 2) if quick else (1, 2, 3)
+    result = TableResult(
+        name="table6",
+        title="Table 6: weight of the MST_w solution per iteration count",
+        header=["level"] + [c.name for c in configs],
+    )
+    for level in levels:
+        row = [f"i={level}"]
+        for config in configs:
+            if level > config.pruned_max_level:
+                row.append("-")
+                continue
+            workload = mstw_workload(config)
+            closure_tree = pruned_dst(workload.prepared, level)
+            tree = closure_tree_to_temporal(
+                workload.transformed, workload.prepared, closure_tree
+            )
+            row.append(round(tree.total_weight, 2))
+        result.rows.append(row)
+    result.notes.append(
+        "paper shape: weights drop from i=1 to i=2 and stabilise by i=3"
+    )
+    return result

@@ -1,0 +1,41 @@
+"""Name -> experiment dispatch."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.fig8 import run_fig8a, run_fig8b
+from repro.experiments.msta_tables import run_table2, run_table3
+from repro.experiments.mstw_tables import run_table4, run_table5, run_table6
+from repro.experiments.runner import TableResult
+from repro.experiments.steinlib_tables import run_table7, run_table8
+from repro.experiments.table1 import run as run_table1
+
+EXPERIMENTS: Dict[str, Callable[..., TableResult]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "table7": run_table7,
+    "table8": run_table8,
+    "fig8a": run_fig8a,
+    "fig8b": run_fig8b,
+}
+
+
+def run_experiment(name: str, quick: bool = False) -> TableResult:
+    """Run one named experiment (see :data:`EXPERIMENTS` for the keys).
+
+    Raises
+    ------
+    KeyError
+        For an unknown experiment name.
+    """
+    key = name.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key](quick=quick)

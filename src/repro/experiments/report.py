@@ -1,0 +1,91 @@
+"""Markdown report generation from the experiment harness.
+
+``build_report()`` runs the selected experiments and assembles an
+EXPERIMENTS.md-style document (paper claim + regenerated table per
+section).  Exposed on the CLI as
+``temporal-mst experiment all --markdown report.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import TableResult
+
+#: One-line paper claims shown above each regenerated table.
+PAPER_CLAIMS = {
+    "table1": "Seven temporal networks spanning three structural regimes.",
+    "table2": (
+        "Alg1 outperforms the Bhadra baseline by a large margin in all "
+        "cases; Alg2 sits in between."
+    ),
+    "table3": (
+        "With zero durations only Bhadra vs Alg2 compete (Alg1 is "
+        "incorrect); Alg2 wins almost everywhere and reachable sets grow."
+    ),
+    "table4": (
+        "Transformed graphs are linear in |E| (Lemma 2); preprocessing is "
+        "dominated by the transitive closure."
+    ),
+    "table5": (
+        "Alg4 improves Charikar's runtime by orders of magnitude; Alg6's "
+        "pruning adds another order; all produce identical trees."
+    ),
+    "table6": "Solution weights drop from i=1 to i=2 and stabilise by i=3.",
+    "table7": (
+        "On instances with known optima, Alg6-3 beats Charik-3 by orders "
+        "of magnitude; deeper levels grow steeply."
+    ),
+    "table8": (
+        "Relative errors sit far below the theoretical bound and shrink "
+        "with the level."
+    ),
+    "fig8a": "Runtime is flat in |E|/|V| at fixed |V| (closure input).",
+    "fig8b": "Runtime grows polynomially in |V| (the O(|V|^i k^i) law).",
+}
+
+
+def table_to_markdown(result: TableResult) -> str:
+    """One TableResult as a GitHub-flavoured markdown table."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    lines = [
+        "| " + " | ".join(str(h) for h in result.header) + " |",
+        "|" + "---|" * len(result.header),
+    ]
+    for row in result.rows:
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def build_report(
+    names: Optional[Iterable[str]] = None,
+    quick: bool = True,
+) -> str:
+    """Run experiments and return the assembled markdown document."""
+    selected: List[str] = sorted(EXPERIMENTS) if names is None else list(names)
+    sections = [
+        "# Regenerated evaluation",
+        "",
+        "Produced by `repro.experiments` "
+        + ("(quick mode: reduced workloads)." if quick else "(full workloads)."),
+        "",
+    ]
+    for name in selected:
+        result = run_experiment(name, quick=quick)
+        sections.append(f"## {result.title}")
+        sections.append("")
+        claim = PAPER_CLAIMS.get(name)
+        if claim:
+            sections.append(f"*Paper claim:* {claim}")
+            sections.append("")
+        sections.append(table_to_markdown(result))
+        sections.append("")
+        for note in result.notes:
+            sections.append(f"> {note}")
+            sections.append("")
+    return "\n".join(sections).rstrip() + "\n"

@@ -1,0 +1,79 @@
+"""Result containers and timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Tuple
+
+
+@dataclass
+class TableResult:
+    """One regenerated table or figure.
+
+    Attributes
+    ----------
+    name:
+        The experiment key (``"table5"``, ``"fig8a"``, ...).
+    title:
+        Human-readable caption (includes workload parameters).
+    header:
+        Column names.
+    rows:
+        Lists of cells (numbers or strings; ``"-"`` marks an entry that
+        was out of budget, mirroring the paper's '-').
+    notes:
+        Free-form caveats (e.g. which shape claims were checked).
+    """
+
+    name: str
+    title: str
+    header: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[Any]:
+        """All cells of one named column."""
+        index = self.header.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Monospace rendering in the benchmark harness's table style."""
+        cells = [self.header] + [[_fmt(c) for c in row] for row in self.rows]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.header))]
+        lines = [f"== {self.title} =="]
+        lines.append(
+            " | ".join(h.rjust(w) for h, w in zip(cells[0], widths))
+        )
+        lines.append("-" * len(lines[-1]))
+        for row in cells[1:]:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def timed(fn: Callable, *args, **kwargs) -> Tuple[float, Any]:
+    """``(elapsed_seconds, result)`` of a single call."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def timed_best_of(rounds: int, fn: Callable, *args) -> Tuple[float, Any]:
+    """Best-of-``rounds`` wall time (used outside quick mode)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, rounds)):
+        elapsed, result = timed(fn, *args)
+        best = min(best, elapsed)
+    return best, result

@@ -1,0 +1,15 @@
+"""Executable hardness constructions (Theorem 3 / Appendix 9.1)."""
+
+from repro.hardness.maxleaf import max_leaf_spanning_tree
+from repro.hardness.reduction import (
+    max_leaf_to_mstw_graph,
+    mstw_weight_for_leaf_count,
+    spanning_tree_from_leaf_tree,
+)
+
+__all__ = [
+    "max_leaf_spanning_tree",
+    "max_leaf_to_mstw_graph",
+    "mstw_weight_for_leaf_count",
+    "spanning_tree_from_leaf_tree",
+]

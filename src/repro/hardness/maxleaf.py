@@ -1,0 +1,101 @@
+"""Brute-force maximum-leaf spanning trees of small undirected graphs.
+
+The NP-hardness of ``MST_w`` (Theorem 3) reduces from the maximum-leaf
+spanning tree problem.  To *test* the reduction end-to-end we need the
+true maximum leaf count of the source graphs; this exhaustive solver
+provides it for the small instances used in the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.static.mst import DisjointSet
+
+Label = Hashable
+UndirectedEdge = Tuple[Label, Label]
+
+#: Edge-subset enumeration cap (C(m, n-1) combinations).
+MAX_ENUMERATION = 5_000_000
+
+
+def _leaf_count(
+    vertices: Set[Label],
+    tree_edges: Sequence[UndirectedEdge],
+    root: Label = None,
+) -> int:
+    """Number of leaves; with ``root`` given, counts *rooted* leaves.
+
+    A rooted leaf is a childless vertex of the tree oriented away from
+    ``root`` -- i.e. a degree-1 vertex other than the root.  This is the
+    quantity the Theorem 3 correspondence uses (the root never has an
+    incoming temporal edge, so its static degree-1 status is irrelevant
+    to the tree weight).
+    """
+    degree: Dict[Label, int] = {v: 0 for v in vertices}
+    for u, v in tree_edges:
+        degree[u] += 1
+        degree[v] += 1
+    return sum(1 for v, d in degree.items() if d == 1 and v != root)
+
+
+def max_leaf_spanning_tree(
+    edges: Iterable[UndirectedEdge],
+    root: Label = None,
+) -> Tuple[int, List[UndirectedEdge]]:
+    """The spanning tree with the maximum number of leaves.
+
+    Parameters
+    ----------
+    edges:
+        Undirected ``(u, v)`` pairs of a connected graph.
+    root:
+        When given, leaves are counted in the *rooted* sense (childless
+        vertices, excluding the root) -- the quantity entering the
+        Theorem 3 weight correspondence ``2(n-1) - k``.
+
+    Returns
+    -------
+    ``(num_leaves, tree_edges)`` of an optimal spanning tree.
+
+    Raises
+    ------
+    ValueError
+        If the graph is disconnected or the enumeration is too large.
+    """
+    edge_list = list(dict.fromkeys(tuple(sorted(e, key=repr)) for e in edges))
+    vertices: Set[Label] = set()
+    for u, v in edge_list:
+        vertices.add(u)
+        vertices.add(v)
+    n = len(vertices)
+    if n < 2:
+        return (0, [])
+
+    best_leaves = -1
+    best_tree: List[UndirectedEdge] = []
+    count = 0
+    for subset in combinations(edge_list, n - 1):
+        count += 1
+        if count > MAX_ENUMERATION:
+            raise ValueError(
+                f"max-leaf enumeration exceeds {MAX_ENUMERATION} subsets"
+            )
+        dsu = DisjointSet()
+        for v in vertices:
+            dsu.add(v)
+        acyclic = True
+        for u, v in subset:
+            if not dsu.union(u, v):
+                acyclic = False
+                break
+        if not acyclic:
+            continue
+        leaves = _leaf_count(vertices, subset, root)
+        if leaves > best_leaves:
+            best_leaves = leaves
+            best_tree = list(subset)
+    if best_leaves < 0:
+        raise ValueError("input graph is disconnected; no spanning tree exists")
+    return best_leaves, best_tree

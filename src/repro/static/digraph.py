@@ -1,0 +1,136 @@
+"""A static weighted directed multigraph with integer-indexed vertices.
+
+The transformed graph of Section 4.2, the metric closure of Section 4.3,
+and every classical baseline operate on this structure.  Vertices may be
+arbitrary hashable labels (the transformation produces tuples such as
+``('virtual', v, i)``); internally they are mapped to dense indices so
+shortest-path kernels can use flat arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.errors import GraphFormatError
+
+Label = Hashable
+
+
+class StaticDigraph:
+    """A directed multigraph with non-negative edge weights.
+
+    Parallel edges are allowed (only the cheapest matters for shortest
+    paths, but the structure preserves all of them so baselines can see
+    the raw multigraph).
+    """
+
+    __slots__ = ("_labels", "_index", "_adjacency", "_in_adjacency", "_num_edges")
+
+    def __init__(self, vertices: Optional[Iterable[Label]] = None) -> None:
+        self._labels: List[Label] = []
+        self._index: Dict[Label, int] = {}
+        self._adjacency: List[List[Tuple[int, float]]] = []
+        self._in_adjacency: List[List[Tuple[int, float]]] = []
+        self._num_edges = 0
+        if vertices is not None:
+            for v in vertices:
+                self.add_vertex(v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: Label) -> int:
+        """Add (or look up) a vertex; returns its dense index."""
+        existing = self._index.get(label)
+        if existing is not None:
+            return existing
+        idx = len(self._labels)
+        self._labels.append(label)
+        self._index[label] = idx
+        self._adjacency.append([])
+        self._in_adjacency.append([])
+        return idx
+
+    def add_edge(self, source: Label, target: Label, weight: float) -> None:
+        """Add a directed edge; endpoints are created on demand."""
+        if weight < 0:
+            raise GraphFormatError(
+                f"negative weight {weight} on edge {source!r}->{target!r}"
+            )
+        u = self.add_vertex(source)
+        v = self.add_vertex(target)
+        self._adjacency[u].append((v, weight))
+        self._in_adjacency[v].append((u, weight))
+        self._num_edges += 1
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def labels(self) -> List[Label]:
+        """Vertex labels in index order."""
+        return list(self._labels)
+
+    def index_of(self, label: Label) -> int:
+        """Dense index of ``label`` (raises ``KeyError`` if absent)."""
+        return self._index[label]
+
+    def label_of(self, index: int) -> Label:
+        return self._labels[index]
+
+    def has_vertex(self, label: Label) -> bool:
+        return label in self._index
+
+    def out_neighbors(self, index: int) -> List[Tuple[int, float]]:
+        """Outgoing ``(target_index, weight)`` pairs of vertex ``index``."""
+        return self._adjacency[index]
+
+    def in_neighbors(self, index: int) -> List[Tuple[int, float]]:
+        """Incoming ``(source_index, weight)`` pairs of vertex ``index``."""
+        return self._in_adjacency[index]
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """All edges as ``(source_index, target_index, weight)``."""
+        for u, neighbors in enumerate(self._adjacency):
+            for v, w in neighbors:
+                yield (u, v, w)
+
+    def iter_labeled_edges(self) -> Iterator[Tuple[Label, Label, float]]:
+        """All edges with original labels."""
+        for u, v, w in self.iter_edges():
+            yield (self._labels[u], self._labels[v], w)
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticDigraph(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reversed(self) -> "StaticDigraph":
+        """The graph with every edge direction flipped."""
+        rev = StaticDigraph(self._labels)
+        for u, v, w in self.iter_edges():
+            rev.add_edge(self._labels[v], self._labels[u], w)
+        return rev
+
+    def simplified(self) -> "StaticDigraph":
+        """Parallel edges collapsed to the single cheapest edge."""
+        best: Dict[Tuple[int, int], float] = {}
+        for u, v, w in self.iter_edges():
+            key = (u, v)
+            if key not in best or w < best[key]:
+                best[key] = w
+        simple = StaticDigraph(self._labels)
+        for (u, v), w in best.items():
+            simple.add_edge(self._labels[u], self._labels[v], w)
+        return simple

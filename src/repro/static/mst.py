@@ -1,0 +1,105 @@
+"""Classical undirected MST algorithms (Kruskal, Prim).
+
+The paper's related-work section contrasts temporal MSTs with the
+classical greedy algorithms; they also power the hardness reduction
+tests (spanning trees of undirected static graphs) and the clustering
+example.  Input is an undirected graph given as ``(u, v, w)`` triples.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.errors import GraphFormatError
+
+Label = Hashable
+Edge = Tuple[Label, Label, float]
+
+
+class DisjointSet:
+    """Union-find with path compression and union by rank."""
+
+    __slots__ = ("_parent", "_rank")
+
+    def __init__(self) -> None:
+        self._parent: Dict[Label, Label] = {}
+        self._rank: Dict[Label, int] = {}
+
+    def add(self, item: Label) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item: Label) -> Label:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Label, b: Label) -> bool:
+        """Merge the sets of ``a`` and ``b``; False if already merged."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return True
+
+
+def kruskal_mst(edges: Iterable[Edge]) -> List[Edge]:
+    """Kruskal's algorithm: a minimum spanning forest of the input.
+
+    Returns the chosen edges; the forest spans every vertex mentioned by
+    an edge (one tree per connected component).
+    """
+    dsu = DisjointSet()
+    sorted_edges = sorted(edges, key=lambda e: e[2])
+    for u, v, _ in sorted_edges:
+        dsu.add(u)
+        dsu.add(v)
+    chosen: List[Edge] = []
+    for u, v, w in sorted_edges:
+        if dsu.union(u, v):
+            chosen.append((u, v, w))
+    return chosen
+
+
+def prim_mst(edges: Sequence[Edge], start: Label) -> List[Edge]:
+    """Prim's algorithm from ``start``; spans ``start``'s component.
+
+    Raises
+    ------
+    GraphFormatError
+        If ``start`` is not an endpoint of any edge.
+    """
+    adjacency: Dict[Label, List[Tuple[float, Label, Label]]] = {}
+    for u, v, w in edges:
+        adjacency.setdefault(u, []).append((w, u, v))
+        adjacency.setdefault(v, []).append((w, v, u))
+    if start not in adjacency:
+        raise GraphFormatError(f"start vertex {start!r} has no incident edge")
+    visited: Set[Label] = {start}
+    heap = list(adjacency[start])
+    heapq.heapify(heap)
+    chosen: List[Edge] = []
+    while heap:
+        w, u, v = heapq.heappop(heap)
+        if v in visited:
+            continue
+        visited.add(v)
+        chosen.append((u, v, w))
+        for item in adjacency[v]:
+            if item[2] not in visited:
+                heapq.heappush(heap, item)
+    return chosen
+
+
+def tree_weight(edges: Iterable[Edge]) -> float:
+    """Total weight of a set of ``(u, v, w)`` edges."""
+    return sum(w for _, _, w in edges)

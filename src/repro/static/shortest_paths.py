@@ -1,0 +1,80 @@
+"""Single-source shortest paths (Dijkstra) on :class:`StaticDigraph`.
+
+Used by the metric-closure construction of Section 4.3 and by the
+postprocessing step that expands closure edges back into graph paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.static.digraph import StaticDigraph
+
+
+def dijkstra(
+    graph: StaticDigraph,
+    source: int,
+    targets: Optional[Sequence[int]] = None,
+) -> Tuple[List[float], List[int]]:
+    """Shortest distances and predecessors from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        The digraph (non-negative weights enforced at construction).
+    source:
+        Dense vertex index of the source.
+    targets:
+        Optional set of indices; when given, the search stops early once
+        all of them are settled.
+
+    Returns
+    -------
+    (dist, pred):
+        ``dist[v]`` is the shortest distance (``inf`` when unreachable);
+        ``pred[v]`` is the predecessor index on a shortest path (``-1``
+        for the source and unreachable vertices).
+    """
+    n = graph.num_vertices
+    dist = [math.inf] * n
+    pred = [-1] * n
+    dist[source] = 0.0
+    remaining = set(targets) if targets is not None else None
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, w in graph.out_neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, pred
+
+
+def reconstruct_path(pred: Sequence[int], source: int, target: int) -> List[int]:
+    """The vertex index sequence of the tree path ``source -> target``.
+
+    Returns an empty list when ``target`` is unreachable.
+    """
+    if source == target:
+        return [source]
+    if pred[target] == -1:
+        return []
+    path = [target]
+    v = target
+    while v != source:
+        v = pred[v]
+        if v == -1:
+            return []
+        path.append(v)
+    path.reverse()
+    return path

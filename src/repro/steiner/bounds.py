@@ -1,0 +1,53 @@
+"""Cheap lower bounds for the directed Steiner tree optimum.
+
+Exact optima (``repro.steiner.exact``) stop scaling around 14
+terminals; these combinatorial lower bounds remain available at any
+size and let quality experiments sandwich an approximation:
+
+* :func:`max_shortest_path_bound` -- any solution contains a path to
+  the *furthest* terminal;
+* :func:`cheapest_inedge_bound` -- any solution buys, for every
+  terminal, at least its cheapest incoming edge (over non-terminal
+  sources this may double-count, so only the terminal in-edges are
+  summed);
+* :func:`combined_lower_bound` -- the max of the above.
+
+All bounds are valid for any covering subgraph, hence for the optimum.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.steiner.instance import PreparedInstance
+
+
+def max_shortest_path_bound(prepared: PreparedInstance) -> float:
+    """``max over terminals of dist(root, x)``."""
+    costs = prepared.closure.costs_from(prepared.root)
+    values = [float(costs[x]) for x in prepared.terminals]
+    return max(values) if values else 0.0
+
+
+def cheapest_inedge_bound(prepared: PreparedInstance) -> float:
+    """Sum over terminals of the cheapest incoming base-graph edge.
+
+    Every terminal needs at least one incoming edge in any covering
+    tree, and distinct terminals have distinct in-edges, so the sum is
+    a valid lower bound.
+    """
+    graph = prepared.instance.graph
+    total = 0.0
+    for x in prepared.terminals:
+        cheapest = math.inf
+        for _, w in graph.in_neighbors(x):
+            cheapest = min(cheapest, w)
+        if math.isinf(cheapest):
+            return math.inf  # uncoverable terminal
+        total += cheapest
+    return total
+
+
+def combined_lower_bound(prepared: PreparedInstance) -> float:
+    """The tighter of the two bounds."""
+    return max(max_shortest_path_bound(prepared), cheapest_inedge_bound(prepared))

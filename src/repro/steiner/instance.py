@@ -1,0 +1,180 @@
+"""Directed Steiner tree problem instances.
+
+A :class:`DSTInstance` is the user-facing problem statement (a digraph,
+a root, and terminals).  The solvers of Sections 4.3-4.5 operate on the
+*transitive closure* of the graph, so :func:`prepare_instance` performs
+that preprocessing once and yields a :class:`PreparedInstance` carrying
+the closure plus dense root/terminal indices.  The preparation time is
+exactly what the paper reports as ``Tprep`` in Table 4 (together with
+the temporal transformation, timed by the benchmark harness).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+from repro.core.errors import GraphFormatError, UnreachableRootError
+from repro.static.closure import MetricClosure, build_metric_closure
+from repro.static.digraph import StaticDigraph
+
+Label = Hashable
+
+
+@dataclass(frozen=True)
+class DSTInstance:
+    """A directed Steiner tree problem: graph, root, terminal set.
+
+    ``terminals`` must not contain the root (a root terminal is trivially
+    covered and the paper's formulation excludes it).
+    """
+
+    graph: StaticDigraph
+    root: Label
+    terminals: Tuple[Label, ...]
+
+    def __post_init__(self) -> None:
+        if not self.graph.has_vertex(self.root):
+            raise GraphFormatError(f"root {self.root!r} is not a graph vertex")
+        seen = set()
+        for t in self.terminals:
+            if not self.graph.has_vertex(t):
+                raise GraphFormatError(f"terminal {t!r} is not a graph vertex")
+            if t == self.root:
+                raise GraphFormatError("the root must not be listed as a terminal")
+            if t in seen:
+                raise GraphFormatError(f"duplicate terminal {t!r}")
+            seen.add(t)
+
+    @property
+    def num_terminals(self) -> int:
+        return len(self.terminals)
+
+
+class PreparedInstance:
+    """A DST instance together with its metric closure.
+
+    Attributes
+    ----------
+    closure:
+        The metric closure of the instance graph.
+    root:
+        Dense index of the root.
+    terminals:
+        Dense indices of the terminals, in the instance's order.
+    """
+
+    __slots__ = ("instance", "closure", "root", "terminals")
+
+    def __init__(
+        self,
+        instance: DSTInstance,
+        closure: MetricClosure,
+        root: int,
+        terminals: Tuple[int, ...],
+    ) -> None:
+        self.instance = instance
+        self.closure = closure
+        self.root = root
+        self.terminals = terminals
+
+    @property
+    def num_vertices(self) -> int:
+        return self.closure.num_vertices
+
+    @property
+    def num_terminals(self) -> int:
+        return len(self.terminals)
+
+    def cost(self, u: int, v: int) -> float:
+        """Closure edge cost (shortest-path distance) ``u -> v``."""
+        return self.closure.cost(u, v)
+
+
+def prepare_instance(
+    instance: DSTInstance,
+    require_reachable: bool = True,
+    closure_method: str = "auto",
+) -> PreparedInstance:
+    """Build the transitive closure and index the root/terminals.
+
+    Parameters
+    ----------
+    instance:
+        The problem statement.
+    require_reachable:
+        When True (default) every terminal must be reachable from the
+        root -- the precondition under which the greedy density
+        algorithms terminate with a covering tree.
+    closure_method:
+        ``"auto"`` (default) uses the vectorised DAG closure whenever
+        the graph is acyclic -- which the Section 4.2 transformation
+        guarantees for positive-duration temporal graphs -- and falls
+        back to one-Dijkstra-per-vertex otherwise; ``"dijkstra"`` and
+        ``"dag"`` force a specific method.
+
+    Raises
+    ------
+    UnreachableRootError
+        If ``require_reachable`` and some terminal is unreachable.
+    ValueError
+        For an unknown ``closure_method``, or ``"dag"`` on a cyclic
+        graph.
+    """
+    if closure_method == "auto":
+        from repro.static.dag import build_metric_closure_auto
+
+        closure = build_metric_closure_auto(instance.graph)
+    elif closure_method == "dag":
+        from repro.static.dag import build_metric_closure_dag
+
+        closure = build_metric_closure_dag(instance.graph)
+    elif closure_method == "dijkstra":
+        closure = build_metric_closure(instance.graph)
+    else:
+        raise ValueError(
+            f"unknown closure_method {closure_method!r}; "
+            "expected 'auto', 'dag', or 'dijkstra'"
+        )
+    root = instance.graph.index_of(instance.root)
+    terminals = tuple(instance.graph.index_of(t) for t in instance.terminals)
+    if require_reachable:
+        unreachable = [
+            instance.terminals[j]
+            for j, t in enumerate(terminals)
+            if not math.isfinite(closure.cost(root, t))
+        ]
+        if unreachable:
+            raise UnreachableRootError(
+                f"{len(unreachable)} terminals unreachable from root "
+                f"{instance.root!r}, e.g. {unreachable[0]!r}"
+            )
+    return PreparedInstance(instance, closure, root, terminals)
+
+
+def restrict_reachable(instance: DSTInstance) -> DSTInstance:
+    """Drop terminals unreachable from the root (general-window support)."""
+    closure = build_metric_closure(instance.graph)
+    root = instance.graph.index_of(instance.root)
+    kept = tuple(
+        t
+        for t in instance.terminals
+        if math.isfinite(closure.cost(root, instance.graph.index_of(t)))
+    )
+    return DSTInstance(instance.graph, instance.root, kept)
+
+
+def approximation_ratio(i: int, k: int) -> float:
+    """The paper's guarantee ``i^2 (i-1) k^(1/i)`` for ``i > 1`` levels.
+
+    For ``i == 1`` the algorithm returns shortest paths to every
+    terminal, a ``k``-approximation.
+    """
+    if i < 1:
+        raise ValueError(f"level number must be >= 1, got {i}")
+    if k < 1:
+        return 1.0
+    if i == 1:
+        return float(k)
+    return i * i * (i - 1) * (k ** (1.0 / i))

@@ -1,0 +1,147 @@
+"""Algorithm 6 -- density-based vertex-ordering pruning (``FinalA^i``).
+
+Identical output to Algorithm 4 (Theorem 9), but each w-iteration visits
+candidate vertices in ascending order of ``τ(v)`` -- the density their
+branch achieved in the *previous* w-iteration.  Because removing
+terminals from ``X`` can only worsen a branch's best density, the stale
+``τ(v)`` is a lower bound on the current density; once the scan reaches
+a vertex whose bound is no better than the current best, every
+remaining vertex can be skipped.  The paper reports more than an order
+of magnitude speedup from this pruning (our Table 5 bench reproduces
+the gap).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, List, Optional, Set
+
+from repro.steiner.improved import _base_greedy
+from repro.steiner.instance import PreparedInstance
+from repro.steiner.tree import ClosureTree
+
+
+def pruned_dst(
+    prepared: PreparedInstance,
+    level: int,
+    k: Optional[int] = None,
+) -> ClosureTree:
+    """Run ``FinalA^level(k, root, X)`` (Algorithm 6) on a prepared instance."""
+    if level < 1:
+        raise ValueError(f"level must be >= 1, got {level}")
+    terminals = frozenset(prepared.terminals)
+    if k is None:
+        k = len(terminals)
+    return _final_a(prepared, level, k, prepared.root, terminals)
+
+
+def _scan_vertices(
+    prepared: PreparedInstance,
+    i: int,
+    k: int,
+    r: int,
+    remaining: FrozenSet[int],
+    tau: List[float],
+    order: List[int],
+) -> ClosureTree:
+    """One pruned w-iteration: the best candidate branch ``T' ∪ (r, v)``.
+
+    ``tau`` holds each vertex's branch density from the previous
+    w-iteration (``-inf`` initially); ``order`` is re-sorted by ``tau``
+    before the scan so the early-break prunes all remaining vertices.
+    Both are updated in place.
+    """
+    order.sort(key=lambda v: tau[v])
+    best: Optional[ClosureTree] = None
+    best_density = math.inf
+    for v in order:
+        if best is not None and tau[v] >= best_density:
+            break
+        edge_cost = prepared.cost(r, v)
+        subtree = _final_b(prepared, i - 1, k, v, remaining, edge_cost)
+        candidate = subtree.with_edge(r, v, edge_cost)
+        density = candidate.density
+        tau[v] = density
+        if best is None or density < best_density:
+            best = candidate
+            best_density = density
+    assert best is not None
+    return best
+
+
+def _final_a(
+    prepared: PreparedInstance,
+    i: int,
+    k: int,
+    r: int,
+    terminals: FrozenSet[int],
+) -> ClosureTree:
+    """Algorithm 6's top level (Algorithm 4 with pruned vertex scans)."""
+    remaining: Set[int] = set(terminals)
+    k = min(k, len(remaining))
+    if i == 1:
+        return _base_greedy(prepared, k, r, remaining)
+
+    tree = ClosureTree.EMPTY
+    num_vertices = prepared.num_vertices
+    tau = [-math.inf] * num_vertices
+    order = list(range(num_vertices))
+    while k > 0:
+        best = _scan_vertices(
+            prepared, i, k, r, frozenset(remaining), tau, order
+        )
+        newly_covered = best.covered & remaining
+        if not newly_covered:  # pragma: no cover - defensive
+            break
+        tree = tree.merged(best)
+        k -= len(newly_covered)
+        remaining -= best.covered
+    return tree
+
+
+def _final_b(
+    prepared: PreparedInstance,
+    i: int,
+    k: int,
+    r: int,
+    terminals: FrozenSet[int],
+    incoming_cost: float,
+) -> ClosureTree:
+    """``FinalB^i``: Algorithm 5 with the same pruned vertex scan."""
+    remaining: Set[int] = set(terminals)
+    k = min(k, len(remaining))
+    best = ClosureTree.EMPTY
+    best_density = math.inf
+
+    if i == 1:
+        costs = prepared.closure.costs_from(r)
+        chosen = sorted(remaining, key=lambda x: (costs[x], x))[:k]
+        current = ClosureTree.EMPTY
+        for x in chosen:
+            leaf = ClosureTree(((r, x),), float(costs[x]), frozenset((x,)))
+            current = current.merged(leaf)
+            density = current.density_with_edge(incoming_cost)
+            if density < best_density:
+                best = current
+                best_density = density
+        return best
+
+    current = ClosureTree.EMPTY
+    num_vertices = prepared.num_vertices
+    tau = [-math.inf] * num_vertices
+    order = list(range(num_vertices))
+    while k > 0:
+        sub_best = _scan_vertices(
+            prepared, i, k, r, frozenset(remaining), tau, order
+        )
+        newly_covered = sub_best.covered & remaining
+        if not newly_covered:  # pragma: no cover - defensive
+            break
+        current = current.merged(sub_best)
+        k -= len(newly_covered)
+        remaining -= sub_best.covered
+        density = current.density_with_edge(incoming_cost)
+        if density < best_density:
+            best = current
+            best_density = density
+    return best

@@ -1,0 +1,44 @@
+"""Temporal-graph substrate: edges, graphs, windows, paths, statistics, I/O."""
+
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.index import TemporalEdgeIndex
+from repro.temporal.snapshots import Snapshot, activity_profile, iter_snapshots
+from repro.temporal.window import TimeWindow, extract_window, middle_tenth_window
+from repro.temporal.stats import GraphStatistics, compute_statistics
+from repro.temporal.metrics import (
+    broadcast_profile,
+    information_latency,
+    reachability_ratio,
+    temporal_closeness,
+)
+from repro.temporal.paths import (
+    earliest_arrival_times,
+    fastest_path_durations,
+    latest_departure_times,
+    reachable_set,
+    shortest_path_distances,
+)
+
+__all__ = [
+    "GraphStatistics",
+    "Snapshot",
+    "TemporalEdge",
+    "TemporalEdgeIndex",
+    "TemporalGraph",
+    "TimeWindow",
+    "activity_profile",
+    "broadcast_profile",
+    "compute_statistics",
+    "earliest_arrival_times",
+    "extract_window",
+    "fastest_path_durations",
+    "information_latency",
+    "iter_snapshots",
+    "latest_departure_times",
+    "middle_tenth_window",
+    "reachability_ratio",
+    "reachable_set",
+    "shortest_path_distances",
+    "temporal_closeness",
+]

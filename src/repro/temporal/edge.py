@@ -1,0 +1,59 @@
+"""Temporal edges.
+
+A temporal edge follows the paper's Section 2.1 definition
+``e = (u, v, t_u, t̂_v, w)``: a directed link from ``u`` to ``v`` that
+starts (departs) at time ``t_u``, arrives at time ``t̂_v >= t_u``, and
+carries a non-negative weight (cost) ``w``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, NamedTuple
+
+Vertex = Hashable
+
+
+class TemporalEdge(NamedTuple):
+    """A directed, timestamped, weighted edge of a temporal graph.
+
+    Attributes mirror the paper's accessors: ``source`` is ``s(e)``,
+    ``target`` is ``a(e)``, ``start`` is ``t_s(e)``, ``arrival`` is
+    ``t_a(e)``, and ``weight`` is ``w(e)``.
+    """
+
+    source: Vertex
+    target: Vertex
+    start: float
+    arrival: float
+    weight: float = 1.0
+
+    @property
+    def duration(self) -> float:
+        """Edge duration ``d(e) = t_a(e) - t_s(e)`` (non-negative)."""
+        return self.arrival - self.start
+
+    def is_valid(self) -> bool:
+        """Whether the edge satisfies ``t_a >= t_s`` and ``w >= 0``."""
+        return self.arrival >= self.start and self.weight >= 0
+
+    def within(self, t_alpha: float, t_omega: float) -> bool:
+        """Whether the edge lies entirely inside the window ``[t_alpha, t_omega]``."""
+        return self.start >= t_alpha and self.arrival <= t_omega
+
+    def reversed(self) -> "TemporalEdge":
+        """The edge with endpoints swapped (times and weight unchanged).
+
+        Used by the hardness reduction, which bidirects undirected
+        static edges.
+        """
+        return TemporalEdge(self.target, self.source, self.start, self.arrival, self.weight)
+
+    def static_key(self) -> tuple:
+        """The ``(source, target)`` pair identifying the static projection."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.source}->{self.target} "
+            f"<{self.start:g},{self.arrival:g}> [{self.weight:g}]"
+        )

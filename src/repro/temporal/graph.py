@@ -1,0 +1,279 @@
+"""The :class:`TemporalGraph` container and the paper's two input formats.
+
+The paper's algorithms consume temporal graphs in two layouts:
+
+* a **chronological edge list** -- all temporal edges sorted by
+  non-decreasing start time (Algorithm 1's raw-stream input), and
+* a **sorted adjacency edge list** -- per-vertex out-edge arrays sorted
+  by *non-increasing* start time (Algorithm 2's input).
+
+Both are produced lazily and cached; a graph is immutable once built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import GraphFormatError
+from repro.temporal.edge import TemporalEdge, Vertex
+
+
+class TemporalGraph:
+    """An immutable directed temporal multigraph ``G = (V, E)``.
+
+    Parameters
+    ----------
+    edges:
+        The temporal edges.  Duplicates (parallel edges with different
+        timestamps) are expected and preserved; the paper's ``pi``
+        statistic measures exactly that multiplicity.
+    vertices:
+        Optional extra vertices that carry no incident edge.  Endpoints
+        of ``edges`` are always included.
+
+    Raises
+    ------
+    GraphFormatError
+        If any edge arrives before it starts or has negative weight.
+    """
+
+    __slots__ = (
+        "_edges",
+        "_vertices",
+        "_chronological",
+        "_arrival_sorted",
+        "_adjacency_desc",
+        "_in_edges",
+        "_out_edges",
+    )
+
+    def __init__(
+        self,
+        edges: Iterable[TemporalEdge],
+        vertices: Optional[Iterable[Vertex]] = None,
+    ) -> None:
+        edge_list: List[TemporalEdge] = []
+        vertex_set: Set[Vertex] = set(vertices) if vertices is not None else set()
+        for edge in edges:
+            if not isinstance(edge, TemporalEdge):
+                edge = TemporalEdge(*edge)
+            if not edge.is_valid():
+                raise GraphFormatError(
+                    f"invalid temporal edge {edge!r}: requires arrival >= start "
+                    "and weight >= 0"
+                )
+            edge_list.append(edge)
+            vertex_set.add(edge.source)
+            vertex_set.add(edge.target)
+        self._edges: Tuple[TemporalEdge, ...] = tuple(edge_list)
+        self._vertices: frozenset = frozenset(vertex_set)
+        self._chronological: Optional[Tuple[TemporalEdge, ...]] = None
+        self._arrival_sorted: Optional[Tuple[TemporalEdge, ...]] = None
+        self._adjacency_desc: Optional[Dict[Vertex, List[TemporalEdge]]] = None
+        self._in_edges: Optional[Dict[Vertex, List[TemporalEdge]]] = None
+        self._out_edges: Optional[Dict[Vertex, List[TemporalEdge]]] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> Tuple[TemporalEdge, ...]:
+        """All temporal edges in insertion order."""
+        return self._edges
+
+    @property
+    def vertices(self) -> frozenset:
+        """The vertex set ``V`` (including isolated vertices)."""
+        return self._vertices
+
+    @property
+    def num_vertices(self) -> int:
+        """``n = |V|``."""
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """``M = |E|`` counting parallel temporal edges."""
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[TemporalEdge]:
+        return iter(self._edges)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TemporalGraph(n={self.num_vertices}, M={self.num_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # Input formats
+    # ------------------------------------------------------------------
+    def chronological_edges(self) -> Tuple[TemporalEdge, ...]:
+        """Edges sorted by non-decreasing start time (Algorithm 1 input)."""
+        if self._chronological is None:
+            self._chronological = tuple(
+                sorted(self._edges, key=lambda e: (e.start, e.arrival))
+            )
+        return self._chronological
+
+    def arrival_sorted_edges(self) -> Tuple[TemporalEdge, ...]:
+        """Edges sorted by non-decreasing arrival time.
+
+        Section 3 notes Algorithm 1 is also correct under this ordering
+        (for non-zero durations); exposed so tests can exercise that
+        claim.
+        """
+        if self._arrival_sorted is None:
+            self._arrival_sorted = tuple(
+                sorted(self._edges, key=lambda e: (e.arrival, e.start))
+            )
+        return self._arrival_sorted
+
+    def sorted_adjacency(self) -> Dict[Vertex, List[TemporalEdge]]:
+        """Out-edges per vertex sorted by non-increasing start time.
+
+        This is the paper's "sorted adjacency edge list" format consumed
+        by Algorithm 2.  Every vertex of ``V`` is present as a key (with
+        an empty list when it has no out-edge).
+        """
+        if self._adjacency_desc is None:
+            adjacency: Dict[Vertex, List[TemporalEdge]] = {
+                v: [] for v in self._vertices
+            }
+            for edge in self._edges:
+                adjacency[edge.source].append(edge)
+            for out_list in adjacency.values():
+                out_list.sort(key=lambda e: -e.start)
+            self._adjacency_desc = adjacency
+        return self._adjacency_desc
+
+    def out_edges(self, vertex: Vertex) -> List[TemporalEdge]:
+        """``N_o(u)``: the out temporal edges incident to ``vertex``."""
+        if self._out_edges is None:
+            grouped: Dict[Vertex, List[TemporalEdge]] = {v: [] for v in self._vertices}
+            for edge in self._edges:
+                grouped[edge.source].append(edge)
+            self._out_edges = grouped
+        return self._out_edges.get(vertex, [])
+
+    def in_edges(self, vertex: Vertex) -> List[TemporalEdge]:
+        """``N_i(v)``: the in temporal edges incident to ``vertex``."""
+        if self._in_edges is None:
+            grouped: Dict[Vertex, List[TemporalEdge]] = {v: [] for v in self._vertices}
+            for edge in self._edges:
+                grouped[edge.target].append(edge)
+            self._in_edges = grouped
+        return self._in_edges.get(vertex, [])
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def static_edges(self) -> Dict[Tuple[Vertex, Vertex], float]:
+        """The static projection ``G_S``: distinct ``(u, v)`` pairs.
+
+        The returned mapping carries, for each static edge, the minimum
+        weight over its parallel temporal edges (a natural choice when a
+        single static weight is needed; the paper only uses ``|E_S|``).
+        """
+        static: Dict[Tuple[Vertex, Vertex], float] = {}
+        for edge in self._edges:
+            key = edge.static_key()
+            if key not in static or edge.weight < static[key]:
+                static[key] = edge.weight
+        return static
+
+    def restricted(self, t_alpha: float, t_omega: float) -> "TemporalGraph":
+        """The subgraph ``G[t_alpha, t_omega]`` of edges within the window.
+
+        Only edges with ``start >= t_alpha`` and ``arrival <= t_omega``
+        survive; vertices are recomputed from the surviving edges (the
+        paper's G' extraction in Section 5.1).
+        """
+        return TemporalGraph(
+            edge for edge in self._edges if edge.within(t_alpha, t_omega)
+        )
+
+    def with_durations(self, duration: float) -> "TemporalGraph":
+        """A copy with every edge duration forced to ``duration``.
+
+        The paper's Table 2 experiment sets all durations to 1 (as in
+        Wu et al. [27]); Table 3 sets them to 0.  Arrival times become
+        ``start + duration``.
+        """
+        if duration < 0:
+            raise GraphFormatError("duration must be non-negative")
+        return TemporalGraph(
+            TemporalEdge(e.source, e.target, e.start, e.start + duration, e.weight)
+            for e in self._edges
+        )
+
+    def with_weights(self, weights: Dict[Tuple[Vertex, Vertex], float]) -> "TemporalGraph":
+        """A copy whose edge weights come from a static ``(u, v) -> w`` map.
+
+        Used by the weight-cascade assignment of Section 5.1, where the
+        weight depends only on the static endpoints.
+        """
+        missing = {
+            e.static_key() for e in self._edges if e.static_key() not in weights
+        }
+        if missing:
+            raise GraphFormatError(
+                f"weight map missing {len(missing)} static edges, e.g. "
+                f"{next(iter(missing))!r}"
+            )
+        return TemporalGraph(
+            TemporalEdge(e.source, e.target, e.start, e.arrival, weights[e.static_key()])
+            for e in self._edges
+        )
+
+    # ------------------------------------------------------------------
+    # Time span helpers
+    # ------------------------------------------------------------------
+    def time_span(self) -> Tuple[float, float]:
+        """``[t_A, t_Omega]``: the smallest window containing every edge.
+
+        Raises
+        ------
+        GraphFormatError
+            If the graph has no edges.
+        """
+        if not self._edges:
+            raise GraphFormatError("time_span of an empty temporal graph")
+        t_a = min(e.start for e in self._edges)
+        t_omega = max(e.arrival for e in self._edges)
+        return t_a, t_omega
+
+    def has_zero_duration_edge(self) -> bool:
+        """Whether any edge has ``t_s(e) == t_a(e)``."""
+        return any(e.duration == 0 for e in self._edges)
+
+    def distinct_time_instances(self) -> int:
+        """``|Gamma_G|``: the number of distinct timestamps in the graph."""
+        instants: Set[float] = set()
+        for edge in self._edges:
+            instants.add(edge.start)
+            instants.add(edge.arrival)
+        return len(instants)
+
+
+def from_quintuples(
+    rows: Sequence[Tuple],
+    vertices: Optional[Iterable[Vertex]] = None,
+) -> TemporalGraph:
+    """Build a :class:`TemporalGraph` from raw ``(u, v, t_u, t̂_v[, w])`` rows."""
+    edges = []
+    for row in rows:
+        if len(row) == 4:
+            edges.append(TemporalEdge(row[0], row[1], row[2], row[3], 1.0))
+        elif len(row) == 5:
+            edges.append(TemporalEdge(*row))
+        else:
+            raise GraphFormatError(
+                f"expected 4- or 5-tuples, got row of length {len(row)}: {row!r}"
+            )
+    return TemporalGraph(edges, vertices=vertices)

@@ -1,0 +1,137 @@
+"""Temporal centrality and latency metrics built on foremost paths.
+
+The paper's related work (Kossinets et al. [21]) studies *information
+latency* -- how out-of-date each vertex's view of another can be.  The
+metrics here package the library's earliest-arrival machinery into the
+standard temporal analogues used in that literature:
+
+* :func:`information_latency` -- per-target delay ``Ã(v) − t_alpha``
+  from a source;
+* :func:`temporal_closeness` -- closeness centrality under foremost
+  delays;
+* :func:`reachability_ratio` -- fraction of the network a vertex can
+  inform;
+* :func:`broadcast_profile` -- the cumulative "how many informed by
+  time t" curve of a spanning tree, i.e. the dissemination S-curve.
+
+All metrics accept the same ``window`` convention as the MST solvers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.temporal.edge import Vertex
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.paths import earliest_arrival_times
+from repro.temporal.window import TimeWindow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.spanning_tree import TemporalSpanningTree
+
+
+def information_latency(
+    graph: TemporalGraph,
+    source: Vertex,
+    window: Optional[TimeWindow] = None,
+) -> Dict[Vertex, float]:
+    """Delay until each reachable vertex first hears from ``source``.
+
+    ``latency(v) = Ã(v) − t_alpha``; the source itself has latency 0.
+    Unreachable vertices are absent.
+    """
+    if window is None:
+        window = TimeWindow.unbounded()
+    arrivals = earliest_arrival_times(graph, source, window)
+    return {v: t - window.t_alpha for v, t in arrivals.items()}
+
+
+def temporal_closeness(
+    graph: TemporalGraph,
+    source: Vertex,
+    window: Optional[TimeWindow] = None,
+) -> float:
+    """Harmonic closeness under foremost-path delays.
+
+    ``(1 / (n − 1)) * sum over reachable v != source of 1 / latency(v)``.
+    Zero-latency targets (instantaneous contact chains) are clamped to
+    the smallest positive latency observed (or 1 when every latency is
+    zero) so the harmonic sum stays finite.
+    """
+    latencies = information_latency(graph, source, window)
+    others = [t for v, t in latencies.items() if v != source]
+    if not others or graph.num_vertices < 2:
+        return 0.0
+    positive = [t for t in others if t > 0]
+    clamp = min(positive) if positive else 1.0
+    total = sum(1.0 / max(t, clamp) for t in others)
+    return total / (graph.num_vertices - 1)
+
+
+def reachability_ratio(
+    graph: TemporalGraph,
+    source: Vertex,
+    window: Optional[TimeWindow] = None,
+) -> float:
+    """``|V_r| / (n − 1)``: the share of other vertices the source reaches."""
+    if graph.num_vertices < 2:
+        return 0.0
+    latencies = information_latency(graph, source, window)
+    reached = len([v for v in latencies if v != source])
+    return reached / (graph.num_vertices - 1)
+
+
+def most_influential_roots(
+    graph: TemporalGraph,
+    window: Optional[TimeWindow] = None,
+    top: int = 5,
+) -> List[Tuple[Vertex, int]]:
+    """Vertices ranked by how many others they reach (ties by label).
+
+    A brute-force sweep -- one earliest-arrival pass per vertex -- that
+    serves both as a library feature (root selection for dissemination
+    campaigns) and as the workload of the root-choice examples.
+    """
+    scores = []
+    for vertex in graph.vertices:
+        latencies = information_latency(graph, vertex, window)
+        scores.append((vertex, len(latencies) - 1))
+    scores.sort(key=lambda item: (-item[1], repr(item[0])))
+    return scores[:top]
+
+
+def broadcast_profile(tree: "TemporalSpanningTree") -> List[Tuple[float, int]]:
+    """The dissemination S-curve of a spanning tree.
+
+    Returns ``(time, informed_count)`` breakpoints: how many vertices
+    (root included) have been informed by each arrival time in the
+    tree, sorted by time.  The last count equals ``|V_r|``.
+    """
+    arrivals = sorted(tree.arrival_times.values())
+    profile: List[Tuple[float, int]] = []
+    for i, t in enumerate(arrivals, start=1):
+        if profile and profile[-1][0] == t:
+            profile[-1] = (t, i)
+        else:
+            profile.append((t, i))
+    return profile
+
+
+def broadcast_makespan(tree: "TemporalSpanningTree") -> float:
+    """Alias for the tree's maximum arrival time (broadcast completion)."""
+    return tree.max_arrival_time
+
+
+def average_latency(tree: "TemporalSpanningTree") -> float:
+    """Mean delay of the non-root vertices in a spanning tree."""
+    delays = [
+        t - tree.window.t_alpha
+        for v, t in tree.arrival_times.items()
+        if v != tree.root
+    ]
+    if not delays:
+        return math.nan
+    return sum(delays) / len(delays)

@@ -1,0 +1,87 @@
+"""Dataset statistics in the shape of the paper's Table 1.
+
+For a temporal graph ``G = (V, E)`` with static projection
+``G_S = (V, E_S)`` the table reports:
+
+* ``n = |V|`` and ``M = |E|`` (temporal edges, counting parallels),
+* ``m = |E_S|`` (distinct ordered vertex pairs),
+* ``deg`` -- the maximum temporal degree (in + out temporal edges),
+* ``deg_s`` -- the maximum static degree (in + out static edges),
+* ``pi`` -- the maximum number of parallel temporal edges between any
+  ordered pair ``(u, v)``,
+* ``Gamma_G`` -- the number of distinct time instances in the graph.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.temporal.edge import Vertex
+from repro.temporal.graph import TemporalGraph
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """The Table 1 row for one dataset."""
+
+    num_vertices: int
+    num_temporal_edges: int
+    num_static_edges: int
+    max_temporal_degree: int
+    max_static_degree: int
+    max_multiplicity: int
+    distinct_time_instances: int
+
+    def as_row(self, name: str = "") -> str:
+        """A formatted table row matching the paper's column order."""
+        cells = [
+            name,
+            str(self.num_vertices),
+            str(self.num_temporal_edges),
+            str(self.num_static_edges),
+            str(self.max_temporal_degree),
+            str(self.max_static_degree),
+            str(self.max_multiplicity),
+            str(self.distinct_time_instances),
+        ]
+        return " | ".join(f"{c:>10}" for c in cells)
+
+    @staticmethod
+    def header() -> str:
+        cells = ["dataset", "|V|", "|E|", "|E_s|", "deg", "deg_s", "pi", "|Gamma_G|"]
+        return " | ".join(f"{c:>10}" for c in cells)
+
+
+def compute_statistics(graph: TemporalGraph) -> GraphStatistics:
+    """Compute the Table 1 statistics of ``graph`` in a single pass."""
+    pair_multiplicity: Counter = Counter()
+    temporal_degree: Counter = Counter()
+    for edge in graph.edges:
+        pair_multiplicity[edge.static_key()] += 1
+        temporal_degree[edge.source] += 1
+        temporal_degree[edge.target] += 1
+
+    static_degree: Counter = Counter()
+    for (u, v) in pair_multiplicity:
+        static_degree[u] += 1
+        static_degree[v] += 1
+
+    return GraphStatistics(
+        num_vertices=graph.num_vertices,
+        num_temporal_edges=graph.num_edges,
+        num_static_edges=len(pair_multiplicity),
+        max_temporal_degree=max(temporal_degree.values(), default=0),
+        max_static_degree=max(static_degree.values(), default=0),
+        max_multiplicity=max(pair_multiplicity.values(), default=0),
+        distinct_time_instances=graph.distinct_time_instances(),
+    )
+
+
+def multiplicity_map(graph: TemporalGraph) -> Dict[Tuple[Vertex, Vertex], int]:
+    """Parallel-edge count per ordered static pair (the ``pi`` profile)."""
+    counts: Counter = Counter()
+    for edge in graph.edges:
+        counts[edge.static_key()] += 1
+    return dict(counts)

@@ -1,0 +1,55 @@
+"""Shared fixtures: paper example graphs and random-graph helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.paper_examples import figure1_graph, figure3_graph
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+
+
+@pytest.fixture
+def figure1():
+    """The paper's running example (Figures 1/2/4-7)."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def figure3():
+    """The zero-duration graph G_0 of Figure 3 / Example 4."""
+    return figure3_graph()
+
+
+@pytest.fixture
+def tiny_line():
+    """0 -> 1 -> 2 with compatible times."""
+    return TemporalGraph(
+        [
+            TemporalEdge(0, 1, 1, 2, 5),
+            TemporalEdge(1, 2, 3, 4, 7),
+        ]
+    )
+
+
+def random_temporal(
+    seed: int,
+    n: int = 12,
+    m: int = 40,
+    zero_duration: bool = False,
+) -> TemporalGraph:
+    """A small random temporal multigraph for cross-checking algorithms."""
+    rng = random.Random(seed)
+    edges = []
+    for _ in range(m):
+        u = rng.randrange(n)
+        v = rng.randrange(n - 1)
+        if v >= u:
+            v += 1
+        start = rng.randint(0, 30)
+        duration = 0 if zero_duration else rng.randint(1, 5)
+        weight = rng.randint(1, 9)
+        edges.append(TemporalEdge(u, v, start, start + duration, weight))
+    return TemporalGraph(edges, vertices=range(n))

@@ -1,0 +1,70 @@
+"""Tests for the Bhadra-Ferreira modified Prim-Dijkstra baseline."""
+
+import pytest
+
+from repro.baselines.bhadra import bhadra_msta, _StaticEdgeGroup
+from repro.core.errors import UnreachableRootError
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.paths import earliest_arrival_times
+from repro.temporal.window import TimeWindow
+
+from tests.conftest import random_temporal
+
+
+class TestStaticEdgeGroup:
+    def test_suffix_minimum(self):
+        # starts 1, 3, 5 with arrivals 9, 4, 6
+        edges = [
+            TemporalEdge(0, 1, 1, 9, 1),
+            TemporalEdge(0, 1, 3, 4, 1),
+            TemporalEdge(0, 1, 5, 6, 1),
+        ]
+        group = _StaticEdgeGroup(edges)
+        assert group.earliest_from(0).arrival == 4
+        assert group.earliest_from(4).arrival == 6
+        assert group.earliest_from(6) is None
+
+    def test_exact_start_included(self):
+        group = _StaticEdgeGroup([TemporalEdge(0, 1, 3, 4, 1)])
+        assert group.earliest_from(3) is not None
+
+    def test_unsorted_input_handled(self):
+        edges = [
+            TemporalEdge(0, 1, 5, 6, 1),
+            TemporalEdge(0, 1, 1, 2, 1),
+        ]
+        group = _StaticEdgeGroup(edges)
+        assert group.earliest_from(0).arrival == 2
+
+
+class TestBhadra:
+    def test_figure1(self, figure1):
+        tree = bhadra_msta(figure1, 0)
+        assert tree.arrival_times == {0: 0.0, 1: 3, 2: 5, 3: 6, 4: 8, 5: 8}
+
+    def test_zero_durations(self, figure3):
+        tree = bhadra_msta(figure3, 0)
+        assert tree.arrival_times == {0: 0.0, 1: 1, 4: 3, 3: 4, 2: 4}
+
+    def test_window(self, figure1):
+        tree = bhadra_msta(figure1, 0, TimeWindow(0, 6))
+        assert tree.vertices == {0, 1, 2, 3}
+
+    def test_tree_validates(self, figure1):
+        bhadra_msta(figure1, 0).validate(figure1)
+
+    def test_unknown_root(self, figure1):
+        with pytest.raises(UnreachableRootError):
+            bhadra_msta(figure1, -5)
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("zero", [False, True])
+    def test_agrees_with_oracle(self, seed, zero):
+        g = random_temporal(seed, n=14, m=70, zero_duration=zero)
+        assert bhadra_msta(g, 0).arrival_times == earliest_arrival_times(g, 0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_windowed_agreement(self, seed):
+        g = random_temporal(seed, n=12, m=50)
+        w = TimeWindow(4, 22)
+        assert bhadra_msta(g, 0, w).arrival_times == earliest_arrival_times(g, 0, w)

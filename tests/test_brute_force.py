@@ -1,0 +1,79 @@
+"""Tests for the brute-force oracles themselves."""
+
+import math
+
+import pytest
+
+from repro.baselines.brute_force import (
+    brute_force_earliest_arrival,
+    brute_force_mstw_weight,
+)
+from repro.core.errors import ReproError
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+
+class TestEarliestArrival:
+    def test_figure1(self, figure1):
+        arrivals = brute_force_earliest_arrival(figure1, 0)
+        assert arrivals == {0: 0.0, 1: 3, 2: 5, 3: 6, 4: 8, 5: 8}
+
+    def test_zero_duration(self, figure3):
+        arrivals = brute_force_earliest_arrival(figure3, 0)
+        assert arrivals[2] == 4
+
+    def test_window(self, figure1):
+        arrivals = brute_force_earliest_arrival(figure1, 0, TimeWindow(0, 6))
+        assert set(arrivals) == {0, 1, 2, 3}
+
+
+class TestMSTwWeight:
+    def test_figure1_is_11(self, figure1):
+        assert brute_force_mstw_weight(figure1, 0) == 11.0
+
+    def test_single_vertex(self):
+        g = TemporalGraph([], vertices=[0])
+        assert brute_force_mstw_weight(g, 0) == 0.0
+
+    def test_line_graph(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 1, 3), TemporalEdge(1, 2, 2, 3, 4)]
+        )
+        assert brute_force_mstw_weight(g, 0) == 7.0
+
+    def test_cheaper_but_infeasible_edge_ignored(self):
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 1, 5, 6, 10),
+                TemporalEdge(0, 2, 0, 1, 1),
+                TemporalEdge(2, 1, 0, 1, 1),  # departs before 2 is reached? no: 2 reached at 1, edge starts 0
+            ]
+        )
+        # 2 is reached at time 1; the edge 2->1 departs at 0 < 1, so the
+        # only way to cover 1 is the weight-10 direct edge.
+        assert brute_force_mstw_weight(g, 0) == 11.0
+
+    def test_parallel_cheap_late_edge_preferred(self):
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 1, 0, 1, 9),
+                TemporalEdge(0, 1, 5, 6, 2),
+            ]
+        )
+        assert brute_force_mstw_weight(g, 0) == 2.0
+
+    def test_window_excludes_targets(self, figure1):
+        w = TimeWindow(0, 6)
+        weight = brute_force_mstw_weight(figure1, 0, w)
+        # covers {1,2,3} only: edges (0,1,1,3,2), (0,2,3,6,3), (1,3,4,6,2)
+        assert weight == 7.0
+
+    def test_combination_cap(self):
+        edges = []
+        for v in range(1, 8):
+            for t in range(10):
+                edges.append(TemporalEdge(0, v, t, t + 1, 1))
+        g = TemporalGraph(edges)
+        with pytest.raises(ReproError):
+            brute_force_mstw_weight(g, 0)

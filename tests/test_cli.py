@@ -1,0 +1,179 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.paper_examples import figure1_graph
+from repro.temporal import io as tio
+
+
+@pytest.fixture
+def fig1_file(tmp_path):
+    path = tmp_path / "fig1.txt"
+    tio.write_native(figure1_graph(), path)
+    return str(path)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestStats:
+    def test_row_printed(self, capsys, fig1_file):
+        code, out, _ = run_cli(capsys, "stats", fig1_file, "--name", "fig1")
+        assert code == 0
+        assert "fig1" in out
+        assert "10" in out  # M
+
+    def test_konect_format(self, capsys, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("1 2 1 100\n2 3 1 200\n")
+        code, out, _ = run_cli(
+            capsys, "stats", str(path), "--format", "konect", "--duration", "1"
+        )
+        assert code == 0
+
+
+class TestMsta:
+    def test_arrivals(self, capsys, fig1_file):
+        code, out, _ = run_cli(capsys, "msta", fig1_file, "--root", "0")
+        assert code == 0
+        lines = [l for l in out.splitlines() if not l.startswith("#")]
+        # columns: vertex parent start arrival weight
+        arrivals = {l.split()[0]: float(l.split()[3]) for l in lines}
+        assert arrivals == {"1": 3, "2": 5, "3": 6, "4": 8, "5": 8}
+
+    def test_window_flags(self, capsys, fig1_file):
+        code, out, _ = run_cli(
+            capsys, "msta", fig1_file, "--root", "0", "--t-omega", "6"
+        )
+        lines = [l for l in out.splitlines() if not l.startswith("#")]
+        assert len(lines) == 3  # only vertices 1, 2, 3
+
+    def test_explicit_algorithm(self, capsys, fig1_file):
+        code, out, _ = run_cli(
+            capsys, "msta", fig1_file, "--root", "0", "--algorithm", "stack"
+        )
+        assert code == 0
+
+    def test_bad_root_reports_error(self, capsys, fig1_file):
+        code, _, err = run_cli(capsys, "msta", fig1_file, "--root", "99")
+        assert code == 2
+        assert "error" in err
+
+
+class TestMstw:
+    def test_weight_11(self, capsys, fig1_file):
+        code, out, _ = run_cli(
+            capsys, "mstw", fig1_file, "--root", "0", "--level", "3"
+        )
+        assert code == 0
+        assert "weight 11" in out
+
+    def test_charikar_choice(self, capsys, fig1_file):
+        code, out, _ = run_cli(
+            capsys,
+            "mstw",
+            fig1_file,
+            "--root",
+            "0",
+            "--algorithm",
+            "charikar",
+            "--level",
+            "2",
+        )
+        assert code == 0
+        assert "weight 11" in out
+
+
+class TestSteiner:
+    def test_single_target(self, capsys, fig1_file):
+        code, out, _ = run_cli(
+            capsys,
+            "steiner",
+            fig1_file,
+            "--root",
+            "0",
+            "--terminals",
+            "3",
+            "--level",
+            "3",
+        )
+        assert code == 0
+        assert "weight 4" in out
+        assert "steiner relays 1" in out
+
+    def test_unreachable_flag(self, capsys, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0 1 1\n2 1 0 1 1\n")
+        code, out, _ = run_cli(
+            capsys,
+            "steiner",
+            str(path),
+            "--root",
+            "0",
+            "--terminals",
+            "1,2",
+            "--allow-unreachable",
+        )
+        assert code == 0
+        assert "unreachable 1" in out
+
+
+class TestOutputFormats:
+    def test_json_output_round_trips(self, capsys, fig1_file):
+        from repro.core.export import tree_from_json
+
+        code, out, _ = run_cli(
+            capsys, "msta", fig1_file, "--root", "0", "--output", "json"
+        )
+        assert code == 0
+        tree = tree_from_json(out)
+        assert tree.root == 0
+        assert tree.arrival_times[5] == 8
+
+    def test_dot_output(self, capsys, fig1_file):
+        code, out, _ = run_cli(
+            capsys, "mstw", fig1_file, "--root", "0", "--output", "dot"
+        )
+        assert code == 0
+        assert out.startswith("digraph")
+        assert out.count("->") == 5
+
+    def test_steiner_json(self, capsys, fig1_file):
+        code, out, _ = run_cli(
+            capsys,
+            "steiner",
+            fig1_file,
+            "--root",
+            "0",
+            "--terminals",
+            "3",
+            "--output",
+            "json",
+        )
+        assert code == 0
+        assert '"temporal-mst/spanning-tree"' in out
+
+
+class TestGenerate:
+    def test_round_trip_via_stdout(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "generate", "slashdot", "--scale", "0.05"
+        )
+        assert code == 0
+        graph = tio.read_native(io.StringIO(out))
+        assert graph.num_edges > 0
+
+    def test_to_file(self, capsys, tmp_path):
+        path = tmp_path / "out.txt"
+        code, _, err = run_cli(
+            capsys, "generate", "phone", "--scale", "0.05", "--out", str(path)
+        )
+        assert code == 0
+        assert "wrote" in err
+        assert path.exists()

@@ -1,0 +1,84 @@
+"""CLI failure-path tests: bad files, bad arguments, graceful errors."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_msta_requires_root(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0 1 1\n")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["msta", str(path)])
+
+    def test_output_choices_validated(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["msta", "g.txt", "--root", "0", "--output", "xml"]
+            )
+
+    def test_generate_dataset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "orkut"])
+
+
+class TestRuntimeErrors:
+    def test_missing_file(self, capsys):
+        with pytest.raises(FileNotFoundError):
+            main(["stats", "/nonexistent/file.txt"])
+
+    def test_malformed_native_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3\n")
+        code = main(["stats", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error" in err
+
+    def test_mstw_on_isolated_root(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2 0 1 1\n")
+        code = main(["mstw", str(path), "--root", "9", "--level", "1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_steiner_unreachable_without_flag(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0 1 1\n2 1 0 1 1\n")
+        code = main(["steiner", str(path), "--root", "0", "--terminals", "2"])
+        assert code == 2
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_negative_window_rejected(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0 1 1\n")
+        with pytest.raises(ValueError):
+            main(
+                [
+                    "msta",
+                    str(path),
+                    "--root",
+                    "0",
+                    "--t-alpha",
+                    "9",
+                    "--t-omega",
+                    "3",
+                ]
+            )
+
+    def test_string_roots_parse(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("alice bob 0 1 1\n")
+        code = main(["msta", str(path), "--root", "alice"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bob" in out

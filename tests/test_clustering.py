@@ -1,0 +1,102 @@
+"""Tests for MST-based temporal clustering."""
+
+import pytest
+
+from repro.core.clustering import cluster_by_delay, cluster_by_weight, cluster_tree
+from repro.core.errors import ReproError
+from repro.core.msta import minimum_spanning_tree_a
+from repro.core.mstw import minimum_spanning_tree_w
+from repro.core.spanning_tree import TemporalSpanningTree
+from repro.temporal.edge import TemporalEdge
+
+from tests.conftest import random_temporal
+
+
+def two_community_tree():
+    """root -> {a1, a2} cheap, root -> b1 expensive -> {b2} cheap."""
+    return TemporalSpanningTree(
+        "r",
+        {
+            "a1": TemporalEdge("r", "a1", 0, 1, 1),
+            "a2": TemporalEdge("a1", "a2", 1, 2, 1),
+            "b1": TemporalEdge("r", "b1", 0, 1, 50),
+            "b2": TemporalEdge("b1", "b2", 2, 3, 1),
+        },
+    )
+
+
+class TestClusterByWeight:
+    def test_single_cluster_is_everything(self):
+        tree = two_community_tree()
+        clusters = cluster_by_weight(tree, 1)
+        assert clusters == [tree.vertices]
+
+    def test_two_clusters_cut_expensive_edge(self):
+        clusters = cluster_by_weight(two_community_tree(), 2)
+        assert {"r", "a1", "a2"} in clusters
+        assert {"b1", "b2"} in clusters
+
+    def test_max_clusters_singletons(self):
+        tree = two_community_tree()
+        clusters = cluster_by_weight(tree, 5)
+        assert all(len(c) == 1 for c in clusters)
+        assert len(clusters) == 5
+
+    def test_partition_property(self, figure1):
+        tree = minimum_spanning_tree_w(figure1, 0, level=2).tree
+        for k in (1, 2, 3):
+            clusters = cluster_by_weight(tree, k)
+            assert len(clusters) == k
+            union = set().union(*clusters)
+            assert union == tree.vertices
+            total = sum(len(c) for c in clusters)
+            assert total == len(tree.vertices)  # disjoint
+
+    def test_invalid_counts(self):
+        tree = two_community_tree()
+        with pytest.raises(ReproError):
+            cluster_by_weight(tree, 0)
+        with pytest.raises(ReproError):
+            cluster_by_weight(tree, 6)
+
+
+class TestClusterByDelay:
+    def test_waves_separate(self):
+        # a reached immediately; b's hop waits until time 100
+        tree = TemporalSpanningTree(
+            "r",
+            {
+                "a": TemporalEdge("r", "a", 0, 1, 1),
+                "b": TemporalEdge("a", "b", 100, 101, 1),
+            },
+        )
+        clusters = cluster_by_delay(tree, 2)
+        assert {"r", "a"} in clusters
+        assert {"b"} in clusters
+
+    def test_msta_clustering_runs(self, figure1):
+        tree = minimum_spanning_tree_a(figure1, 0)
+        clusters = cluster_by_delay(tree, 3)
+        assert len(clusters) == 3
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_trees_partition(self, seed):
+        g = random_temporal(seed, n=12, m=50)
+        tree = minimum_spanning_tree_a(g, 0)
+        k = min(3, len(tree.vertices))
+        clusters = cluster_by_delay(tree, k)
+        assert sum(len(c) for c in clusters) == len(tree.vertices)
+
+
+class TestClusterTreeGeneric:
+    def test_custom_key(self):
+        tree = two_community_tree()
+        # cut by arrival time: latest edge (into b2) splits off {b2}
+        clusters = cluster_tree(tree, 2, key=lambda e: e.arrival)
+        assert {"b2"} in clusters
+
+    def test_sorted_by_size(self, figure1):
+        tree = minimum_spanning_tree_a(figure1, 0)
+        clusters = cluster_by_weight(tree, 3)
+        sizes = [len(c) for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)

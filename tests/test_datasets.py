@@ -1,0 +1,128 @@
+"""Tests for the synthetic dataset registry and weight models."""
+
+import math
+
+import pytest
+
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.datasets.weights import apply_weight_cascade, weight_cascade_weights
+from repro.temporal.stats import compute_statistics
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.edge import TemporalEdge
+
+
+class TestRegistry:
+    def test_all_seven_paper_datasets_present(self):
+        assert set(DATASETS) == {
+            "slashdot",
+            "epinions",
+            "facebook",
+            "enron",
+            "hepph",
+            "dblp",
+            "phone",
+        }
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_loadable_at_small_scale(self, name):
+        g = load_dataset(name, scale=0.1)
+        assert g.num_edges > 0
+        assert g.num_vertices > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("orkut")
+
+    def test_case_insensitive(self):
+        a = load_dataset("Phone", scale=0.1)
+        b = load_dataset("phone", scale=0.1)
+        assert a.num_edges == b.num_edges
+
+    def test_deterministic(self):
+        a = load_dataset("slashdot", scale=0.1)
+        b = load_dataset("slashdot", scale=0.1)
+        assert a.edges == b.edges
+
+    def test_seed_offset_changes_sample(self):
+        a = load_dataset("slashdot", scale=0.1, seed=0)
+        b = load_dataset("slashdot", scale=0.1, seed=1)
+        assert a.edges != b.edges
+
+    def test_scale_grows_graph(self):
+        small = load_dataset("epinions", scale=0.1)
+        large = load_dataset("epinions", scale=0.3)
+        assert large.num_vertices > small.num_vertices
+
+
+class TestRegimes:
+    def test_epinions_pi_is_one(self):
+        g = load_dataset("epinions", scale=0.2)
+        assert compute_statistics(g).max_multiplicity == 1
+
+    def test_facebook_heavy_multiplicity(self):
+        g = load_dataset("facebook", scale=0.3)
+        assert compute_statistics(g).max_multiplicity >= 5
+
+    def test_zero_duration_datasets(self):
+        for name in ("facebook", "enron", "hepph", "dblp"):
+            assert DATASETS[name].zero_durations
+            g = load_dataset(name, scale=0.1)
+            assert g.has_zero_duration_edge()
+
+    def test_phone_native_weights(self):
+        g = load_dataset("phone", scale=0.1)
+        assert DATASETS["phone"].native_weights
+        # weights equal call durations
+        assert all(e.weight == e.duration for e in g.edges)
+
+    def test_dblp_coarse_timestamps(self):
+        g = load_dataset("dblp", scale=0.05)
+        assert g.distinct_time_instances() <= 25
+
+    def test_weighted_loading(self):
+        g = load_dataset("slashdot", scale=0.1, weighted=True)
+        assert any(e.weight != 1.0 for e in g.edges)
+
+
+class TestWeightCascade:
+    def test_minus_log_out_degree(self):
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 1, 0, 1, 1),
+                TemporalEdge(0, 2, 0, 1, 1),
+                TemporalEdge(1, 2, 0, 1, 1),
+            ]
+        )
+        w = weight_cascade_weights(g)
+        # vertex 0 has out-degree 2: weight -log(1/2) = log 2
+        assert w[(0, 1)] == pytest.approx(math.log(2))
+        assert w[(0, 2)] == pytest.approx(math.log(2))
+        # vertex 1 has out-degree 1: floored above 0
+        assert w[(1, 2)] > 0
+
+    def test_in_degree_variant(self):
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 2, 0, 1, 1),
+                TemporalEdge(1, 2, 0, 1, 1),
+            ]
+        )
+        w = weight_cascade_weights(g, use_out_degree=False)
+        assert w[(0, 2)] == pytest.approx(math.log(2))
+
+    def test_parallel_edges_share_weight(self):
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 1, 0, 1, 1),
+                TemporalEdge(0, 1, 5, 6, 1),
+                TemporalEdge(0, 2, 0, 1, 1),
+            ]
+        )
+        applied = apply_weight_cascade(g)
+        weights = {e.weight for e in applied.edges if e.static_key() == (0, 1)}
+        assert len(weights) == 1
+
+    def test_all_weights_positive(self):
+        g = load_dataset("slashdot", scale=0.1)
+        w = weight_cascade_weights(g)
+        assert all(value > 0 for value in w.values())

@@ -1,0 +1,109 @@
+"""Degenerate and adversarial DST inputs."""
+
+import math
+
+import pytest
+
+from repro.static.digraph import StaticDigraph
+from repro.steiner.charikar import charikar_dst
+from repro.steiner.improved import improved_dst
+from repro.steiner.instance import DSTInstance, prepare_instance
+from repro.steiner.pruned import pruned_dst
+
+ALGORITHMS = [charikar_dst, improved_dst, pruned_dst]
+
+
+def prepare(edges, root, terminals, vertices=None):
+    g = StaticDigraph(vertices)
+    for u, v, w in edges:
+        g.add_edge(u, v, w)
+    return prepare_instance(DSTInstance(g, root, tuple(terminals)))
+
+
+class TestDegenerateInstances:
+    @pytest.mark.parametrize("solver", ALGORITHMS)
+    def test_empty_terminal_set(self, solver):
+        prepared = prepare([("r", "x", 1.0)], "r", [])
+        tree = solver(prepared, 2)
+        assert tree.cost == 0.0
+        assert tree.covered == frozenset()
+
+    @pytest.mark.parametrize("solver", ALGORITHMS)
+    def test_single_vertex_terminal(self, solver):
+        prepared = prepare([("r", "t", 4.0)], "r", ["t"])
+        tree = solver(prepared, 3)
+        assert tree.cost == 4.0
+
+    @pytest.mark.parametrize("solver", ALGORITHMS)
+    def test_zero_weight_edges(self, solver):
+        prepared = prepare(
+            [("r", "a", 0.0), ("a", "t1", 0.0), ("a", "t2", 0.0)],
+            "r",
+            ["t1", "t2"],
+        )
+        tree = solver(prepared, 2)
+        assert tree.cost == 0.0
+        assert tree.covered == frozenset(prepared.terminals)
+
+    @pytest.mark.parametrize("solver", ALGORITHMS)
+    def test_k_larger_than_terminals_clamped(self, solver):
+        prepared = prepare([("r", "t", 1.0)], "r", ["t"])
+        tree = solver(prepared, 2, k=99)
+        assert tree.covered == frozenset(prepared.terminals)
+
+    @pytest.mark.parametrize("solver", ALGORITHMS)
+    def test_level_deeper_than_graph(self, solver):
+        # a 2-hop graph solved at level 3: extra levels must not hurt
+        prepared = prepare(
+            [("r", "a", 1.0), ("a", "t", 1.0)], "r", ["t"]
+        )
+        assert solver(prepared, 3).cost == 2.0
+
+
+class TestDuplicateStructure:
+    @pytest.mark.parametrize("solver", ALGORITHMS)
+    def test_heavy_parallel_edges(self, solver):
+        edges = [("r", "t", float(w)) for w in (9, 3, 7, 5)]
+        prepared = prepare(edges, "r", ["t"])
+        assert solver(prepared, 1).cost == 3.0
+
+    @pytest.mark.parametrize("solver", ALGORITHMS)
+    def test_terminal_reachable_only_through_terminal(self, solver):
+        # t2 only reachable through t1: the tree must chain them
+        prepared = prepare(
+            [("r", "t1", 2.0), ("t1", "t2", 2.0)], "r", ["t1", "t2"]
+        )
+        tree = solver(prepared, 2)
+        assert tree.covered == frozenset(prepared.terminals)
+        # closure-tree cost counts the shared prefix once after expansion
+        from repro.steiner.tree import expand_closure_tree
+
+        cost, _ = expand_closure_tree(prepared, tree)
+        assert cost == 4.0
+
+    @pytest.mark.parametrize("solver", ALGORITHMS)
+    def test_long_chain(self, solver):
+        edges = [(i, i + 1, 1.0) for i in range(10)]
+        prepared = prepare(edges, 0, [10])
+        assert solver(prepared, 2).cost == 10.0
+
+
+class TestNumericRobustness:
+    @pytest.mark.parametrize("solver", ALGORITHMS)
+    def test_tiny_and_huge_weights(self, solver):
+        prepared = prepare(
+            [("r", "a", 1e-12), ("a", "t", 1e12), ("r", "t", 1.0)],
+            "r",
+            ["t"],
+        )
+        assert solver(prepared, 2).cost == pytest.approx(1.0)
+
+    def test_infinite_density_branches_never_chosen(self):
+        # vertex "dead" reaches no terminal; solvers must route around it
+        prepared = prepare(
+            [("r", "dead", 0.1), ("r", "t", 5.0)], "r", ["t"]
+        )
+        for solver in ALGORITHMS:
+            tree = solver(prepared, 2)
+            assert tree.cost == 5.0
+            assert math.isfinite(tree.density)

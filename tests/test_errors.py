@@ -1,0 +1,34 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro.core.errors import (
+    GraphFormatError,
+    InvalidTreeError,
+    ReproError,
+    UnreachableRootError,
+    ZeroDurationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [GraphFormatError, InvalidTreeError, UnreachableRootError, ZeroDurationError],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_public_reexports():
+    import repro
+
+    assert repro.ReproError is ReproError
+    assert repro.GraphFormatError is GraphFormatError
+    assert repro.ZeroDurationError is ZeroDurationError
+    assert repro.UnreachableRootError is UnreachableRootError

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs cleanly and prints its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "total cost: 11",
+    "information_dissemination.py": "message reaches",
+    "flight_logistics.py": "cheapest full distribution",
+    "epidemic_window_sweep.py": "window start",
+    "content_delivery.py": "cost saved by targeting",
+    "dst_quality_study.py": "err is (Approx - Opt)/Opt",
+    "streaming_broadcast_monitor.py": "identical to the",
+}
+
+
+def test_every_example_has_a_marker():
+    names = {path.name for path in EXAMPLES}
+    assert names == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert EXPECTED_MARKERS[path.name] in completed.stdout

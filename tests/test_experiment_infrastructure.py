@@ -1,0 +1,137 @@
+"""Tests for the experiment harness plumbing (runner + workloads)."""
+
+import pytest
+
+from repro.experiments.runner import TableResult, timed, timed_best_of
+from repro.experiments.workloads import (
+    MSTW_WORKLOADS,
+    QUICK_MSTW_WORKLOADS,
+    WorkloadConfig,
+    msta_graph,
+    msta_protocol,
+    mstw_workload,
+)
+
+
+class TestTableResult:
+    def test_add_row_and_render(self):
+        result = TableResult("t", "Test table", ["a", "b"])
+        result.add_row(1, 2.5)
+        result.add_row("x", "-")
+        text = result.render()
+        assert "Test table" in text
+        assert "2.500" in text  # float formatting
+        assert "x" in text
+
+    def test_notes_rendered(self):
+        result = TableResult("t", "T", ["a"])
+        result.add_row(1)
+        result.notes.append("important caveat")
+        assert "important caveat" in result.render()
+
+    def test_column(self):
+        result = TableResult("t", "T", ["name", "value"])
+        result.add_row("one", 1)
+        result.add_row("two", 2)
+        assert result.column("value") == [1, 2]
+
+    def test_column_unknown(self):
+        result = TableResult("t", "T", ["a"])
+        with pytest.raises(ValueError):
+            result.column("zz")
+
+
+class TestTimers:
+    def test_timed_returns_elapsed_and_result(self):
+        elapsed, value = timed(sum, [1, 2, 3])
+        assert value == 6
+        assert elapsed >= 0
+
+    def test_timed_best_of(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return "ok"
+
+        elapsed, value = timed_best_of(3, fn)
+        assert value == "ok"
+        assert len(calls) == 3
+        assert elapsed >= 0
+
+    def test_timed_best_of_minimum_one_round(self):
+        elapsed, value = timed_best_of(0, lambda: 5)
+        assert value == 5
+
+
+class TestWorkloads:
+    def test_all_seven_datasets_configured(self):
+        assert {c.name for c in MSTW_WORKLOADS} == {
+            "slashdot",
+            "epinions",
+            "facebook",
+            "enron",
+            "hepph",
+            "dblp",
+            "phone",
+        }
+
+    def test_quick_variants_smaller(self):
+        full = {c.name: c for c in MSTW_WORKLOADS}
+        for quick in QUICK_MSTW_WORKLOADS:
+            assert quick.scale < full[quick.name].scale
+            assert quick.pruned_max_level <= full[quick.name].pruned_max_level
+
+    def test_workload_cached(self):
+        config = QUICK_MSTW_WORKLOADS[0]
+        a = mstw_workload(config)
+        b = mstw_workload(config)
+        assert a is b
+
+    def test_workload_pieces_consistent(self):
+        config = next(c for c in QUICK_MSTW_WORKLOADS if c.name == "phone")
+        workload = mstw_workload(config)
+        assert workload.prepared.num_terminals >= 1
+        assert workload.transformed.num_vertices >= workload.prepared.num_terminals
+        assert workload.preprocessing_seconds >= 0
+        assert workload.root in workload.graph.vertices
+
+    def test_msta_graph_durations(self):
+        unit = msta_graph("slashdot", duration=1, scale=0.1)
+        assert all(e.duration == 1 for e in unit.edges)
+        zero = msta_graph("slashdot", duration=0, scale=0.1)
+        assert zero.has_zero_duration_edge()
+        native = msta_graph("phone", duration=None, scale=0.1)
+        assert any(e.duration > 1 for e in native.edges)
+
+    def test_msta_protocol_full_range(self):
+        graph = msta_graph("slashdot", duration=1, scale=0.2)
+        root, window, active = msta_protocol(graph, None)
+        assert window is None
+        assert active is graph
+        assert root in graph.vertices
+
+    def test_msta_protocol_windowed(self):
+        graph = msta_graph("slashdot", duration=1, scale=0.2)
+        root, window, active = msta_protocol(graph, 0.5)
+        assert window is not None
+        assert active.num_edges <= graph.num_edges
+        assert root in active.vertices
+
+
+class TestCliExperiment:
+    def test_experiment_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(["experiment", "table1", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+
+    def test_experiment_fig8a(self, capsys):
+        from repro.cli import main
+
+        code = main(["experiment", "fig8a", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 8(a)" in out

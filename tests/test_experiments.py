@@ -1,0 +1,129 @@
+"""Tests for the programmatic experiment harness (quick mode).
+
+These exercise every registered experiment end-to-end at CI scale and
+assert the qualitative shapes the paper reports; the statistically
+careful timing runs live in ``benchmarks/``.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, TableResult, run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once in quick mode (shared across tests)."""
+    return {name: run_experiment(name, quick=True) for name in EXPERIMENTS}
+
+
+class TestRegistry:
+    def test_all_tables_and_figures_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "fig8a",
+            "fig8b",
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_case_insensitive(self):
+        result = run_experiment("TABLE1", quick=True)
+        assert result.name == "table1"
+
+
+class TestResultShape:
+    def test_every_result_renders(self, results):
+        for name, result in results.items():
+            assert isinstance(result, TableResult)
+            text = result.render()
+            assert result.title in text
+            assert len(result.rows) >= 1
+            for row in result.rows:
+                assert len(row) == len(result.header)
+
+    def test_column_accessor(self, results):
+        table1 = results["table1"]
+        assert table1.column("dataset") == [r[0] for r in table1.rows]
+        with pytest.raises(ValueError):
+            table1.column("nope")
+
+
+class TestPaperShapes:
+    def test_table1_regimes(self, results):
+        by_name = {row[0]: row for row in results["table1"].rows}
+        pi = results["table1"].header.index("pi")
+        assert by_name["epinions"][pi] == 1
+        assert by_name["facebook"][pi] > by_name["slashdot"][pi]
+
+    def test_table2_linear_algorithms_win(self, results):
+        table = results["table2"]
+        bhadra = table.header.index("Bhadra")
+        alg1 = table.header.index("Alg1")
+        wins = sum(1 for row in table.rows if row[alg1] < row[bhadra])
+        assert wins >= len(table.rows) - 1  # allow one noisy row
+
+    def test_table3_alg2_wins(self, results):
+        table = results["table3"]
+        bhadra = table.header.index("Bhadra")
+        alg2 = table.header.index("Alg2")
+        wins = sum(1 for row in table.rows if row[alg2] < row[bhadra])
+        assert wins >= len(table.rows) - 1
+
+    def test_table4_linear_expansion(self, results):
+        table = results["table4"]
+        e_g = table.header.index("|E(G')|")
+        v_gg = table.header.index("|V(GG)|")
+        for row in table.rows:
+            # Lemma 2: |V(GG)| = O(|E(G')|)
+            assert row[v_gg] <= 2 * row[e_g] + 2
+
+    def test_table5_ordering(self, results):
+        table = results["table5"]
+        rows = {row[0]: row[1:] for row in table.rows}
+        for charik, alg6 in zip(rows["Charik-2"], rows["Alg6-2"]):
+            if charik == "-" or alg6 == "-":
+                continue
+            assert alg6 < charik
+
+    def test_table6_weights_improve(self, results):
+        table = results["table6"]
+        rows = {row[0]: row[1:] for row in table.rows}
+        for w1, w2 in zip(rows["i=1"], rows["i=2"]):
+            if w1 == "-" or w2 == "-":
+                continue
+            assert w2 <= w1 * 1.05 + 1e-9
+
+    def test_table7_alg6_beats_charik(self, results):
+        table = results["table7"]
+        charik = table.header.index("Charik-3")
+        alg6 = table.header.index("Alg6-3")
+        for row in table.rows:
+            assert row[alg6] < row[charik]
+
+    def test_table8_errors_nonnegative_and_improving(self, results):
+        table = results["table8"]
+        rows = {row[0]: row[1:] for row in table.rows}
+        for e1, e2 in zip(rows["i=1"], rows["i=2"]):
+            assert e2 >= -1e-9
+            assert e2 <= e1 + 1e-9
+
+    def test_fig8a_flat(self, results):
+        times = [c for c in results["fig8a"].rows[0][1:]]
+        assert max(times) <= 5 * min(times) + 0.05
+
+    def test_fig8b_growing(self, results):
+        for row in results["fig8b"].rows:
+            times = row[1:]
+            assert times[-1] > times[0]
+            assert not any(math.isnan(t) for t in times)

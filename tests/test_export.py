@@ -1,0 +1,89 @@
+"""Tests for tree JSON/DOT export."""
+
+import math
+
+import pytest
+
+from repro.core.errors import GraphFormatError
+from repro.core.export import tree_from_json, tree_to_dot, tree_to_json
+from repro.core.msta import minimum_spanning_tree_a
+from repro.core.spanning_tree import TemporalSpanningTree
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.window import TimeWindow
+
+
+@pytest.fixture
+def msta_tree(figure1):
+    return minimum_spanning_tree_a(figure1, 0)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self, msta_tree):
+        restored = tree_from_json(tree_to_json(msta_tree))
+        assert restored.root == msta_tree.root
+        assert restored.parent_edge == msta_tree.parent_edge
+        assert restored.window == msta_tree.window
+
+    def test_round_trip_with_finite_window(self):
+        tree = TemporalSpanningTree(
+            "r", {"a": TemporalEdge("r", "a", 1, 2, 3)}, TimeWindow(0, 10)
+        )
+        restored = tree_from_json(tree_to_json(tree))
+        assert restored.window == TimeWindow(0, 10)
+
+    def test_infinite_window_encoded_as_null(self, msta_tree):
+        doc = tree_to_json(msta_tree)
+        assert '"t_omega": null' in doc
+        assert math.isinf(tree_from_json(doc).window.t_omega)
+
+    def test_indent_option(self, msta_tree):
+        assert "\n" in tree_to_json(msta_tree, indent=2)
+
+    def test_restored_tree_validates(self, msta_tree, figure1):
+        tree_from_json(tree_to_json(msta_tree)).validate(figure1)
+
+
+class TestJsonErrors:
+    def test_invalid_json(self):
+        with pytest.raises(GraphFormatError, match="invalid JSON"):
+            tree_from_json("{nope")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(GraphFormatError, match="not a temporal-mst"):
+            tree_from_json('{"format": "something-else"}')
+
+    def test_wrong_version(self):
+        with pytest.raises(GraphFormatError, match="version"):
+            tree_from_json(
+                '{"format": "temporal-mst/spanning-tree", "version": 99}'
+            )
+
+    def test_missing_fields(self):
+        with pytest.raises(GraphFormatError, match="malformed"):
+            tree_from_json(
+                '{"format": "temporal-mst/spanning-tree", "version": 1}'
+            )
+
+
+class TestDot:
+    def test_structure(self, msta_tree):
+        dot = tree_to_dot(msta_tree, name="fig1")
+        assert dot.startswith('digraph "fig1"')
+        assert '"0" [shape=doublecircle];' in dot
+        # one edge line per covered vertex
+        assert dot.count("->") == msta_tree.num_edges
+
+    def test_labels_contain_times_and_weight(self, msta_tree):
+        dot = tree_to_dot(msta_tree)
+        assert "[1, 3] (2)" in dot
+
+    def test_weights_can_be_hidden(self, msta_tree):
+        dot = tree_to_dot(msta_tree, show_weights=False)
+        assert "(2)" not in dot
+
+    def test_quote_escaping(self):
+        tree = TemporalSpanningTree(
+            'he said "hi"', {"x": TemporalEdge('he said "hi"', "x", 0, 1, 1)}
+        )
+        dot = tree_to_dot(tree)
+        assert '\\"hi\\"' in dot

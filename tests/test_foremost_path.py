@@ -1,0 +1,59 @@
+"""Tests for explicit foremost-path retrieval."""
+
+import pytest
+
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.paths import earliest_arrival_path, earliest_arrival_times
+from repro.temporal.window import TimeWindow
+
+from tests.conftest import random_temporal
+
+
+class TestBasics:
+    def test_figure1_path_to_5(self, figure1):
+        path = earliest_arrival_path(figure1, 0, 5)
+        assert [e.target for e in path] == [1, 3, 5]
+        assert path[-1].arrival == 8
+
+    def test_source_equals_target(self, figure1):
+        assert earliest_arrival_path(figure1, 0, 0) == []
+
+    def test_unreachable_returns_none(self, figure1):
+        assert earliest_arrival_path(figure1, 5, 0) is None
+
+    def test_unknown_vertices(self, figure1):
+        assert earliest_arrival_path(figure1, 0, 99) is None
+        assert earliest_arrival_path(figure1, 99, 0) is None
+
+    def test_path_is_time_respecting(self, figure1):
+        path = earliest_arrival_path(figure1, 0, 4)
+        for a, b in zip(path, path[1:]):
+            assert a.target == b.source
+            assert a.arrival <= b.start
+
+    def test_window_respected(self, figure1):
+        assert earliest_arrival_path(figure1, 0, 4, TimeWindow(0, 6)) is None
+        path = earliest_arrival_path(figure1, 0, 3, TimeWindow(0, 6))
+        assert path[-1].arrival == 6
+
+    def test_zero_duration_chain(self, figure3):
+        path = earliest_arrival_path(figure3, 0, 2)
+        assert [e.target for e in path] == [1, 4, 3, 2]
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("zero", [False, True])
+    def test_path_arrival_matches_earliest_arrival_times(self, seed, zero):
+        g = random_temporal(seed, n=12, m=50, zero_duration=zero)
+        arrivals = earliest_arrival_times(g, 0)
+        for target, expected in arrivals.items():
+            if target == 0:
+                continue
+            path = earliest_arrival_path(g, 0, target)
+            assert path is not None
+            assert path[-1].arrival == expected
+            # every edge of the path is a graph edge
+            graph_edges = set(g.edges)
+            assert all(e in graph_edges for e in path)

@@ -1,0 +1,127 @@
+"""Executable checks of the Theorem 3 reduction (Appendix 9.1)."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_mstw_weight
+from repro.core.errors import GraphFormatError
+from repro.hardness.maxleaf import max_leaf_spanning_tree
+from repro.hardness.reduction import (
+    max_leaf_to_mstw_graph,
+    mstw_weight_for_leaf_count,
+    spanning_tree_from_leaf_tree,
+)
+
+PATH3 = [(0, 1), (1, 2)]
+STAR4 = [(0, 1), (0, 2), (0, 3)]
+CYCLE4 = [(0, 1), (1, 2), (2, 3), (3, 0)]
+DIAMOND = [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)]
+
+
+class TestMaxLeaf:
+    def test_path(self):
+        leaves, tree = max_leaf_spanning_tree(PATH3)
+        assert leaves == 2
+        assert len(tree) == 2
+
+    def test_star_all_leaves(self):
+        leaves, _ = max_leaf_spanning_tree(STAR4)
+        assert leaves == 3
+
+    def test_cycle(self):
+        leaves, _ = max_leaf_spanning_tree(CYCLE4)
+        assert leaves == 2
+
+    def test_diamond(self):
+        leaves, _ = max_leaf_spanning_tree(DIAMOND)
+        assert leaves == 3  # e.g. tree {01,02,12?} no: {10,12,13} leaves 0,2,3
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            max_leaf_spanning_tree([(0, 1), (2, 3)])
+
+    def test_trivial(self):
+        assert max_leaf_spanning_tree([]) == (0, [])
+
+
+class TestConstruction:
+    def test_edge_count(self):
+        g = max_leaf_to_mstw_graph(PATH3)
+        n = 3
+        # per static edge: 2n timed copies + 2 cheap copies
+        assert g.num_edges == len(PATH3) * (2 * n + 2)
+
+    def test_weights_and_times(self):
+        g = max_leaf_to_mstw_graph(PATH3)
+        n = 3
+        cheap = [e for e in g.edges if e.weight == 1.0]
+        heavy = [e for e in g.edges if e.weight == 2.0]
+        assert len(cheap) == 2 * len(PATH3)
+        assert all(e.start == 2 * n + 1 and e.arrival == 2 * n + 2 for e in cheap)
+        assert all(e.arrival - e.start == 2 for e in heavy)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphFormatError):
+            max_leaf_to_mstw_graph([(0, 0)])
+
+
+class TestRealisation:
+    def test_star_tree_weight(self):
+        # star from centre 0: 3 leaves -> weight 2(4-1) - 3 = 3
+        tree = spanning_tree_from_leaf_tree(STAR4, root=0)
+        assert tree.total_weight == mstw_weight_for_leaf_count(4, 3)
+        tree.validate(max_leaf_to_mstw_graph(STAR4))
+
+    def test_path_tree_weight(self):
+        # path rooted at an end: 1 leaf -> 2(3-1) - 1 = 3
+        tree = spanning_tree_from_leaf_tree(PATH3, root=0)
+        assert tree.total_weight == mstw_weight_for_leaf_count(3, 1)
+        tree.validate(max_leaf_to_mstw_graph(PATH3))
+
+    def test_tree_is_time_respecting(self):
+        tree = spanning_tree_from_leaf_tree([(0, 1), (0, 2), (1, 3)], root=0)
+        tree.validate()
+
+    def test_disconnected_tree_rejected(self):
+        with pytest.raises(GraphFormatError):
+            spanning_tree_from_leaf_tree([(0, 1), (2, 3)], root=0)
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(GraphFormatError):
+            spanning_tree_from_leaf_tree(PATH3, root=9)
+
+
+class TestEquivalence:
+    """max leaves k  <=>  MST_w weight 2(n-1) - k, end to end."""
+
+    @pytest.mark.parametrize(
+        "edges",
+        [PATH3, STAR4, CYCLE4, DIAMOND],
+        ids=["path3", "star4", "cycle4", "diamond"],
+    )
+    def test_reduction_round_trip(self, edges):
+        vertices = sorted({v for e in edges for v in e})
+        n = len(vertices)
+        temporal = max_leaf_to_mstw_graph(edges)
+        # The MST_w is rooted, so the corresponding leaf count is the
+        # rooted one (childless vertices) -- check from every root.
+        for root in vertices:
+            best_leaves, _ = max_leaf_spanning_tree(edges, root=root)
+            weight = brute_force_mstw_weight(temporal, root)
+            assert weight == mstw_weight_for_leaf_count(n, best_leaves)
+
+    def test_forward_direction_star(self):
+        # any spanning tree with k rooted leaves gives weight 2(n-1)-k
+        n = 4
+        for tree_edges in itertools.combinations(STAR4, n - 1):
+            leaves, _ = max_leaf_spanning_tree(list(tree_edges), root=0)
+            realised = spanning_tree_from_leaf_tree(list(tree_edges), root=0)
+            assert realised.total_weight == mstw_weight_for_leaf_count(n, leaves)
+
+    def test_rooted_leaf_count_excludes_root(self):
+        # path 0-1-2 rooted at the end 0 has a single rooted leaf (2)
+        leaves, _ = max_leaf_spanning_tree(PATH3, root=0)
+        assert leaves == 1
+        leaves_mid, _ = max_leaf_spanning_tree(PATH3, root=1)
+        assert leaves_mid == 2

@@ -1,0 +1,145 @@
+"""Tests for the window index and timestamp transforms."""
+
+import pytest
+
+from repro.core.errors import GraphFormatError
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.index import TemporalEdgeIndex
+from repro.temporal.paths import earliest_arrival_times
+from repro.temporal.transforms import (
+    map_weights,
+    normalize_epoch,
+    quantize_timestamps,
+    relabel_vertices,
+    scale_time,
+    shift_time,
+)
+from repro.temporal.window import TimeWindow
+
+from tests.conftest import random_temporal
+
+
+class TestTemporalEdgeIndex:
+    def test_matches_restricted_on_figure1(self, figure1):
+        index = TemporalEdgeIndex(figure1)
+        for window in (TimeWindow(0, 6), TimeWindow(3, 8), TimeWindow(9, 10)):
+            expected = {
+                tuple(e)
+                for e in figure1.restricted(window.t_alpha, window.t_omega).edges
+            }
+            got = {tuple(e) for e in index.edges_in(window)}
+            assert got == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_restricted_on_random_graphs(self, seed):
+        g = random_temporal(seed, n=12, m=60)
+        index = TemporalEdgeIndex(g)
+        for t_alpha in (0, 5, 12, 25):
+            window = TimeWindow(t_alpha, t_alpha + 10)
+            expected = {
+                tuple(e)
+                for e in g.restricted(window.t_alpha, window.t_omega).edges
+            }
+            assert {tuple(e) for e in index.edges_in(window)} == expected
+
+    def test_count(self, figure1):
+        index = TemporalEdgeIndex(figure1)
+        window = TimeWindow(0, 6)
+        assert index.count_in(window) == len(index.edges_in(window))
+
+    def test_subgraph_default_drops_isolated(self, figure1):
+        index = TemporalEdgeIndex(figure1)
+        sub = index.subgraph(TimeWindow(0, 6))
+        assert sub.vertices == {0, 1, 2, 3}
+
+    def test_subgraph_keep_vertices(self, figure1):
+        index = TemporalEdgeIndex(figure1)
+        sub = index.subgraph(TimeWindow(0, 6), keep_vertices=True)
+        assert sub.vertices == figure1.vertices
+
+    def test_first_start_after(self, figure1):
+        index = TemporalEdgeIndex(figure1)
+        assert index.first_start_after(0) == 1
+        assert index.first_start_after(7) == 8
+        assert index.first_start_after(100) is None
+
+    def test_len(self, figure1):
+        assert len(TemporalEdgeIndex(figure1)) == figure1.num_edges
+
+    def test_iteration_is_chronological(self, figure1):
+        index = TemporalEdgeIndex(figure1)
+        starts = [e.start for e in index.iter_edges_in(TimeWindow(0, 100))]
+        assert starts == sorted(starts)
+
+
+class TestShiftAndScale:
+    def test_shift_preserves_structure(self, figure1):
+        shifted = shift_time(figure1, 100)
+        assert shifted.time_span() == (101, 111)
+        # arrival times shift uniformly
+        base = earliest_arrival_times(figure1, 0)
+        moved = earliest_arrival_times(shifted, 0)
+        for v in base:
+            if v != 0:
+                assert moved[v] == base[v] + 100
+
+    def test_normalize_epoch(self, figure1):
+        shifted = shift_time(figure1, 10_000)
+        assert normalize_epoch(shifted).time_span()[0] == 0
+
+    def test_normalize_empty_graph(self):
+        g = TemporalGraph([], vertices=[0])
+        assert normalize_epoch(g) is g
+
+    def test_scale(self, figure1):
+        scaled = scale_time(figure1, 60)  # minutes -> seconds
+        assert scaled.time_span() == (60, 660)
+
+    def test_scale_rejects_nonpositive(self, figure1):
+        with pytest.raises(GraphFormatError):
+            scale_time(figure1, 0)
+
+
+class TestQuantize:
+    def test_snaps_down(self):
+        g = TemporalGraph([TemporalEdge(0, 1, 7, 13, 1)])
+        q = quantize_timestamps(g, 5)
+        assert tuple(q.edges[0])[2:4] == (5, 10)
+
+    def test_within_bucket_becomes_zero_duration(self):
+        g = TemporalGraph([TemporalEdge(0, 1, 11, 13, 1)])
+        q = quantize_timestamps(g, 10)
+        assert q.edges[0].duration == 0
+        assert q.has_zero_duration_edge()
+
+    def test_arrival_never_precedes_start(self, figure1):
+        q = quantize_timestamps(figure1, 4)
+        assert all(e.arrival >= e.start for e in q.edges)
+
+    def test_rejects_nonpositive_granularity(self, figure1):
+        with pytest.raises(GraphFormatError):
+            quantize_timestamps(figure1, 0)
+
+
+class TestWeightAndLabelMaps:
+    def test_map_weights(self, figure1):
+        doubled = map_weights(figure1, lambda e: e.weight * 2)
+        assert sum(e.weight for e in doubled.edges) == 2 * sum(
+            e.weight for e in figure1.edges
+        )
+
+    def test_map_weights_rejects_negative(self, figure1):
+        with pytest.raises(GraphFormatError):
+            map_weights(figure1, lambda e: -1.0)
+
+    def test_relabel(self, figure1):
+        renamed = relabel_vertices(figure1, lambda v: f"v{v}")
+        assert "v0" in renamed.vertices
+        assert renamed.num_edges == figure1.num_edges
+        arrivals = earliest_arrival_times(renamed, "v0")
+        assert arrivals["v5"] == 8
+
+    def test_relabel_must_be_injective(self, figure1):
+        with pytest.raises(GraphFormatError, match="injective"):
+            relabel_vertices(figure1, lambda v: "same")

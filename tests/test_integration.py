@@ -1,0 +1,93 @@
+"""End-to-end integration tests across modules.
+
+These run the full experimental protocol of Section 5 at miniature
+scale: load a synthetic dataset, pick the window and root exactly as
+the paper describes, and run both MST problems, cross-checking every
+intermediate artefact.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines.bhadra import bhadra_msta
+from repro.core.msta import minimum_spanning_tree_a
+from repro.core.mstw import minimum_spanning_tree_w, prepare_mstw_instance
+from repro.datasets.registry import load_dataset
+from repro.datasets.weights import apply_weight_cascade
+from repro.steiner.exact import exact_dst_cost
+from repro.steiner.improved import improved_dst
+from repro.steiner.steinlib import generate_b_instance
+from repro.steiner.instance import prepare_instance
+from repro.temporal.paths import reachable_set
+from repro.temporal.stats import compute_statistics
+from repro.temporal.window import middle_tenth_window, select_root, extract_window
+
+
+@pytest.fixture(scope="module")
+def small_slashdot():
+    return load_dataset("slashdot", scale=0.2)
+
+
+class TestPaperProtocol:
+    def test_window_then_root_then_msta(self, small_slashdot):
+        window = middle_tenth_window(small_slashdot, fraction=0.5)
+        sub = extract_window(small_slashdot, window)
+        root = select_root(sub, window, min_reach_fraction=0.01)
+        tree = minimum_spanning_tree_a(sub, root, window)
+        tree.validate(sub)
+        assert tree.vertices == reachable_set(sub, root, window)
+
+    def test_msta_agrees_with_bhadra_on_dataset(self, small_slashdot):
+        window = middle_tenth_window(small_slashdot, fraction=0.5)
+        sub = extract_window(small_slashdot, window)
+        root = select_root(sub, window, min_reach_fraction=0.01)
+        ours = minimum_spanning_tree_a(sub, root, window)
+        baseline = bhadra_msta(sub, root, window)
+        assert ours.arrival_times == baseline.arrival_times
+
+    def test_full_mstw_on_weighted_dataset(self):
+        graph = apply_weight_cascade(load_dataset("phone", scale=0.05))
+        window = middle_tenth_window(graph, fraction=0.6)
+        sub = extract_window(graph, window)
+        root = select_root(sub, window, min_reach_fraction=0.01)
+        result = minimum_spanning_tree_w(sub, root, window, level=2)
+        result.tree.validate(sub)
+        assert result.weight > 0
+        assert result.num_terminals == len(result.tree.vertices) - 1
+
+
+class TestStatsPipeline:
+    @pytest.mark.parametrize("name", ["slashdot", "facebook", "phone"])
+    def test_statistics_computable(self, name):
+        g = load_dataset(name, scale=0.1)
+        stats = compute_statistics(g)
+        assert stats.num_temporal_edges == g.num_edges
+        assert stats.num_static_edges <= stats.num_temporal_edges
+        assert stats.max_multiplicity >= 1
+
+
+class TestZeroDurationDatasets:
+    @pytest.mark.parametrize("name", ["hepph", "dblp"])
+    def test_msta_dispatch_handles_zero(self, name):
+        g = load_dataset(name, scale=0.05)
+        window = middle_tenth_window(g, fraction=0.9)
+        sub = extract_window(g, window)
+        try:
+            root = select_root(sub, window, min_reach_fraction=0.02)
+        except Exception:
+            pytest.skip("sampled graph too fragmented for the protocol")
+        tree = minimum_spanning_tree_a(sub, root, window)
+        tree.validate(sub)
+
+
+class TestSteinlibToExact:
+    def test_generated_instance_solves_end_to_end(self):
+        problem = generate_b_instance(30, 45, 6, seed=13)
+        prepared = prepare_instance(problem.to_dst_instance())
+        approx = improved_dst(prepared, 2).cost
+        opt = exact_dst_cost(prepared)
+        assert math.isfinite(opt)
+        assert opt <= approx + 1e-9
+        # the paper's Table 8 finding: small relative error in practice
+        assert (approx - opt) / opt < 1.0

@@ -1,0 +1,110 @@
+"""Tests for temporal centrality/latency metrics."""
+
+import math
+
+import pytest
+
+from repro.core.msta import minimum_spanning_tree_a
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.metrics import (
+    average_latency,
+    broadcast_makespan,
+    broadcast_profile,
+    information_latency,
+    most_influential_roots,
+    reachability_ratio,
+    temporal_closeness,
+)
+from repro.temporal.window import TimeWindow
+
+
+class TestInformationLatency:
+    def test_figure1(self, figure1):
+        latency = information_latency(figure1, 0)
+        assert latency == {0: 0.0, 1: 3, 2: 5, 3: 6, 4: 8, 5: 8}
+
+    def test_window_shifts_baseline(self, figure1):
+        latency = information_latency(figure1, 0, TimeWindow(2, math.inf))
+        assert latency[0] == 0.0
+        assert latency[1] == 3  # arrival 5 - t_alpha 2
+
+    def test_unreachable_absent(self):
+        g = TemporalGraph([TemporalEdge(1, 2, 0, 1, 1)], vertices=[0, 1, 2])
+        assert set(information_latency(g, 0)) == {0}
+
+
+class TestCloseness:
+    def test_chain_decreases_with_distance(self):
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 1, 1, 2, 1),
+                TemporalEdge(1, 2, 3, 4, 1),
+                TemporalEdge(2, 3, 5, 6, 1),
+            ]
+        )
+        assert temporal_closeness(g, 0) > temporal_closeness(g, 1) > 0
+
+    def test_isolated_source_zero(self):
+        g = TemporalGraph([TemporalEdge(1, 2, 0, 1, 1)], vertices=[0, 1, 2])
+        assert temporal_closeness(g, 0) == 0.0
+
+    def test_zero_latency_clamped_not_infinite(self, figure3):
+        value = temporal_closeness(figure3, 0)
+        assert math.isfinite(value)
+        assert value > 0
+
+    def test_single_vertex_graph(self):
+        g = TemporalGraph([], vertices=[0])
+        assert temporal_closeness(g, 0) == 0.0
+
+
+class TestReachabilityRatio:
+    def test_full_reach(self, figure1):
+        assert reachability_ratio(figure1, 0) == 1.0
+
+    def test_partial_reach(self):
+        g = TemporalGraph([TemporalEdge(0, 1, 0, 1, 1)], vertices=[0, 1, 2])
+        assert reachability_ratio(g, 0) == 0.5
+
+    def test_trivial_graph(self):
+        g = TemporalGraph([], vertices=[0])
+        assert reachability_ratio(g, 0) == 0.0
+
+
+class TestMostInfluential:
+    def test_figure1_root_wins(self, figure1):
+        ranked = most_influential_roots(figure1, top=3)
+        assert ranked[0] == (0, 5)
+
+    def test_top_limits_output(self, figure1):
+        assert len(most_influential_roots(figure1, top=2)) == 2
+
+    def test_deterministic_tie_break(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 2, 0, 1, 1), TemporalEdge(1, 2, 0, 1, 1)]
+        )
+        ranked = most_influential_roots(g, top=3)
+        assert ranked[0][0] == 0  # 0 and 1 tie on reach; label order
+
+
+class TestBroadcastProfile:
+    def test_figure1_curve(self, figure1):
+        tree = minimum_spanning_tree_a(figure1, 0)
+        profile = broadcast_profile(tree)
+        assert profile == [(0.0, 1), (3, 2), (5, 3), (6, 4), (8, 6)]
+
+    def test_last_count_is_coverage(self, figure1):
+        tree = minimum_spanning_tree_a(figure1, 0)
+        assert broadcast_profile(tree)[-1][1] == len(tree.vertices)
+
+    def test_makespan_and_average(self, figure1):
+        tree = minimum_spanning_tree_a(figure1, 0)
+        assert broadcast_makespan(tree) == 8
+        assert average_latency(tree) == pytest.approx((3 + 5 + 6 + 8 + 8) / 5)
+
+    def test_average_latency_root_only(self):
+        from repro.core.spanning_tree import TemporalSpanningTree
+
+        tree = TemporalSpanningTree("r", {})
+        assert math.isnan(average_latency(tree))

@@ -1,0 +1,162 @@
+"""Tests for Algorithms 1 and 2 (``MST_a``), including the paper's examples."""
+
+import pytest
+
+from repro.core.errors import UnreachableRootError, ZeroDurationError
+from repro.core.msta import minimum_spanning_tree_a, msta_chronological, msta_stack
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.paths import earliest_arrival_times
+from repro.temporal.window import TimeWindow
+
+from tests.conftest import random_temporal
+
+
+class TestAlgorithm1:
+    def test_figure2a_arrival_times(self, figure1):
+        tree = msta_chronological(figure1, 0)
+        assert tree.arrival_times == {0: 0.0, 1: 3, 2: 5, 3: 6, 4: 8, 5: 8}
+
+    def test_example3_first_updates(self, figure1):
+        tree = msta_chronological(figure1, 0)
+        # Example 3: A(1)=3 via (0,1,1,3), A(2)=5 via (0,2,1,5)
+        assert tuple(tree.parent_edge[1]) == (0, 1, 1, 3, 2)
+        assert tuple(tree.parent_edge[2]) == (0, 2, 1, 5, 4)
+
+    def test_rejects_zero_durations_by_default(self, figure3):
+        with pytest.raises(ZeroDurationError):
+            msta_chronological(figure3, 0)
+
+    def test_example4_failure_reproduced(self, figure3):
+        # With the guard disabled, Algorithm 1 misses vertex 2 exactly
+        # as Example 4 describes.
+        tree = msta_chronological(figure3, 0, check_durations=False)
+        assert 2 not in tree.vertices
+        assert tree.vertices == {0, 1, 3, 4}
+
+    def test_window_omega_cuts_edges(self, figure1):
+        tree = msta_chronological(figure1, 0, TimeWindow(0, 6))
+        assert tree.vertices == {0, 1, 2, 3}
+
+    def test_window_alpha_blocks_early_starts(self, figure1):
+        tree = msta_chronological(figure1, 0, TimeWindow(2, float("inf")))
+        assert tree.arrival_times[1] == 5  # (0,1,1,3) departs too early
+
+    def test_unknown_root(self, figure1):
+        with pytest.raises(UnreachableRootError):
+            msta_chronological(figure1, 77)
+
+    def test_root_only_when_isolated(self):
+        g = TemporalGraph([TemporalEdge(1, 2, 0, 1, 1)], vertices=[0, 1, 2])
+        tree = msta_chronological(g, 0)
+        assert tree.vertices == {0}
+        assert tree.num_edges == 0
+
+    def test_arrival_sorted_input_also_works(self, figure1):
+        # Section 3: Algorithm 1 is also correct on arrival-ordered input.
+        arrival = {0: 0.0}
+        parent = {}
+        inf = float("inf")
+        for e in figure1.arrival_sorted_edges():
+            if e.start >= arrival.get(e.source, inf) and e.arrival < arrival.get(
+                e.target, inf
+            ):
+                arrival[e.target] = e.arrival
+                parent[e.target] = e
+        assert arrival == {0: 0.0, 1: 3, 2: 5, 3: 6, 4: 8, 5: 8}
+
+
+class TestAlgorithm2:
+    def test_figure2a_arrival_times(self, figure1):
+        tree = msta_stack(figure1, 0)
+        assert tree.arrival_times == {0: 0.0, 1: 3, 2: 5, 3: 6, 4: 8, 5: 8}
+
+    def test_zero_durations_handled(self, figure3):
+        tree = msta_stack(figure3, 0)
+        assert tree.arrival_times == {0: 0.0, 1: 1, 4: 3, 3: 4, 2: 4}
+
+    def test_each_vertex_single_in_edge(self, figure1):
+        tree = msta_stack(figure1, 0)
+        assert set(tree.parent_edge) == {1, 2, 3, 4, 5}
+        for v, e in tree.parent_edge.items():
+            assert e.target == v
+
+    def test_tree_validates(self, figure1):
+        tree = msta_stack(figure1, 0)
+        tree.validate(figure1)
+
+    def test_window(self, figure1):
+        tree = msta_stack(figure1, 0, TimeWindow(0, 6))
+        assert tree.vertices == {0, 1, 2, 3}
+
+    def test_unknown_root(self, figure1):
+        with pytest.raises(UnreachableRootError):
+            msta_stack(figure1, "nope")
+
+    def test_multi_visit_improvement(self):
+        # 3 is first reached late via 1, then earlier via 2; its
+        # out-edge to 4 only becomes usable after the improvement.
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 1, 0, 1, 1),
+                TemporalEdge(1, 3, 8, 9, 1),
+                TemporalEdge(0, 2, 0, 2, 1),
+                TemporalEdge(2, 3, 3, 4, 1),
+                TemporalEdge(3, 4, 5, 6, 1),
+            ]
+        )
+        tree = msta_stack(g, 0)
+        assert tree.arrival_times[3] == 4
+        assert tree.arrival_times[4] == 6
+
+
+class TestDispatch:
+    def test_auto_picks_stack_for_zero_durations(self, figure3):
+        tree = minimum_spanning_tree_a(figure3, 0)
+        assert 2 in tree.vertices
+
+    def test_auto_picks_chronological_otherwise(self, figure1):
+        tree = minimum_spanning_tree_a(figure1, 0)
+        assert tree.arrival_times[5] == 8
+
+    def test_explicit_choices(self, figure1):
+        a = minimum_spanning_tree_a(figure1, 0, algorithm="chronological")
+        b = minimum_spanning_tree_a(figure1, 0, algorithm="stack")
+        assert a.arrival_times == b.arrival_times
+
+    def test_unknown_algorithm(self, figure1):
+        with pytest.raises(ValueError):
+            minimum_spanning_tree_a(figure1, 0, algorithm="dijkstra")
+
+
+class TestCrossAlgorithmAgreement:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_alg1_alg2_oracle_agree_nonzero(self, seed):
+        g = random_temporal(seed, n=15, m=60)
+        expected = earliest_arrival_times(g, 0)
+        t1 = msta_chronological(g, 0)
+        t2 = msta_stack(g, 0)
+        assert t1.arrival_times == expected
+        assert t2.arrival_times == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_alg2_oracle_agree_zero_durations(self, seed):
+        g = random_temporal(seed, n=15, m=60, zero_duration=True)
+        expected = earliest_arrival_times(g, 0)
+        t2 = msta_stack(g, 0)
+        assert t2.arrival_times == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_trees_validate(self, seed):
+        g = random_temporal(seed, n=10, m=35)
+        for algorithm in ("chronological", "stack"):
+            tree = minimum_spanning_tree_a(g, 0, algorithm=algorithm)
+            tree.validate(g)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_windowed_agreement(self, seed):
+        g = random_temporal(seed, n=12, m=50)
+        w = TimeWindow(5, 25)
+        expected = earliest_arrival_times(g, 0, w)
+        assert msta_chronological(g, 0, w).arrival_times == expected
+        assert msta_stack(g, 0, w).arrival_times == expected

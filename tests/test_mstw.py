@@ -1,0 +1,156 @@
+"""Tests for the end-to-end ``MST_w`` pipeline and postprocessing."""
+
+import math
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_mstw_weight
+from repro.core.errors import UnreachableRootError
+from repro.core.mstw import minimum_spanning_tree_w, prepare_mstw_instance
+from repro.core.postprocess import closure_tree_to_temporal
+from repro.steiner.charikar import charikar_dst
+from repro.steiner.exact import exact_dst_cost
+from repro.steiner.instance import approximation_ratio
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.paths import reachable_set
+from repro.temporal.window import TimeWindow
+
+from tests.conftest import random_temporal
+
+
+class TestFigure2b:
+    """The paper's Example 2: a MST_w of weight 11 rooted at 0."""
+
+    @pytest.mark.parametrize("algorithm", ["charikar", "improved", "pruned"])
+    def test_all_algorithms_reach_optimum_at_level3(self, figure1, algorithm):
+        result = minimum_spanning_tree_w(figure1, 0, level=3, algorithm=algorithm)
+        assert result.weight == 11.0
+
+    def test_brute_force_confirms_11(self, figure1):
+        assert brute_force_mstw_weight(figure1, 0) == 11.0
+
+    def test_result_tree_validates(self, figure1):
+        result = minimum_spanning_tree_w(figure1, 0, level=2)
+        result.tree.validate(figure1)
+        assert result.tree.vertices == {0, 1, 2, 3, 4, 5}
+
+    def test_result_metadata(self, figure1):
+        result = minimum_spanning_tree_w(figure1, 0, level=2, algorithm="pruned")
+        assert result.num_terminals == 5
+        assert result.level == 2
+        assert result.algorithm == "pruned"
+        assert result.transformed_vertices > 6
+        assert result.preprocessing_seconds >= 0
+        assert result.solve_seconds >= 0
+
+    def test_postprocess_never_increases_cost(self, figure1):
+        # Theorem 6: final weight <= closure tree cost
+        result = minimum_spanning_tree_w(figure1, 0, level=2)
+        assert result.weight <= result.closure_tree_cost + 1e-9
+
+
+class TestArguments:
+    def test_unknown_algorithm(self, figure1):
+        with pytest.raises(ValueError):
+            minimum_spanning_tree_w(figure1, 0, algorithm="magic")
+
+    def test_bad_level(self, figure1):
+        with pytest.raises(ValueError):
+            minimum_spanning_tree_w(figure1, 0, level=0)
+
+    def test_isolated_root_raises(self):
+        g = TemporalGraph([TemporalEdge(1, 2, 0, 1, 1)], vertices=[0, 1, 2])
+        with pytest.raises(UnreachableRootError):
+            minimum_spanning_tree_w(g, 0)
+
+    def test_window_restricts_terminals(self, figure1):
+        result = minimum_spanning_tree_w(figure1, 0, window=TimeWindow(0, 6))
+        assert result.tree.vertices == {0, 1, 2, 3}
+
+
+class TestTheorem5:
+    """Exact DST on the transformed graph equals exact MST_w."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_dst_equals_brute_force_mstw(self, seed):
+        g = random_temporal(seed, n=6, m=14)
+        reach = reachable_set(g, 0)
+        if len(reach) < 3:
+            pytest.skip("root reaches too little for a meaningful check")
+        _, prepared = prepare_mstw_instance(g, 0)
+        assert exact_dst_cost(prepared) == pytest.approx(
+            brute_force_mstw_weight(g, 0)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 2, 4])
+    def test_exact_dst_equals_brute_force_zero_durations(self, seed):
+        g = random_temporal(seed, n=6, m=14, zero_duration=True)
+        if len(reachable_set(g, 0)) < 3:
+            pytest.skip("root reaches too little")
+        _, prepared = prepare_mstw_instance(g, 0)
+        assert exact_dst_cost(prepared) == pytest.approx(
+            brute_force_mstw_weight(g, 0)
+        )
+
+
+class TestTheorem6:
+    """Approximation guarantee carries over to MST_w."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_ratio_holds_vs_exact(self, seed, level):
+        g = random_temporal(seed, n=8, m=25)
+        if len(reachable_set(g, 0)) < 4:
+            pytest.skip("root reaches too little")
+        result = minimum_spanning_tree_w(g, 0, level=level)
+        opt = brute_force_mstw_weight(g, 0)
+        k = result.num_terminals
+        assert result.weight >= opt - 1e-9
+        assert result.weight <= approximation_ratio(level, k) * opt + 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("zero", [False, True])
+    def test_output_is_valid_spanning_tree(self, seed, zero):
+        g = random_temporal(seed, n=10, m=40, zero_duration=zero)
+        reach = reachable_set(g, 0)
+        if len(reach) < 2:
+            pytest.skip("root isolated")
+        result = minimum_spanning_tree_w(g, 0, level=2)
+        result.tree.validate(g)
+        assert result.tree.vertices == reach
+
+
+class TestPostprocessDirect:
+    def test_closure_tree_to_temporal_round_trip(self, figure1):
+        transformed, prepared = prepare_mstw_instance(figure1, 0)
+        closure_tree = charikar_dst(prepared, 2)
+        tree = closure_tree_to_temporal(transformed, prepared, closure_tree)
+        tree.validate(figure1)
+        assert tree.total_weight <= closure_tree.cost + 1e-9
+
+    def test_prepared_sizes_match_result(self, figure1):
+        transformed, prepared = prepare_mstw_instance(figure1, 0)
+        result = minimum_spanning_tree_w(figure1, 0, level=1)
+        assert transformed.num_vertices == result.transformed_vertices
+        assert transformed.num_edges == result.transformed_edges
+        assert prepared.num_terminals == result.num_terminals
+
+
+class TestLevelQuality:
+    def test_higher_levels_never_hugely_worse(self, figure1):
+        # Table 6's trend: weights shrink (or stay) as i grows on real data.
+        weights = [
+            minimum_spanning_tree_w(figure1, 0, level=i).weight for i in (1, 2, 3)
+        ]
+        assert weights[2] <= weights[0] + 1e-9
+
+    def test_level1_is_shortest_path_union(self, figure1):
+        from repro.temporal.paths import shortest_path_distances
+
+        result = minimum_spanning_tree_w(figure1, 0, level=1)
+        dist = shortest_path_distances(figure1, 0)
+        bound = sum(v for k, v in dist.items() if k != 0)
+        # level 1 buys each terminal its shortest path, deduplicated:
+        # the final weight is at most the sum of the path costs.
+        assert result.weight <= bound + 1e-9

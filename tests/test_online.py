@@ -1,0 +1,102 @@
+"""Tests for the streaming MST_a maintenance."""
+
+import pytest
+
+from repro.core.errors import GraphFormatError
+from repro.core.msta import msta_chronological
+from repro.core.online import OnlineMSTa
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.window import TimeWindow
+
+from tests.conftest import random_temporal
+
+
+class TestFeeding:
+    def test_matches_offline_algorithm1(self, figure1):
+        online = OnlineMSTa(0)
+        online.feed_many(figure1.chronological_edges())
+        offline = msta_chronological(figure1, 0)
+        assert online.arrival_times() == offline.arrival_times
+        assert online.snapshot().parent_edge == offline.parent_edge
+
+    def test_feed_returns_improvement_flag(self):
+        online = OnlineMSTa(0)
+        assert online.feed(TemporalEdge(0, 1, 1, 2, 1))
+        assert not online.feed(TemporalEdge(0, 1, 1, 3, 1))  # worse arrival
+        assert not online.feed(TemporalEdge(5, 6, 2, 3, 1))  # disconnected
+
+    def test_raw_tuples_accepted(self):
+        online = OnlineMSTa(0)
+        assert online.feed((0, 1, 1, 2, 1))
+
+    def test_order_enforced(self):
+        online = OnlineMSTa(0)
+        online.feed(TemporalEdge(0, 1, 5, 6, 1))
+        with pytest.raises(GraphFormatError, match="chronological"):
+            online.feed(TemporalEdge(0, 2, 3, 4, 1))
+
+    def test_order_enforcement_optional(self):
+        online = OnlineMSTa(0, enforce_order=False)
+        online.feed(TemporalEdge(0, 1, 5, 6, 1))
+        online.feed(TemporalEdge(0, 2, 3, 4, 1))  # no raise
+        assert online.coverage == 2
+
+    def test_window_filtering(self):
+        online = OnlineMSTa(0, TimeWindow(2, 10))
+        assert not online.feed(TemporalEdge(0, 1, 1, 3, 1))  # starts early
+        assert online.feed(TemporalEdge(0, 1, 3, 4, 1))
+        assert not online.feed(TemporalEdge(1, 2, 5, 11, 1))  # ends late
+
+
+class TestQueries:
+    def test_counters(self, figure1):
+        online = OnlineMSTa(0)
+        improved = online.feed_many(figure1.chronological_edges())
+        assert online.edges_seen == figure1.num_edges
+        assert online.edges_applied == improved
+        assert online.coverage == 5
+
+    def test_arrival_queries(self):
+        online = OnlineMSTa(0)
+        online.feed(TemporalEdge(0, 1, 1, 2, 1))
+        assert online.arrival_time(1) == 2
+        assert online.arrival_time(99) is None
+        assert online.arrival_time(0) == 0.0
+
+    def test_snapshot_is_independent(self):
+        online = OnlineMSTa(0)
+        online.feed(TemporalEdge(0, 1, 1, 2, 1))
+        snap = online.snapshot()
+        online.feed(TemporalEdge(1, 2, 3, 4, 1))
+        assert 2 not in snap.vertices
+        assert online.coverage == 2
+
+    def test_zero_duration_flag(self, figure3):
+        online = OnlineMSTa(0)
+        online.feed_many(figure3.chronological_edges())
+        assert online.may_be_incomplete
+        # the documented failure mode: vertex 2 is missed
+        assert online.arrival_time(2) is None
+
+    def test_positive_durations_flag_clear(self, figure1):
+        online = OnlineMSTa(0)
+        online.feed_many(figure1.chronological_edges())
+        assert not online.may_be_incomplete
+
+
+class TestAgainstOffline:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_streams(self, seed):
+        g = random_temporal(seed, n=14, m=60)
+        online = OnlineMSTa(0)
+        online.feed_many(g.chronological_edges())
+        offline = msta_chronological(g, 0)
+        assert online.arrival_times() == offline.arrival_times
+
+    def test_incremental_coverage_is_monotone(self, figure1):
+        online = OnlineMSTa(0)
+        coverages = []
+        for edge in figure1.chronological_edges():
+            online.feed(edge)
+            coverages.append(online.coverage)
+        assert coverages == sorted(coverages)

@@ -1,0 +1,122 @@
+"""Every worked example of the paper as a literal regression test.
+
+Example numbering follows Sections 2-4; each test cites the claim it
+encodes.
+"""
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_mstw_weight
+from repro.core.msta import msta_chronological, msta_stack
+from repro.core.mstw import minimum_spanning_tree_w, prepare_mstw_instance
+from repro.core.transformation import copy_label, dummy_label
+from repro.datasets.paper_examples import figure1_graph, figure3_graph
+from repro.steiner.exact import exact_dst_cost
+from repro.temporal.edge import TemporalEdge
+
+
+class TestExample1:
+    """The bold edge of Figure 1 is a call 0 -> 1 at [1, 3] with weight 2."""
+
+    def test_red_edge_present(self):
+        g = figure1_graph()
+        assert TemporalEdge(0, 1, 1, 3, 2) in g.edges
+
+    def test_weights_equal_durations(self):
+        g = figure1_graph()
+        assert all(e.weight == e.duration for e in g.edges)
+
+
+class TestExample2:
+    """Figure 2: MST_a arrivals 3,5,6,8,8; MST_w weight 11."""
+
+    def test_msta_arrivals(self):
+        tree = msta_chronological(figure1_graph(), 0)
+        assert [tree.arrival_times[v] for v in (1, 2, 3, 4, 5)] == [3, 5, 6, 8, 8]
+
+    def test_mstw_weight_is_11(self):
+        assert brute_force_mstw_weight(figure1_graph(), 0) == 11.0
+
+    def test_reachable_set_is_all_others(self):
+        from repro.temporal.paths import reachable_set
+
+        assert reachable_set(figure1_graph(), 0) == {0, 1, 2, 3, 4, 5}
+
+
+class TestExample3:
+    """Algorithm 1's trace on the chronological list of Figure 1."""
+
+    def test_first_two_edges_update(self):
+        g = figure1_graph()
+        tree = msta_chronological(g, 0)
+        assert tuple(tree.parent_edge[1]) == (0, 1, 1, 3, 2)
+        assert tuple(tree.parent_edge[2]) == (0, 2, 1, 5, 4)
+
+    def test_third_and_fourth_no_update(self):
+        # (0,2,3,6,3) and (0,1,4,5,1) fail the Line 3 condition
+        g = figure1_graph()
+        chron = g.chronological_edges()
+        arrival = {0: 0.0, 1: 3, 2: 5}
+        for e in (chron[2], chron[3]):
+            assert not (
+                e.start >= arrival.get(e.source, float("inf"))
+                and e.arrival < arrival.get(e.target, float("inf"))
+            )
+
+
+class TestExample4:
+    """Figure 3: Algorithm 1 fails on zero durations; vertex 2 is missed."""
+
+    def test_chronological_order_matches_paper(self):
+        order = [tuple(e) for e in figure3_graph().chronological_edges()]
+        assert order == [
+            (0, 1, 1, 1, 0),
+            (2, 0, 2, 2, 0),
+            (3, 1, 2, 2, 0),
+            (1, 4, 3, 3, 0),
+            (3, 2, 4, 4, 0),
+            (4, 3, 4, 4, 0),
+        ]
+
+    def test_alg1_misses_vertex_2(self):
+        tree = msta_chronological(figure3_graph(), 0, check_durations=False)
+        assert 2 not in tree.vertices
+
+    def test_alg2_covers_vertex_2(self):
+        tree = msta_stack(figure3_graph(), 0)
+        assert 2 in tree.vertices
+        assert tree.arrival_times[2] == 4
+
+
+class TestExample5:
+    """Figure 4: the transformation of Figure 1."""
+
+    def test_vertex1_copies(self):
+        transformed, _ = prepare_mstw_instance(figure1_graph(), 0)
+        assert transformed.arrival_instances[1] == [3, 5]
+        assert transformed.digraph.has_vertex(dummy_label(1))
+
+    def test_solid_edge_1_1_to_3(self):
+        transformed, _ = prepare_mstw_instance(figure1_graph(), 0)
+        g = transformed.digraph
+        src = g.index_of(copy_label(1, 0))
+        j = transformed.arrival_instances[3].index(6)
+        dst = g.index_of(copy_label(3, j))
+        assert (dst, 2.0) in g.out_neighbors(src)
+
+
+class TestExamples6and7:
+    """Postprocessing and the improved algorithm produce the weight-11 tree."""
+
+    @pytest.mark.parametrize("algorithm", ["charikar", "improved", "pruned"])
+    def test_level2_postprocessed_result(self, algorithm):
+        result = minimum_spanning_tree_w(
+            figure1_graph(), 0, level=2, algorithm=algorithm
+        )
+        result.tree.validate(figure1_graph())
+        # the approximation at i=2 already reaches the optimum here
+        assert result.weight == 11.0
+
+    def test_exact_dst_on_transformed_graph_is_11(self):
+        _, prepared = prepare_mstw_instance(figure1_graph(), 0)
+        assert exact_dst_cost(prepared) == 11.0

@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the DST solvers.
+
+Random rooted digraphs with float weights (ties have measure zero)
+exercise Theorem 7 / Theorem 9 (algorithm equivalence), the
+approximation guarantee against the exact solver, and cover validity.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.static.digraph import StaticDigraph
+from repro.steiner.charikar import charikar_dst
+from repro.steiner.exact import exact_dst_cost
+from repro.steiner.improved import improved_dst
+from repro.steiner.instance import DSTInstance, approximation_ratio, prepare_instance
+from repro.steiner.pruned import pruned_dst
+from repro.steiner.tree import expand_closure_tree, validate_covering_tree
+
+
+@st.composite
+def dst_instances(draw, max_vertices=10, max_extra_edges=14, max_terminals=4):
+    n = draw(st.integers(min_value=3, max_value=max_vertices))
+    g = StaticDigraph(range(n))
+    # backbone guarantees reachability of every vertex from root 0
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        w = draw(st.floats(min_value=0.1, max_value=10, allow_nan=False))
+        g.add_edge(parent, v, w)
+    extra = draw(st.integers(min_value=0, max_value=max_extra_edges))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        w = draw(st.floats(min_value=0.1, max_value=10, allow_nan=False))
+        g.add_edge(u, v, w)
+    k = draw(st.integers(min_value=1, max_value=min(max_terminals, n - 1)))
+    terminals = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=n - 1),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    return prepare_instance(DSTInstance(g, 0, tuple(terminals)))
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(prepared=dst_instances(), level=st.integers(min_value=1, max_value=3))
+def test_theorem7_and_9_equivalence(prepared, level):
+    c = charikar_dst(prepared, level)
+    i4 = improved_dst(prepared, level)
+    a6 = pruned_dst(prepared, level)
+    assert c.cost == pytest.approx(i4.cost)
+    assert c.cost == pytest.approx(a6.cost)
+
+
+@settings(max_examples=40, deadline=None)
+@given(prepared=dst_instances(), level=st.integers(min_value=1, max_value=3))
+def test_approximation_guarantee(prepared, level):
+    approx = pruned_dst(prepared, level).cost
+    opt = exact_dst_cost(prepared)
+    k = prepared.num_terminals
+    assert opt <= approx + 1e-6
+    assert approx <= approximation_ratio(level, k) * opt + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(prepared=dst_instances(), level=st.integers(min_value=1, max_value=3))
+def test_cover_complete_and_expandable(prepared, level):
+    tree = improved_dst(prepared, level)
+    assert tree.covered == frozenset(prepared.terminals)
+    cost, edges = expand_closure_tree(prepared, tree)
+    assert validate_covering_tree(prepared, edges)
+    assert cost <= tree.cost + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(prepared=dst_instances())
+def test_partial_k_monotone_cost(prepared):
+    """Covering more terminals can never be cheaper."""
+    k = prepared.num_terminals
+    costs = [pruned_dst(prepared, 2, k=j).cost for j in range(1, k + 1)]
+    assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(prepared=dst_instances())
+def test_exact_lower_bounds_every_level(prepared):
+    opt = exact_dst_cost(prepared)
+    for level in (1, 2, 3):
+        assert opt <= charikar_dst(prepared, level).cost + 1e-6

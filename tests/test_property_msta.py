@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) for the ``MST_a`` algorithms.
+
+Strategy: random temporal multigraphs with integer timestamps and
+optionally zero durations; properties assert the core invariants the
+paper proves -- agreement of Algorithms 1/2, Bhadra, and the
+fixpoint oracle, plus the structural spanning-tree conditions.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines.bhadra import bhadra_msta
+from repro.baselines.brute_force import brute_force_earliest_arrival
+from repro.core.msta import msta_chronological, msta_stack
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+
+@st.composite
+def temporal_graphs(draw, max_vertices=8, max_edges=24, allow_zero=True):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        start = draw(st.integers(min_value=0, max_value=20))
+        if allow_zero:
+            duration = draw(st.integers(min_value=0, max_value=4))
+        else:
+            duration = draw(st.integers(min_value=1, max_value=4))
+        weight = draw(st.integers(min_value=1, max_value=9))
+        edges.append(TemporalEdge(u, v, start, start + duration, weight))
+    return TemporalGraph(edges, vertices=range(n))
+
+
+@settings(max_examples=120, deadline=None)
+@given(graph=temporal_graphs(allow_zero=False))
+def test_alg1_matches_oracle_nonzero_durations(graph):
+    tree = msta_chronological(graph, 0)
+    assert tree.arrival_times == brute_force_earliest_arrival(graph, 0)
+
+
+@settings(max_examples=120, deadline=None)
+@given(graph=temporal_graphs(allow_zero=True))
+def test_alg2_matches_oracle_any_durations(graph):
+    tree = msta_stack(graph, 0)
+    assert tree.arrival_times == brute_force_earliest_arrival(graph, 0)
+
+
+@settings(max_examples=120, deadline=None)
+@given(graph=temporal_graphs(allow_zero=True))
+def test_bhadra_matches_alg2(graph):
+    assert (
+        bhadra_msta(graph, 0).arrival_times == msta_stack(graph, 0).arrival_times
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=temporal_graphs(allow_zero=True))
+def test_tree_structure_invariants(graph):
+    tree = msta_stack(graph, 0)
+    tree.validate(graph)
+    # every non-root covered vertex has exactly one in-edge targeting it
+    for v, edge in tree.parent_edge.items():
+        assert edge.target == v
+        assert edge.source in tree.vertices
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    graph=temporal_graphs(allow_zero=True),
+    t_alpha=st.integers(min_value=0, max_value=10),
+    length=st.integers(min_value=0, max_value=15),
+)
+def test_windowed_agreement(graph, t_alpha, length):
+    window = TimeWindow(t_alpha, t_alpha + length)
+    expected = brute_force_earliest_arrival(graph, 0, window)
+    assert msta_stack(graph, 0, window).arrival_times == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=temporal_graphs(allow_zero=False))
+def test_arrival_times_are_edge_arrivals_or_t_alpha(graph):
+    tree = msta_chronological(graph, 0)
+    arrivals = {e.arrival for e in graph.edges} | {0.0}
+    assert set(tree.arrival_times.values()) <= arrivals
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=temporal_graphs(allow_zero=True))
+def test_msta_minimises_max_arrival(graph):
+    """Section 2.3: MST_a also minimises the maximum arrival time."""
+    tree = msta_stack(graph, 0)
+    oracle = brute_force_earliest_arrival(graph, 0)
+    if len(oracle) > 1:
+        assert tree.max_arrival_time == max(oracle.values())

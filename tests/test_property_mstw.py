@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the full ``MST_w`` pipeline."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.baselines.brute_force import brute_force_mstw_weight
+from repro.core.mstw import minimum_spanning_tree_w, prepare_mstw_instance
+from repro.steiner.exact import exact_dst_cost
+from repro.steiner.instance import approximation_ratio
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.paths import reachable_set
+
+
+@st.composite
+def reachable_graphs(draw, max_vertices=6, max_extra=8, allow_zero=True):
+    """Temporal graphs where every vertex is reachable from root 0."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    edges = []
+    arrival = {0: 0}
+    for v in range(1, n):
+        parent = draw(st.sampled_from(sorted(arrival)))
+        start = arrival[parent] + draw(st.integers(min_value=0, max_value=3))
+        duration = (
+            draw(st.integers(min_value=0, max_value=2))
+            if allow_zero
+            else draw(st.integers(min_value=1, max_value=2))
+        )
+        weight = draw(st.integers(min_value=1, max_value=9))
+        edges.append(TemporalEdge(parent, v, start, start + duration, weight))
+        arrival[v] = start + duration
+    extra = draw(st.integers(min_value=0, max_value=max_extra))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        start = draw(st.integers(min_value=0, max_value=12))
+        duration = draw(st.integers(min_value=0 if allow_zero else 1, max_value=2))
+        weight = draw(st.integers(min_value=1, max_value=9))
+        edges.append(TemporalEdge(u, v, start, start + duration, weight))
+    return TemporalGraph(edges, vertices=range(n))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=reachable_graphs(), level=st.integers(min_value=1, max_value=3))
+def test_pipeline_output_is_valid_spanning_tree(graph, level):
+    result = minimum_spanning_tree_w(graph, 0, level=level)
+    result.tree.validate(graph)
+    assert result.tree.vertices == reachable_set(graph, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=reachable_graphs(max_vertices=5), level=st.integers(min_value=1, max_value=3))
+def test_pipeline_respects_approximation_ratio(graph, level):
+    result = minimum_spanning_tree_w(graph, 0, level=level)
+    opt = brute_force_mstw_weight(graph, 0)
+    k = result.num_terminals
+    assert result.weight >= opt - 1e-9
+    assert result.weight <= approximation_ratio(level, k) * opt + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=reachable_graphs(max_vertices=5))
+def test_theorem5_exact_dst_is_exact_mstw(graph):
+    assume(len(reachable_set(graph, 0)) > 1)
+    _, prepared = prepare_mstw_instance(graph, 0)
+    assert exact_dst_cost(prepared) == pytest.approx(
+        brute_force_mstw_weight(graph, 0)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=reachable_graphs())
+def test_postprocessing_never_increases_cost(graph):
+    result = minimum_spanning_tree_w(graph, 0, level=2)
+    assert result.weight <= result.closure_tree_cost + 1e-9
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(graph=reachable_graphs())
+def test_algorithms_agree_through_pipeline(graph):
+    weights = {
+        algorithm: minimum_spanning_tree_w(graph, 0, level=2, algorithm=algorithm).weight
+        for algorithm in ("charikar", "improved", "pruned")
+    }
+    values = list(weights.values())
+    assert values[0] == pytest.approx(values[1])
+    assert values[0] == pytest.approx(values[2])

@@ -1,0 +1,98 @@
+"""Property-based tests for the temporal path algorithms."""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.paths import (
+    earliest_arrival_times,
+    fastest_path_durations,
+    latest_departure_times,
+    reachable_set,
+    shortest_path_distances,
+)
+from repro.temporal.window import TimeWindow
+
+
+@st.composite
+def graphs(draw, max_vertices=7, max_edges=20):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        start = draw(st.integers(min_value=0, max_value=15))
+        duration = draw(st.integers(min_value=0, max_value=4))
+        weight = draw(st.integers(min_value=1, max_value=9))
+        edges.append(TemporalEdge(u, v, start, start + duration, weight))
+    return TemporalGraph(edges, vertices=range(n))
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=graphs())
+def test_earliest_arrival_is_monotone_under_window_growth(graph):
+    narrow = earliest_arrival_times(graph, 0, TimeWindow(0, 10))
+    wide = earliest_arrival_times(graph, 0, TimeWindow(0, 20))
+    # widening the window can only add reachable vertices, never worsen
+    for v, t in narrow.items():
+        assert v in wide
+        assert wide[v] <= t
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=graphs())
+def test_fastest_never_slower_than_foremost_span(graph):
+    arrivals = earliest_arrival_times(graph, 0)
+    fastest = fastest_path_durations(graph, 0)
+    for v, t in arrivals.items():
+        if v == 0:
+            continue
+        assert v in fastest
+        # fastest duration <= foremost arrival - t_alpha
+        assert fastest[v] <= t - 0 + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=graphs())
+def test_shortest_cost_at_most_foremost_path_cost(graph):
+    shortest = shortest_path_distances(graph, 0)
+    arrivals = earliest_arrival_times(graph, 0)
+    # same reachable set, and cost lower-bounded by cheapest single edge
+    assert set(shortest) == set(arrivals)
+    if graph.num_edges:
+        cheapest_edge = min(e.weight for e in graph.edges)
+        for v, cost in shortest.items():
+            if v != 0:
+                assert cost >= cheapest_edge - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=graphs(), horizon=st.integers(min_value=5, max_value=25))
+def test_latest_departure_duality(graph, horizon):
+    """If v can leave at time L(v) and reach the target, then the target
+    is reachable from v within [L(v), horizon] -- and not from any later
+    departure."""
+    target = 1
+    departures = latest_departure_times(graph, target, TimeWindow(0, horizon))
+    for v, leave in departures.items():
+        if v == target:
+            continue
+        reachable = reachable_set(graph, v, TimeWindow(leave, horizon))
+        assert target in reachable
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=graphs())
+def test_reachability_is_transitive(graph):
+    reach_0 = reachable_set(graph, 0)
+    arrivals = earliest_arrival_times(graph, 0)
+    for v in list(reach_0)[:4]:
+        # everything reachable from v after its arrival is reachable from 0
+        onward = reachable_set(graph, v, TimeWindow(arrivals[v], math.inf))
+        assert onward <= reach_0

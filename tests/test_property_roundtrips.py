@@ -1,0 +1,98 @@
+"""Property-based round-trip tests for serialisation layers.
+
+Fuzzes the native edge-list format, the SteinLib ``.stp`` writer/parser,
+and the spanning-tree JSON export with hypothesis-generated inputs.
+"""
+
+import io
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.export import tree_from_json, tree_to_json
+from repro.core.spanning_tree import TemporalSpanningTree
+from repro.steiner.steinlib import SteinLibProblem, parse_stp, write_stp
+from repro.temporal import io as tio
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+vertices = st.integers(min_value=0, max_value=50)
+times = st.integers(min_value=0, max_value=1000)
+weights = st.integers(min_value=0, max_value=100)
+
+
+@st.composite
+def temporal_edges(draw):
+    u = draw(vertices)
+    v = draw(vertices.filter(lambda x: True))
+    start = draw(times)
+    duration = draw(st.integers(min_value=0, max_value=50))
+    w = draw(weights)
+    return TemporalEdge(u, v, float(start), float(start + duration), float(w))
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=st.lists(temporal_edges(), max_size=30))
+def test_native_io_round_trip(edges):
+    graph = TemporalGraph(edges)
+    buffer = io.StringIO()
+    tio.write_native(graph, buffer)
+    loaded = tio.read_native(io.StringIO(buffer.getvalue()))
+    assert sorted(map(tuple, loaded.edges)) == sorted(map(tuple, graph.edges))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    num_vertices=st.integers(min_value=2, max_value=20),
+    data=st.data(),
+)
+def test_stp_round_trip(num_vertices, data):
+    num_edges = data.draw(st.integers(min_value=1, max_value=30))
+    edges = []
+    for _ in range(num_edges):
+        u = data.draw(st.integers(min_value=1, max_value=num_vertices))
+        v = data.draw(st.integers(min_value=1, max_value=num_vertices))
+        if u == v:
+            continue
+        edges.append((u, v, float(data.draw(st.integers(1, 10)))))
+    if not edges:
+        return
+    k = data.draw(st.integers(min_value=1, max_value=num_vertices))
+    terminals = tuple(sorted(set(
+        data.draw(st.integers(min_value=1, max_value=num_vertices))
+        for _ in range(k)
+    )))
+    problem = SteinLibProblem(
+        "fuzz", num_vertices, tuple(edges), terminals, root=terminals[0]
+    )
+    again = parse_stp(write_stp(problem), name="fuzz")
+    assert again.num_vertices == problem.num_vertices
+    assert again.edges == problem.edges
+    assert again.terminals == problem.terminals
+    assert again.root == problem.root
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_tree_json_round_trip(data):
+    # build a random valid rooted tree on 1..n with increasing times
+    n = data.draw(st.integers(min_value=1, max_value=12))
+    parent_edge = {}
+    arrival = {0: 0.0}
+    for v in range(1, n + 1):
+        parent = data.draw(st.integers(min_value=0, max_value=v - 1))
+        start = arrival[parent] + data.draw(st.integers(0, 5))
+        duration = data.draw(st.integers(0, 5))
+        weight = float(data.draw(st.integers(0, 9)))
+        edge = TemporalEdge(parent, v, float(start), float(start + duration), weight)
+        parent_edge[v] = edge
+        arrival[v] = edge.arrival
+    t_omega = data.draw(st.sampled_from([float("inf"), max(arrival.values()) + 1]))
+    tree = TemporalSpanningTree(0, parent_edge, TimeWindow(0.0, t_omega))
+    tree.validate()
+    restored = tree_from_json(tree_to_json(tree))
+    assert restored.root == tree.root
+    assert restored.parent_edge == tree.parent_edge
+    assert restored.window == tree.window
+    restored.validate()

@@ -1,0 +1,102 @@
+"""Property-based tests for the static substrate."""
+
+import math
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.static.arborescence import (
+    arborescence_weight,
+    minimum_spanning_arborescence,
+)
+from repro.static.closure import build_metric_closure
+from repro.static.dag import build_metric_closure_dag, topological_order
+from repro.static.digraph import StaticDigraph
+from repro.static.mst import kruskal_mst, prim_mst, tree_weight
+
+
+@st.composite
+def digraphs(draw, max_vertices=8, max_edges=20, rooted=True):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    g = StaticDigraph(range(n))
+    if rooted:
+        for v in range(1, n):
+            parent = draw(st.integers(min_value=0, max_value=v - 1))
+            g.add_edge(parent, v, draw(st.floats(0.1, 9, allow_nan=False)))
+    extra = draw(st.integers(min_value=0, max_value=max_edges))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            g.add_edge(u, v, draw(st.floats(0.1, 9, allow_nan=False)))
+    return g
+
+
+@settings(max_examples=80, deadline=None)
+@given(g=digraphs())
+def test_closure_triangle_inequality(g):
+    closure = build_metric_closure(g)
+    n = g.num_vertices
+    for a in range(n):
+        for b in range(n):
+            via = closure.dist[a] + closure.dist[:, b]
+            assert closure.dist[a, b] <= via.min() + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(g=digraphs())
+def test_closure_paths_realise_distances(g):
+    closure = build_metric_closure(g)
+    for a in range(g.num_vertices):
+        for b in range(g.num_vertices):
+            if a != b and closure.is_reachable(a, b):
+                edges = closure.path_edges(a, b)
+                assert sum(w for _, _, w in edges) == pytest.approx(
+                    closure.cost(a, b)
+                )
+
+
+@settings(max_examples=60, deadline=None)
+@given(g=digraphs())
+def test_arborescence_spans_with_minimal_weight_vs_greedy_bound(g):
+    tree = minimum_spanning_arborescence(list(g.iter_labeled_edges()), 0)
+    # structural: one in-edge per non-root vertex
+    targets = sorted(v for _, v, _ in tree)
+    assert targets == list(range(1, g.num_vertices))
+    # lower bound: sum over vertices of the cheapest in-edge
+    cheapest_in = {}
+    for u, v, w in g.iter_labeled_edges():
+        if u != v and v != 0:
+            cheapest_in[v] = min(cheapest_in.get(v, math.inf), w)
+    lower = sum(cheapest_in.values())
+    assert arborescence_weight(tree) >= lower - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_kruskal_equals_prim_on_connected_graphs(seed):
+    rng = random.Random(seed)
+    n = rng.randint(3, 10)
+    edges = [(i - 1, i, rng.uniform(0.1, 9)) for i in range(1, n)]
+    edges += [
+        (rng.randrange(n), rng.randrange(n), rng.uniform(0.1, 9))
+        for _ in range(rng.randint(0, 12))
+    ]
+    edges = [(u, v, w) for u, v, w in edges if u != v]
+    assert tree_weight(kruskal_mst(edges)) == pytest.approx(
+        tree_weight(prim_mst(edges, 0))
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(g=digraphs())
+def test_dag_closure_equals_dijkstra_when_acyclic(g):
+    if topological_order(g) is None:
+        return  # cyclic draw; nothing to check
+    dag = build_metric_closure_dag(g)
+    dij = build_metric_closure(g)
+    import numpy as np
+
+    assert np.allclose(dag.dist, dij.dist)

@@ -1,0 +1,92 @@
+"""Property-based tests for timestamp transforms and invariances.
+
+The MST algorithms should be invariant under time translation and
+positive scaling; these are algebraic facts about the problem
+definition, and make good hypothesis targets.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.msta import msta_stack
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.transforms import (
+    normalize_epoch,
+    quantize_timestamps,
+    scale_time,
+    shift_time,
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=7, max_edges=18):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    edges = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_edges))):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        start = draw(st.integers(min_value=0, max_value=40))
+        duration = draw(st.integers(min_value=0, max_value=6))
+        edges.append(TemporalEdge(u, v, start, start + duration, 1.0))
+    return TemporalGraph(edges, vertices=range(n))
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=graphs(), offset=st.integers(min_value=0, max_value=100))
+def test_msta_invariant_under_time_shift(graph, offset):
+    base = msta_stack(graph, 0).arrival_times
+    shifted = msta_stack(shift_time(graph, offset), 0).arrival_times
+    assert set(base) == set(shifted)
+    for v, t in base.items():
+        if v != 0:
+            assert shifted[v] == t + offset
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=graphs(), factor=st.integers(min_value=1, max_value=10))
+def test_msta_invariant_under_time_scaling(graph, factor):
+    base = msta_stack(graph, 0).arrival_times
+    scaled = msta_stack(scale_time(graph, factor), 0).arrival_times
+    assert set(base) == set(scaled)
+    for v, t in base.items():
+        if v != 0:
+            assert scaled[v] == pytest.approx(t * factor)
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=graphs())
+def test_normalize_epoch_is_idempotent(graph):
+    if graph.num_edges == 0:
+        return
+    once = normalize_epoch(graph)
+    twice = normalize_epoch(once)
+    assert [tuple(e) for e in once.edges] == [tuple(e) for e in twice.edges]
+    assert once.time_span()[0] == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=graphs(), granularity=st.integers(min_value=1, max_value=20))
+def test_quantize_is_idempotent(graph, granularity):
+    if graph.num_edges == 0:
+        return
+    once = quantize_timestamps(graph, granularity)
+    twice = quantize_timestamps(once, granularity)
+    assert [tuple(e) for e in once.edges] == [tuple(e) for e in twice.edges]
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=graphs(), granularity=st.integers(min_value=1, max_value=20))
+def test_quantize_only_extends_reachability(graph, granularity):
+    """Snapping times down can merge events but never break an existing
+    time-respecting path: if a path was feasible, its quantised version
+    still is (gaps only widen or stay when starts move down at least as
+    much as the preceding arrivals)."""
+    from repro.temporal.paths import reachable_set
+
+    base = reachable_set(graph, 0)
+    quantized = reachable_set(quantize_timestamps(graph, granularity), 0)
+    assert base <= quantized

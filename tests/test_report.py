@@ -1,0 +1,48 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.experiments.report import PAPER_CLAIMS, build_report, table_to_markdown
+from repro.experiments.runner import TableResult
+
+
+class TestTableToMarkdown:
+    def test_structure(self):
+        result = TableResult("x", "Title", ["a", "b"])
+        result.add_row(1, 2.0)
+        md = table_to_markdown(result)
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.000 |"
+
+    def test_dash_cells_preserved(self):
+        result = TableResult("x", "T", ["a"])
+        result.add_row("-")
+        assert "| - |" in table_to_markdown(result)
+
+
+class TestBuildReport:
+    def test_single_experiment(self):
+        report = build_report(["table1"], quick=True)
+        assert report.startswith("# Regenerated evaluation")
+        assert "## Table 1" in report
+        assert "*Paper claim:*" in report
+        assert "| dataset |" in report
+
+    def test_notes_become_quotes(self):
+        report = build_report(["table1"], quick=True)
+        assert "> regimes preserved" in report
+
+    def test_claims_cover_all_experiments(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert set(PAPER_CLAIMS) == set(EXPERIMENTS)
+
+    def test_cli_markdown_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(["experiment", "table1", "--quick", "--markdown", str(out)])
+        assert code == 0
+        assert "## Table 1" in out.read_text()

@@ -1,0 +1,97 @@
+"""Tests for sliding-window sweeps."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.sliding import (
+    WindowMeasurement,
+    iter_windows,
+    sliding_msta,
+    sliding_mstw,
+)
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+from tests.conftest import random_temporal
+
+
+class TestIterWindows:
+    def test_covers_full_range(self, figure1):
+        windows = list(iter_windows(figure1, window_length=4, step=2))
+        t_start, t_end = figure1.time_span()
+        assert windows[0].t_alpha == t_start
+        assert windows[-1].t_omega == t_end
+        assert all(w.length == pytest.approx(4) for w in windows)
+
+    def test_default_step_is_half_length(self, figure1):
+        windows = list(iter_windows(figure1, window_length=4))
+        assert windows[1].t_alpha - windows[0].t_alpha == pytest.approx(2)
+
+    def test_oversized_window_collapses_to_range(self, figure1):
+        windows = list(iter_windows(figure1, window_length=1000))
+        assert len(windows) == 1
+        assert windows[0].as_tuple() == figure1.time_span()
+
+    def test_invalid_arguments(self, figure1):
+        with pytest.raises(ReproError):
+            list(iter_windows(figure1, window_length=0))
+        with pytest.raises(ReproError):
+            list(iter_windows(figure1, window_length=2, step=0))
+
+    def test_windows_are_monotone(self, figure1):
+        windows = list(iter_windows(figure1, window_length=3, step=1))
+        starts = [w.t_alpha for w in windows]
+        assert starts == sorted(starts)
+
+
+class TestSlidingMsta:
+    def test_figure1_sweep(self, figure1):
+        sweep = sliding_msta(figure1, 0, window_length=5, step=2)
+        assert len(sweep) >= 2
+        # early windows reach something, late windows (root inactive) do not
+        assert sweep[0].coverage > 0
+        assert all(isinstance(m, WindowMeasurement) for m in sweep)
+
+    def test_full_window_matches_direct_computation(self, figure1):
+        from repro.core.msta import minimum_spanning_tree_a
+
+        sweep = sliding_msta(figure1, 0, window_length=1000)
+        direct = minimum_spanning_tree_a(
+            figure1, 0, TimeWindow(*figure1.time_span())
+        )
+        assert sweep[0].coverage == direct.num_edges
+
+    def test_root_absent_from_window(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 1, 1), TemporalEdge(2, 3, 10, 11, 1)]
+        )
+        sweep = sliding_msta(g, 0, window_length=3, step=3)
+        assert sweep[-1].tree is None
+        assert sweep[-1].coverage == 0
+        assert sweep[-1].makespan is None
+
+    def test_measurement_properties(self, figure1):
+        sweep = sliding_msta(figure1, 0, window_length=8, step=4)
+        first = sweep[0]
+        assert first.cost == first.tree.total_weight
+        assert first.makespan == first.tree.max_arrival_time
+
+
+class TestSlidingMstw:
+    def test_costs_positive_where_covered(self, figure1):
+        sweep = sliding_mstw(figure1, 0, window_length=8, step=4, level=2)
+        covered = [m for m in sweep if m.coverage > 0]
+        assert covered
+        assert all(m.cost > 0 for m in covered)
+
+    def test_trees_validate(self, figure1):
+        for m in sliding_mstw(figure1, 0, window_length=6, step=3):
+            if m.tree is not None:
+                m.tree.validate()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs_do_not_crash(self, seed):
+        g = random_temporal(seed, n=10, m=40)
+        sweep = sliding_mstw(g, 0, window_length=12, step=6, level=1)
+        assert len(sweep) >= 1

@@ -1,0 +1,79 @@
+"""Tests for time-slice snapshots."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.snapshots import (
+    activity_profile,
+    coverage_lost_by_snapshotting,
+    iter_snapshots,
+    snapshot_list,
+)
+
+
+@pytest.fixture
+def bursty():
+    """Two bursts of activity separated by silence."""
+    return TemporalGraph(
+        [
+            TemporalEdge(0, 1, 0, 1, 1),
+            TemporalEdge(1, 2, 2, 3, 1),
+            TemporalEdge(0, 2, 18, 19, 1),
+            TemporalEdge(2, 3, 19, 20, 1),
+            TemporalEdge(1, 3, 9, 11, 1),  # spans the bucket boundary at 10
+        ]
+    )
+
+
+class TestIterSnapshots:
+    def test_buckets_cover_time_span(self, bursty):
+        snaps = snapshot_list(bursty, 10)
+        assert snaps[0].window.t_alpha == 0
+        assert snaps[-1].window.t_omega == 20
+
+    def test_edges_assigned_to_buckets(self, bursty):
+        snaps = snapshot_list(bursty, 10)
+        assert snaps[0].num_contacts == 2  # the early burst
+        assert snaps[1].num_contacts == 2  # the late burst
+
+    def test_spanning_edge_dropped(self, bursty):
+        snaps = snapshot_list(bursty, 10)
+        total = sum(s.num_contacts for s in snaps)
+        assert total == bursty.num_edges - 1  # the (9, 11) edge is lost
+
+    def test_vertices_preserved(self, bursty):
+        snaps = snapshot_list(bursty, 10)
+        for snap in snaps:
+            assert snap.graph.vertices == bursty.vertices
+
+    def test_invalid_arguments(self, bursty):
+        with pytest.raises(ReproError):
+            list(iter_snapshots(bursty, 0))
+        with pytest.raises(ReproError):
+            list(iter_snapshots(TemporalGraph([], vertices=[0]), 5))
+
+    def test_static_view(self, bursty):
+        snap = snapshot_list(bursty, 10)[0]
+        static = snap.static_view()
+        assert static.num_edges == 2
+
+
+class TestProfiles:
+    def test_activity_profile(self, bursty):
+        profile = activity_profile(bursty, 10)
+        assert profile == [(0, 2), (10, 2)]
+
+    def test_coverage_loss_accounting(self, bursty):
+        report = coverage_lost_by_snapshotting(bursty, 10)
+        assert report == {"total_edges": 5, "kept": 4, "lost": 1}
+
+    def test_huge_bucket_keeps_everything(self, bursty):
+        report = coverage_lost_by_snapshotting(bursty, 100)
+        assert report["lost"] == 0
+
+    def test_fine_buckets_lose_more(self, bursty):
+        coarse = coverage_lost_by_snapshotting(bursty, 50)["lost"]
+        fine = coverage_lost_by_snapshotting(bursty, 2)["lost"]
+        assert fine >= coarse

@@ -1,0 +1,121 @@
+"""Tests for the TemporalSpanningTree result object."""
+
+import pytest
+
+from repro.core.errors import InvalidTreeError
+from repro.core.spanning_tree import TemporalSpanningTree, arrival_map_of
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.window import TimeWindow
+
+
+def small_tree():
+    return TemporalSpanningTree(
+        "r",
+        {
+            "a": TemporalEdge("r", "a", 1, 2, 5),
+            "b": TemporalEdge("a", "b", 3, 4, 7),
+        },
+    )
+
+
+class TestStructure:
+    def test_vertices_and_edges(self):
+        t = small_tree()
+        assert t.vertices == {"r", "a", "b"}
+        assert t.num_edges == 2
+        assert len(t.edges) == 2
+
+    def test_parents(self):
+        t = small_tree()
+        assert t.parent("r") is None
+        assert t.parent("a") == "r"
+        assert t.parent("b") == "a"
+
+    def test_children(self):
+        t = small_tree()
+        assert t.children() == {"r": ["a"], "a": ["b"]}
+
+    def test_path_to(self):
+        t = small_tree()
+        path = t.path_to("b")
+        assert [e.target for e in path] == ["a", "b"]
+        assert t.path_to("r") == []
+
+    def test_path_to_uncovered_raises(self):
+        with pytest.raises(KeyError):
+            small_tree().path_to("zz")
+
+    def test_root_with_in_edge_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            TemporalSpanningTree("r", {"r": TemporalEdge("a", "r", 0, 1, 1)})
+
+    def test_parent_cycle_detected(self):
+        t = TemporalSpanningTree(
+            "r",
+            {
+                "a": TemporalEdge("b", "a", 0, 1, 1),
+                "b": TemporalEdge("a", "b", 0, 1, 1),
+            },
+        )
+        with pytest.raises(InvalidTreeError, match="cycle"):
+            t.path_to("a")
+
+
+class TestObjectives:
+    def test_total_weight(self):
+        assert small_tree().total_weight == 12
+
+    def test_arrival_times(self):
+        t = small_tree()
+        assert t.arrival_times == {"r": 0.0, "a": 2, "b": 4}
+        assert arrival_map_of(t) == t.arrival_times
+
+    def test_max_arrival(self):
+        assert small_tree().max_arrival_time == 4
+
+    def test_window_sets_root_arrival(self):
+        t = TemporalSpanningTree(
+            "r", {"a": TemporalEdge("r", "a", 5, 6, 1)}, TimeWindow(5, 10)
+        )
+        assert t.arrival_times["r"] == 5
+
+
+class TestValidate:
+    def test_valid_tree_passes(self):
+        small_tree().validate()
+
+    def test_edge_outside_window(self):
+        t = TemporalSpanningTree(
+            "r", {"a": TemporalEdge("r", "a", 1, 20, 1)}, TimeWindow(0, 10)
+        )
+        with pytest.raises(InvalidTreeError, match="outside"):
+            t.validate()
+
+    def test_time_constraint_violation(self):
+        t = TemporalSpanningTree(
+            "r",
+            {
+                "a": TemporalEdge("r", "a", 0, 5, 1),
+                "b": TemporalEdge("a", "b", 3, 4, 1),  # departs before a is reached
+            },
+        )
+        with pytest.raises(InvalidTreeError, match="time constraint"):
+            t.validate()
+
+    def test_wrong_target_mapping(self):
+        t = TemporalSpanningTree("r", {"a": TemporalEdge("r", "b", 0, 1, 1)})
+        with pytest.raises(InvalidTreeError, match="targets"):
+            t.validate()
+
+    def test_edge_not_in_graph(self, figure1):
+        t = TemporalSpanningTree("0?", {})
+        t2 = TemporalSpanningTree(0, {1: TemporalEdge(0, 1, 1, 3, 99)})
+        with pytest.raises(InvalidTreeError, match="not an edge"):
+            t2.validate(figure1)
+
+    def test_departure_before_window_start(self):
+        t = TemporalSpanningTree(
+            "r", {"a": TemporalEdge("r", "a", 1, 3, 1)}, TimeWindow(2, 10)
+        )
+        with pytest.raises(InvalidTreeError):
+            t.validate()

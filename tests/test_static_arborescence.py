@@ -1,0 +1,129 @@
+"""Unit tests for Chu-Liu/Edmonds minimum spanning arborescences."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.errors import UnreachableRootError
+from repro.static.arborescence import (
+    arborescence_weight,
+    minimum_spanning_arborescence,
+)
+
+
+def brute_force_weight(edges, root):
+    """Exhaustive minimum over all in-edge assignments forming an arborescence."""
+    vertices = {root}
+    for u, v, _ in edges:
+        vertices.update((u, v))
+    others = sorted(v for v in vertices if v != root)
+    candidates = [[e for e in edges if e[1] == v and e[0] != v] for v in others]
+    best = float("inf")
+    for choice in itertools.product(*candidates):
+        parent = {v: e[0] for v, e in zip(others, choice)}
+        ok = True
+        for v in others:
+            seen = set()
+            cur = v
+            while cur != root:
+                if cur in seen or cur not in parent:
+                    ok = False
+                    break
+                seen.add(cur)
+                cur = parent[cur]
+            if not ok:
+                break
+        if ok:
+            best = min(best, sum(e[2] for e in choice))
+    return best
+
+
+class TestBasics:
+    def test_line(self):
+        edges = [(0, 1, 2.0), (1, 2, 3.0)]
+        tree = minimum_spanning_arborescence(edges, 0)
+        assert set(tree) == set(edges)
+
+    def test_picks_cheaper_in_edge(self):
+        edges = [(0, 1, 5.0), (0, 2, 1.0), (2, 1, 1.0)]
+        tree = minimum_spanning_arborescence(edges, 0)
+        assert arborescence_weight(tree) == 2.0
+
+    def test_unreachable_raises(self):
+        with pytest.raises(UnreachableRootError):
+            minimum_spanning_arborescence([(1, 2, 1.0)], 0)
+
+    def test_self_loops_ignored(self):
+        edges = [(0, 0, 0.5), (0, 1, 1.0)]
+        tree = minimum_spanning_arborescence(edges, 0)
+        assert tree == [(0, 1, 1.0)]
+
+    def test_parallel_edges(self):
+        edges = [(0, 1, 9.0), (0, 1, 2.0)]
+        tree = minimum_spanning_arborescence(edges, 0)
+        assert tree == [(0, 1, 2.0)]
+
+
+class TestCycles:
+    def test_two_cycle_resolved(self):
+        # Cheapest in-edges 1<-2 and 2<-1 form a cycle; must break it via 0.
+        edges = [(0, 1, 10.0), (0, 2, 10.0), (1, 2, 1.0), (2, 1, 1.0)]
+        tree = minimum_spanning_arborescence(edges, 0)
+        assert arborescence_weight(tree) == 11.0
+        assert len(tree) == 2
+
+    def test_three_cycle(self):
+        edges = [
+            (0, 1, 8.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 1, 1.0),
+            (0, 3, 4.0),
+        ]
+        tree = minimum_spanning_arborescence(edges, 0)
+        # enter the cycle via (0,3): 4 + 1 + 1
+        assert arborescence_weight(tree) == 6.0
+
+    def test_nested_cycles(self):
+        edges = [
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (3, 4, 1.0),
+            (4, 3, 1.0),
+            (2, 3, 2.0),
+            (0, 1, 5.0),
+        ]
+        tree = minimum_spanning_arborescence(edges, 0)
+        assert arborescence_weight(tree) == 9.0
+        assert len(tree) == 4
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_small_graphs(self, seed):
+        rng = random.Random(seed)
+        n = 5
+        edges = [(0, v, float(rng.randint(1, 9))) for v in range(1, n)]
+        edges += [
+            (rng.randrange(n), rng.randrange(n), float(rng.randint(1, 9)))
+            for _ in range(8)
+        ]
+        edges = [(u, v, w) for u, v, w in edges if u != v]
+        tree = minimum_spanning_arborescence(edges, 0)
+        assert arborescence_weight(tree) == pytest.approx(
+            brute_force_weight(edges, 0)
+        )
+
+    def test_each_vertex_one_in_edge(self):
+        rng = random.Random(99)
+        n = 7
+        edges = [(0, v, float(rng.randint(1, 9))) for v in range(1, n)]
+        edges += [
+            (rng.randrange(n), rng.randrange(n), float(rng.randint(1, 9)))
+            for _ in range(15)
+        ]
+        edges = [(u, v, w) for u, v, w in edges if u != v]
+        tree = minimum_spanning_arborescence(edges, 0)
+        targets = [v for _, v, _ in tree]
+        assert sorted(targets) == list(range(1, n))

@@ -1,0 +1,81 @@
+"""Unit tests for the metric (transitive) closure."""
+
+import math
+
+from repro.static.closure import build_metric_closure
+from repro.static.digraph import StaticDigraph
+
+
+def build(edges, n=None):
+    g = StaticDigraph(range(n) if n else None)
+    for u, v, w in edges:
+        g.add_edge(u, v, w)
+    return g
+
+
+class TestClosure:
+    def test_costs(self):
+        g = build([(0, 1, 2.0), (1, 2, 3.0)])
+        c = build_metric_closure(g)
+        assert c.cost(0, 2) == 5.0
+        assert c.cost(0, 1) == 2.0
+        assert c.cost(0, 0) == 0.0
+
+    def test_unreachable_inf(self):
+        g = build([(0, 1, 1.0)], n=3)
+        c = build_metric_closure(g)
+        assert math.isinf(c.cost(1, 0))
+        assert not c.is_reachable(1, 0)
+        assert c.is_reachable(0, 1)
+
+    def test_triangle_inequality_everywhere(self):
+        g = build(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0), (2, 3, 2.0), (3, 0, 1.0)]
+        )
+        c = build_metric_closure(g)
+        n = c.num_vertices
+        for a in range(n):
+            for b in range(n):
+                for m in range(n):
+                    assert c.cost(a, b) <= c.cost(a, m) + c.cost(m, b) + 1e-12
+
+    def test_costs_from_row(self):
+        g = build([(0, 1, 4.0)])
+        c = build_metric_closure(g)
+        row = c.costs_from(0)
+        assert row[1] == 4.0
+
+    def test_subset_sources(self):
+        g = build([(0, 1, 1.0), (1, 0, 1.0)])
+        c = build_metric_closure(g, sources=[0])
+        assert c.cost(0, 1) == 1.0
+        assert math.isinf(c.cost(1, 0))  # row not computed
+
+
+class TestPaths:
+    def test_path_vertices(self):
+        g = build([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+        c = build_metric_closure(g)
+        assert c.path(0, 2) == [0, 1, 2]
+
+    def test_path_self(self):
+        g = build([(0, 1, 1.0)])
+        c = build_metric_closure(g)
+        assert c.path(0, 0) == [0]
+
+    def test_path_unreachable(self):
+        g = build([(0, 1, 1.0)], n=3)
+        c = build_metric_closure(g)
+        assert c.path(0, 2) == []
+
+    def test_path_edges_weights_sum_to_cost(self):
+        g = build([(0, 1, 1.5), (1, 2, 2.5), (0, 2, 9.0)])
+        c = build_metric_closure(g)
+        edges = c.path_edges(0, 2)
+        assert edges == [(0, 1, 1.5), (1, 2, 2.5)]
+        assert sum(w for _, _, w in edges) == c.cost(0, 2)
+
+    def test_path_edges_pick_cheapest_parallel(self):
+        g = build([(0, 1, 7.0), (0, 1, 3.0)])
+        c = build_metric_closure(g)
+        assert c.path_edges(0, 1) == [(0, 1, 3.0)]

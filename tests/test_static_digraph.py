@@ -1,0 +1,104 @@
+"""Unit tests for :mod:`repro.static.digraph`."""
+
+import pytest
+
+from repro.core.errors import GraphFormatError
+from repro.static.digraph import StaticDigraph
+
+
+class TestConstruction:
+    def test_add_vertex_returns_index(self):
+        g = StaticDigraph()
+        assert g.add_vertex("a") == 0
+        assert g.add_vertex("b") == 1
+        assert g.add_vertex("a") == 0  # idempotent
+
+    def test_initial_vertices(self):
+        g = StaticDigraph(["x", "y"])
+        assert g.num_vertices == 2
+        assert g.index_of("y") == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = StaticDigraph()
+        g.add_edge("u", "v", 3.0)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_negative_weight_rejected(self):
+        g = StaticDigraph()
+        with pytest.raises(GraphFormatError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_zero_weight_allowed(self):
+        g = StaticDigraph()
+        g.add_edge(0, 1, 0.0)
+        assert g.num_edges == 1
+
+    def test_parallel_edges_kept(self):
+        g = StaticDigraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 1, 2.0)
+        assert g.num_edges == 2
+        assert len(g.out_neighbors(0)) == 2
+
+
+class TestAccessors:
+    @pytest.fixture
+    def triangle(self):
+        g = StaticDigraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        g.add_edge("c", "a", 3.0)
+        return g
+
+    def test_labels_in_index_order(self, triangle):
+        assert triangle.labels() == ["a", "b", "c"]
+
+    def test_label_round_trip(self, triangle):
+        for label in ("a", "b", "c"):
+            assert triangle.label_of(triangle.index_of(label)) == label
+
+    def test_out_in_neighbors(self, triangle):
+        a = triangle.index_of("a")
+        b = triangle.index_of("b")
+        assert triangle.out_neighbors(a) == [(b, 1.0)]
+        assert triangle.in_neighbors(b) == [(a, 1.0)]
+
+    def test_iter_edges(self, triangle):
+        edges = set(triangle.iter_edges())
+        assert (0, 1, 1.0) in edges
+        assert len(edges) == 3
+
+    def test_iter_labeled_edges(self, triangle):
+        assert ("a", "b", 1.0) in set(triangle.iter_labeled_edges())
+
+    def test_contains_and_has_vertex(self, triangle):
+        assert "a" in triangle
+        assert triangle.has_vertex("c")
+        assert "z" not in triangle
+
+    def test_index_of_missing_raises(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.index_of("missing")
+
+
+class TestDerived:
+    def test_reversed(self):
+        g = StaticDigraph()
+        g.add_edge(0, 1, 5.0)
+        r = g.reversed()
+        assert set(r.iter_labeled_edges()) == {(1, 0, 5.0)}
+        assert r.labels() == g.labels()
+
+    def test_simplified_keeps_cheapest(self):
+        g = StaticDigraph()
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(1, 2, 1.0)
+        s = g.simplified()
+        assert set(s.iter_labeled_edges()) == {(0, 1, 2.0), (1, 2, 1.0)}
+
+    def test_tuple_labels(self):
+        g = StaticDigraph()
+        g.add_edge(("copy", 1, 0), ("dummy", 1), 0.0)
+        assert g.has_vertex(("dummy", 1))

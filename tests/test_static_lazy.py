@@ -1,0 +1,96 @@
+"""Tests for the lazy metric closure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.static.closure import build_metric_closure
+from repro.static.digraph import StaticDigraph
+from repro.static.lazy import LazyMetricClosure, prepare_instance_lazy
+from repro.steiner.charikar import charikar_dst
+from repro.steiner.instance import DSTInstance, prepare_instance
+from repro.steiner.pruned import pruned_dst
+
+from tests.test_static_dag import random_dag
+
+
+class TestLaziness:
+    def test_no_rows_up_front(self):
+        closure = LazyMetricClosure(random_dag(1))
+        assert closure.rows_materialised == 0
+
+    def test_row_computed_on_first_access(self):
+        closure = LazyMetricClosure(random_dag(1))
+        closure.cost(0, 5)
+        assert closure.rows_materialised == 1
+        closure.cost(0, 7)  # same row, no new Dijkstra
+        assert closure.rows_materialised == 1
+        closure.costs_from(3)
+        assert closure.rows_materialised == 2
+
+    def test_dist_materialises_everything(self):
+        g = random_dag(2, n=10, extra=10)
+        closure = LazyMetricClosure(g)
+        matrix = closure.dist
+        assert closure.rows_materialised == g.num_vertices
+        assert matrix.shape == (g.num_vertices, g.num_vertices)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_eager_closure(self, seed):
+        g = random_dag(seed)
+        lazy = LazyMetricClosure(g)
+        eager = build_metric_closure(g)
+        assert np.allclose(lazy.dist, eager.dist)
+
+    def test_paths(self):
+        g = StaticDigraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(0, 2, 5.0)
+        closure = LazyMetricClosure(g)
+        assert closure.path(0, 2) == [0, 1, 2]
+        assert closure.path_edges(0, 2) == [(0, 1, 1.0), (1, 2, 1.0)]
+        assert closure.is_reachable(0, 2)
+        assert not closure.is_reachable(2, 0)
+
+
+class TestPrepareInstanceLazy:
+    def _instance(self):
+        g = StaticDigraph()
+        for i in range(6):
+            g.add_edge("r", i, float(i + 1))
+        return DSTInstance(g, "r", tuple(range(4)))
+
+    def test_level1_touches_one_row(self):
+        prepared = prepare_instance_lazy(self._instance())
+        tree = charikar_dst(prepared, 1)
+        assert tree.cost == 1 + 2 + 3 + 4
+        # only the root's row was ever needed
+        assert prepared.closure.rows_materialised == 1
+
+    def test_matches_eager_results_at_level2(self):
+        instance = self._instance()
+        lazy = prepare_instance_lazy(instance)
+        eager = prepare_instance(instance)
+        assert pruned_dst(lazy, 2).cost == pytest.approx(
+            pruned_dst(eager, 2).cost
+        )
+
+    def test_unreachable_terminal_detected(self):
+        from repro.core.errors import UnreachableRootError
+
+        g = StaticDigraph(["island"])
+        g.add_edge("r", "t", 1.0)
+        with pytest.raises(UnreachableRootError):
+            prepare_instance_lazy(DSTInstance(g, "r", ("island",)))
+
+    def test_reachability_check_skippable(self):
+        g = StaticDigraph(["island"])
+        g.add_edge("r", "t", 1.0)
+        prepared = prepare_instance_lazy(
+            DSTInstance(g, "r", ("island",)), require_reachable=False
+        )
+        assert math.isinf(prepared.cost(prepared.root, prepared.terminals[0]))

@@ -1,0 +1,89 @@
+"""Unit tests for Kruskal/Prim and the disjoint-set substrate."""
+
+import random
+
+import pytest
+
+from repro.core.errors import GraphFormatError
+from repro.static.mst import DisjointSet, kruskal_mst, prim_mst, tree_weight
+
+
+class TestDisjointSet:
+    def test_union_find(self):
+        dsu = DisjointSet()
+        for x in "abcd":
+            dsu.add(x)
+        assert dsu.union("a", "b")
+        assert not dsu.union("a", "b")
+        assert dsu.find("a") == dsu.find("b")
+        assert dsu.find("c") != dsu.find("a")
+
+    def test_transitive_merge(self):
+        dsu = DisjointSet()
+        for x in range(5):
+            dsu.add(x)
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        assert dsu.find(0) == dsu.find(2)
+
+    def test_add_idempotent(self):
+        dsu = DisjointSet()
+        dsu.add(1)
+        dsu.add(1)
+        assert dsu.find(1) == 1
+        assert not dsu.union(1, 1)
+
+
+SQUARE = [("a", "b", 1.0), ("b", "c", 2.0), ("c", "d", 3.0), ("d", "a", 4.0)]
+
+
+class TestKruskal:
+    def test_square_drops_heaviest(self):
+        tree = kruskal_mst(SQUARE)
+        assert len(tree) == 3
+        assert tree_weight(tree) == 6.0
+
+    def test_forest_on_disconnected_input(self):
+        tree = kruskal_mst([(0, 1, 1.0), (2, 3, 1.0)])
+        assert len(tree) == 2
+
+    def test_empty(self):
+        assert kruskal_mst([]) == []
+
+    def test_matches_prim_weight_on_random_graphs(self):
+        rng = random.Random(11)
+        for _ in range(5):
+            n = 12
+            edges = [(i - 1, i, float(rng.randint(1, 9))) for i in range(1, n)]
+            edges += [
+                (rng.randrange(n), rng.randrange(n), float(rng.randint(1, 9)))
+                for _ in range(20)
+            ]
+            edges = [(u, v, w) for u, v, w in edges if u != v]
+            k = tree_weight(kruskal_mst(edges))
+            p = tree_weight(prim_mst(edges, 0))
+            assert k == pytest.approx(p)
+
+
+class TestPrim:
+    def test_square(self):
+        tree = prim_mst(SQUARE, "a")
+        assert tree_weight(tree) == 6.0
+
+    def test_spans_component_of_start(self):
+        edges = [(0, 1, 1.0), (2, 3, 1.0)]
+        tree = prim_mst(edges, 0)
+        vertices = {v for e in tree for v in e[:2]}
+        assert vertices == {0, 1}
+
+    def test_isolated_start_rejected(self):
+        with pytest.raises(GraphFormatError):
+            prim_mst([(0, 1, 1.0)], 5)
+
+
+class TestTreeWeight:
+    def test_sum(self):
+        assert tree_weight([(0, 1, 1.5), (1, 2, 2.5)]) == 4.0
+
+    def test_empty(self):
+        assert tree_weight([]) == 0.0

@@ -1,0 +1,108 @@
+"""Tests for the ignore-time (static projection) baseline."""
+
+import pytest
+
+from repro.baselines.static_projection import (
+    StaticComparison,
+    realize_static_tree,
+    static_arborescence,
+    static_gap_report,
+)
+from repro.core.errors import UnreachableRootError
+from repro.core.mstw import minimum_spanning_tree_w
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+
+from tests.conftest import random_temporal
+
+
+class TestStaticArborescence:
+    def test_figure1_weight_is_lower_bound(self, figure1):
+        tree = static_arborescence(figure1, 0)
+        static_weight = sum(w for _, _, w in tree)
+        # the cheapest parallel copy of each pair ignores feasibility,
+        # so the static weight can only undercut the true MST_w (11)
+        assert static_weight <= 11.0
+
+    def test_unreachable_root(self):
+        g = TemporalGraph([TemporalEdge(1, 2, 0, 1, 1)], vertices=[0, 1, 2])
+        with pytest.raises(UnreachableRootError):
+            static_arborescence(g, 0)
+
+    def test_restricted_to_reachable_component(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 1, 1), TemporalEdge(2, 3, 0, 1, 1)]
+        )
+        tree = static_arborescence(g, 0)
+        assert [(u, v) for u, v, _ in tree] == [(0, 1)]
+
+
+class TestRealization:
+    def test_feasibility_failure_detected(self):
+        # statically 0->1->2 is cheapest, but 1->2 departs before 1 is
+        # reached; the realisation loses vertex 2.
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 1, 5, 6, 1),
+                TemporalEdge(1, 2, 0, 1, 1),
+                TemporalEdge(0, 2, 0, 1, 100),
+            ]
+        )
+        comparison = realize_static_tree(g, 0)
+        assert comparison.static_weight == 2.0
+        assert 2 in comparison.infeasible
+        assert comparison.feasible == {1}
+        assert comparison.feasible_fraction == 0.5
+
+    def test_subtree_infeasibility_cascades(self):
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 1, 5, 6, 1),
+                TemporalEdge(1, 2, 0, 1, 1),  # infeasible hop
+                TemporalEdge(2, 3, 10, 11, 1),  # child of the infeasible one
+            ]
+        )
+        comparison = realize_static_tree(g, 0)
+        assert {2, 3} <= comparison.infeasible
+
+    def test_fully_feasible_graph(self, figure1):
+        comparison = realize_static_tree(figure1, 0)
+        # figure 1 has generous timestamps; everything stays realisable
+        assert comparison.infeasible == set()
+        assert comparison.feasible == {1, 2, 3, 4, 5}
+        assert comparison.realized_weight > 0
+
+    def test_static_weight_lower_bounds_temporal(self, figure1):
+        comparison = realize_static_tree(figure1, 0)
+        temporal = minimum_spanning_tree_w(figure1, 0, level=3).weight
+        assert comparison.static_weight <= temporal + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs_partition_feasibility(self, seed):
+        g = random_temporal(seed, n=10, m=40)
+        try:
+            comparison = realize_static_tree(g, 0)
+        except UnreachableRootError:
+            pytest.skip("root statically isolated")
+        # feasible and infeasible partition the non-root tree vertices
+        assert not (comparison.feasible & comparison.infeasible)
+        assert comparison.realized_weight >= 0
+
+    def test_empty_feasibility_fraction(self):
+        comparison = StaticComparison(0.0, 0.0, set(), set())
+        assert comparison.feasible_fraction == 1.0
+
+
+class TestGapReport:
+    def test_report_keys_and_consistency(self, figure1):
+        temporal = minimum_spanning_tree_w(figure1, 0, level=2).weight
+        report = static_gap_report(figure1, 0, temporal)
+        assert set(report) == {
+            "static_weight",
+            "realized_weight",
+            "temporal_weight",
+            "feasible_fraction",
+            "coverage_lost",
+        }
+        assert report["temporal_weight"] == temporal
+        assert 0 <= report["feasible_fraction"] <= 1

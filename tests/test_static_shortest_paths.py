@@ -1,0 +1,90 @@
+"""Unit tests for Dijkstra and path reconstruction."""
+
+import math
+import random
+
+import pytest
+
+from repro.static.digraph import StaticDigraph
+from repro.static.shortest_paths import dijkstra, reconstruct_path
+
+
+def build(edges, n=None):
+    g = StaticDigraph(range(n) if n else None)
+    for u, v, w in edges:
+        g.add_edge(u, v, w)
+    return g
+
+
+class TestDijkstra:
+    def test_line(self):
+        g = build([(0, 1, 2.0), (1, 2, 3.0)])
+        dist, pred = dijkstra(g, 0)
+        assert dist == [0.0, 2.0, 5.0]
+        assert pred == [-1, 0, 1]
+
+    def test_picks_cheaper_detour(self):
+        g = build([(0, 1, 10.0), (0, 2, 1.0), (2, 1, 2.0)])
+        dist, _ = dijkstra(g, 0)
+        assert dist[g.index_of(1)] == 3.0
+
+    def test_unreachable_is_inf(self):
+        g = build([(0, 1, 1.0)], n=3)
+        dist, pred = dijkstra(g, 0)
+        assert math.isinf(dist[2])
+        assert pred[2] == -1
+
+    def test_zero_weight_edges(self):
+        g = build([(0, 1, 0.0), (1, 2, 0.0)])
+        dist, _ = dijkstra(g, 0)
+        assert dist == [0.0, 0.0, 0.0]
+
+    def test_parallel_edges_use_cheapest(self):
+        g = build([(0, 1, 9.0), (0, 1, 4.0)])
+        dist, _ = dijkstra(g, 0)
+        assert dist[1] == 4.0
+
+    def test_early_stop_with_targets(self):
+        g = build([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        dist, _ = dijkstra(g, 0, targets=[1])
+        assert dist[1] == 1.0  # target settled correctly
+
+    def test_self_distance_zero(self):
+        g = build([(0, 1, 1.0)])
+        dist, _ = dijkstra(g, 0)
+        assert dist[0] == 0.0
+
+    def test_random_agrees_with_bellman_ford(self):
+        rng = random.Random(3)
+        n = 20
+        edges = [
+            (rng.randrange(n), rng.randrange(n), rng.randint(1, 9))
+            for _ in range(60)
+        ]
+        g = build(edges, n=n)
+        dist, _ = dijkstra(g, 0)
+        # Bellman-Ford reference
+        ref = [math.inf] * n
+        ref[0] = 0.0
+        for _ in range(n):
+            for u, v, w in edges:
+                if ref[u] + w < ref[v]:
+                    ref[v] = ref[u] + w
+        assert dist == pytest.approx(ref)
+
+
+class TestReconstructPath:
+    def test_path(self):
+        g = build([(0, 1, 1.0), (1, 2, 1.0)])
+        _, pred = dijkstra(g, 0)
+        assert reconstruct_path(pred, 0, 2) == [0, 1, 2]
+
+    def test_source_to_source(self):
+        g = build([(0, 1, 1.0)])
+        _, pred = dijkstra(g, 0)
+        assert reconstruct_path(pred, 0, 0) == [0]
+
+    def test_unreachable_empty(self):
+        g = build([(0, 1, 1.0)], n=3)
+        _, pred = dijkstra(g, 0)
+        assert reconstruct_path(pred, 0, 2) == []

@@ -1,0 +1,71 @@
+"""Tests for the DST lower bounds."""
+
+import math
+
+import pytest
+
+from repro.static.digraph import StaticDigraph
+from repro.steiner.bounds import (
+    cheapest_inedge_bound,
+    combined_lower_bound,
+    max_shortest_path_bound,
+)
+from repro.steiner.exact import exact_dst_cost
+from repro.steiner.instance import DSTInstance, prepare_instance
+from repro.steiner.pruned import pruned_dst
+
+from tests.test_steiner_algorithms import hub_instance, random_instance
+
+
+class TestIndividualBounds:
+    def test_max_shortest_path_on_hub(self):
+        prepared = hub_instance()
+        # dist(r, t_i) = 4 via the hub
+        assert max_shortest_path_bound(prepared) == 4.0
+
+    def test_cheapest_inedge_on_hub(self):
+        prepared = hub_instance()
+        # each terminal's cheapest in-edge costs 1
+        assert cheapest_inedge_bound(prepared) == 3.0
+
+    def test_empty_terminals(self):
+        g = StaticDigraph()
+        g.add_edge("r", "x", 1.0)
+        prepared = prepare_instance(DSTInstance(g, "r", ()))
+        assert max_shortest_path_bound(prepared) == 0.0
+        assert cheapest_inedge_bound(prepared) == 0.0
+
+    def test_uncoverable_terminal_infinite(self):
+        g = StaticDigraph(["island"])
+        g.add_edge("r", "t", 1.0)
+        prepared = prepare_instance(
+            DSTInstance(g, "r", ("island",)), require_reachable=False
+        )
+        assert math.isinf(cheapest_inedge_bound(prepared))
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bounds_below_exact_optimum(self, seed):
+        prepared = random_instance(seed, k=4)
+        opt = exact_dst_cost(prepared)
+        assert combined_lower_bound(prepared) <= opt + 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bounds_below_any_approximation(self, seed):
+        prepared = random_instance(100 + seed, k=5)
+        approx = pruned_dst(prepared, 2).cost
+        assert combined_lower_bound(prepared) <= approx + 1e-9
+
+    def test_combined_is_max(self):
+        prepared = hub_instance()
+        assert combined_lower_bound(prepared) == max(
+            max_shortest_path_bound(prepared), cheapest_inedge_bound(prepared)
+        )
+
+    def test_single_terminal_bound_is_tight(self):
+        prepared = random_instance(7, k=1)
+        assert combined_lower_bound(prepared) <= exact_dst_cost(prepared) + 1e-9
+        assert max_shortest_path_bound(prepared) == pytest.approx(
+            exact_dst_cost(prepared)
+        )

@@ -1,0 +1,93 @@
+"""Tests for the extra DST heuristic baselines."""
+
+import pytest
+
+from repro.core.errors import UnreachableRootError
+from repro.static.digraph import StaticDigraph
+from repro.steiner.exact import exact_dst_cost
+from repro.steiner.heuristics import (
+    arborescence_prune_heuristic,
+    shortest_paths_heuristic,
+)
+from repro.steiner.instance import DSTInstance, prepare_instance
+from repro.steiner.tree import validate_covering_tree
+
+from tests.test_steiner_algorithms import hub_instance, random_instance
+
+
+class TestShortestPaths:
+    def test_hub_instance(self):
+        prepared = hub_instance()
+        cost, edges = shortest_paths_heuristic(prepared)
+        assert validate_covering_tree(prepared, edges)
+        # every path routes through the hub; dedup shares the r->hub edge
+        assert cost == 6.0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid_cover_and_above_optimum(self, seed):
+        prepared = random_instance(seed, k=4)
+        cost, edges = shortest_paths_heuristic(prepared)
+        assert validate_covering_tree(prepared, edges)
+        assert cost >= exact_dst_cost(prepared) - 1e-9
+
+    def test_single_terminal_is_optimal(self):
+        prepared = random_instance(3, k=1)
+        cost, _ = shortest_paths_heuristic(prepared)
+        assert cost == pytest.approx(exact_dst_cost(prepared))
+
+
+class TestArborescencePrune:
+    def test_hub_instance(self):
+        prepared = hub_instance()
+        cost, edges = arborescence_prune_heuristic(prepared)
+        assert validate_covering_tree(prepared, edges)
+        assert cost == 6.0  # all vertices are useful here
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid_cover_and_above_optimum(self, seed):
+        prepared = random_instance(seed, k=4)
+        cost, edges = arborescence_prune_heuristic(prepared)
+        assert validate_covering_tree(prepared, edges)
+        assert cost >= exact_dst_cost(prepared) - 1e-9
+
+    def test_prunes_useless_leaves(self):
+        # a star: root -> t plus root -> useless; the useless branch
+        # must be pruned away.
+        g = StaticDigraph()
+        g.add_edge("r", "t", 1.0)
+        g.add_edge("r", "useless", 5.0)
+        prepared = prepare_instance(DSTInstance(g, "r", ("t",)))
+        cost, edges = arborescence_prune_heuristic(prepared)
+        assert cost == 1.0
+        assert len(edges) == 1
+
+    def test_prunes_chains(self):
+        g = StaticDigraph()
+        g.add_edge("r", "t", 1.0)
+        g.add_edge("r", "a", 1.0)
+        g.add_edge("a", "b", 1.0)  # chain a->b is useless
+        prepared = prepare_instance(DSTInstance(g, "r", ("t",)))
+        cost, _ = arborescence_prune_heuristic(prepared)
+        assert cost == 1.0
+
+    def test_unreachable_terminal(self):
+        g = StaticDigraph(["r", "island"])
+        g.add_edge("r", "t", 1.0)
+        inst = DSTInstance(g, "r", ("island",))
+        prepared = prepare_instance(inst, require_reachable=False)
+        with pytest.raises(UnreachableRootError):
+            arborescence_prune_heuristic(prepared)
+
+
+class TestRelativeQuality:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_greedy_density_no_worse_than_either_heuristic_at_level3(self, seed):
+        """Not a theorem, but holds on these instances and documents the
+        motivation for the DST machinery over the folklore baselines."""
+        from repro.steiner.pruned import pruned_dst
+        from repro.steiner.tree import expand_closure_tree
+
+        prepared = random_instance(40 + seed, n=16, m=48, k=5)
+        greedy_cost, _ = expand_closure_tree(prepared, pruned_dst(prepared, 3))
+        sp_cost, _ = shortest_paths_heuristic(prepared)
+        assert greedy_cost <= sp_cost + 1e-9

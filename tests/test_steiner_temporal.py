@@ -1,0 +1,125 @@
+"""Tests for the temporal directed Steiner tree extension (Section 7)."""
+
+import pytest
+
+from repro.core.errors import UnreachableRootError
+from repro.core.steiner_temporal import minimum_steiner_tree_w
+from repro.steiner.instance import approximation_ratio
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+from tests.conftest import random_temporal
+
+
+class TestFigure1Targets:
+    def test_single_target_is_cheapest_feasible_path(self, figure1):
+        result = minimum_steiner_tree_w(figure1, 0, [3], level=3)
+        # cheapest time-respecting path to 3: (0,1,1,3,2) + (1,3,4,6,2)
+        assert result.weight == 4.0
+        assert 3 in result.tree.vertices
+        assert result.steiner_vertices == {1}
+
+    def test_all_vertices_recovers_mstw(self, figure1):
+        result = minimum_steiner_tree_w(figure1, 0, [1, 2, 3, 4, 5], level=3)
+        assert result.weight == 11.0
+
+    def test_subset_cheaper_than_full(self, figure1):
+        sub = minimum_steiner_tree_w(figure1, 0, [4], level=3)
+        full = minimum_steiner_tree_w(figure1, 0, [1, 2, 3, 4, 5], level=3)
+        assert sub.weight < full.weight
+
+    def test_tree_is_time_respecting(self, figure1):
+        result = minimum_steiner_tree_w(figure1, 0, [4, 5], level=2)
+        result.tree.validate(figure1)
+
+    def test_root_in_terminals_ignored(self, figure1):
+        result = minimum_steiner_tree_w(figure1, 0, [0, 3], level=2)
+        assert result.terminals == (3,)
+
+
+class TestArguments:
+    def test_no_terminals(self, figure1):
+        with pytest.raises(UnreachableRootError):
+            minimum_steiner_tree_w(figure1, 0, [0])
+
+    def test_unknown_terminal(self, figure1):
+        with pytest.raises(UnreachableRootError, match="not graph vertices"):
+            minimum_steiner_tree_w(figure1, 0, [42])
+
+    def test_unknown_algorithm(self, figure1):
+        with pytest.raises(ValueError):
+            minimum_steiner_tree_w(figure1, 0, [3], algorithm="nope")
+
+    def test_bad_level(self, figure1):
+        with pytest.raises(ValueError):
+            minimum_steiner_tree_w(figure1, 0, [3], level=0)
+
+    def test_unreachable_terminal_raises_by_default(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 1, 1), TemporalEdge(2, 1, 0, 1, 1)]
+        )
+        with pytest.raises(UnreachableRootError, match="unreachable"):
+            minimum_steiner_tree_w(g, 0, [1, 2])
+
+    def test_allow_unreachable(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 1, 1), TemporalEdge(2, 1, 0, 1, 1)]
+        )
+        result = minimum_steiner_tree_w(g, 0, [1, 2], allow_unreachable=True)
+        assert result.terminals == (1,)
+        assert result.unreachable == (2,)
+
+    def test_all_unreachable(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 1, 1)], vertices=[0, 1, 2]
+        )
+        with pytest.raises(UnreachableRootError, match="no requested terminal"):
+            minimum_steiner_tree_w(g, 0, [2], allow_unreachable=True)
+
+
+class TestWindow:
+    def test_window_limits_targets(self, figure1):
+        with pytest.raises(UnreachableRootError):
+            minimum_steiner_tree_w(figure1, 0, [4], window=TimeWindow(0, 6))
+
+    def test_window_feasible_target(self, figure1):
+        result = minimum_steiner_tree_w(figure1, 0, [3], window=TimeWindow(0, 6))
+        result.tree.validate(figure1)
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_covers_requested_targets_on_random_graphs(self, seed):
+        from repro.temporal.paths import reachable_set
+
+        g = random_temporal(seed, n=10, m=40)
+        reach = sorted(reachable_set(g, 0) - {0}, key=repr)
+        if len(reach) < 3:
+            pytest.skip("root reaches too little")
+        targets = reach[:3]
+        result = minimum_steiner_tree_w(g, 0, targets, level=2)
+        result.tree.validate(g)
+        assert set(targets) <= result.tree.vertices
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_within_ratio_of_exact(self, seed):
+        from repro.core.transformation import transform_temporal_graph
+        from repro.steiner.exact import exact_dst_cost
+        from repro.steiner.instance import prepare_instance
+        from repro.temporal.paths import reachable_set
+
+        g = random_temporal(seed, n=8, m=30)
+        reach = sorted(reachable_set(g, 0) - {0}, key=repr)
+        if len(reach) < 2:
+            pytest.skip("root reaches too little")
+        targets = reach[:2]
+        result = minimum_steiner_tree_w(g, 0, targets, level=2)
+        transformed = transform_temporal_graph(g, 0)
+        prepared = prepare_instance(transformed.dst_instance(terminals=targets))
+        opt = exact_dst_cost(prepared)
+        assert result.weight <= approximation_ratio(2, 2) * opt + 1e-9
+        # note: postprocessing keeps one in-edge per vertex, so the
+        # final weight can even drop below the closure-tree cost but
+        # never below the DST optimum of the *covered* structure.
+        assert result.closure_tree_cost >= opt - 1e-9

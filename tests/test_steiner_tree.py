@@ -1,0 +1,111 @@
+"""Unit tests for closure trees and postprocessing Step 1."""
+
+import math
+
+import pytest
+
+from repro.static.digraph import StaticDigraph
+from repro.steiner.instance import DSTInstance, prepare_instance
+from repro.steiner.tree import (
+    ClosureTree,
+    expand_closure_tree,
+    leaf_tree,
+    validate_covering_tree,
+)
+
+
+class TestClosureTree:
+    def test_empty_density_infinite(self):
+        assert math.isinf(ClosureTree.EMPTY.density)
+        assert ClosureTree.EMPTY.cost == 0.0
+        assert ClosureTree.EMPTY.num_covered == 0
+
+    def test_density(self):
+        t = ClosureTree(((0, 1),), 6.0, frozenset((1, 2, 3)))
+        assert t.density == 2.0
+
+    def test_density_with_edge(self):
+        t = ClosureTree(((0, 1),), 6.0, frozenset((1, 2)))
+        assert t.density_with_edge(4.0) == 5.0
+        assert math.isinf(ClosureTree.EMPTY.density_with_edge(1.0))
+
+    def test_merged(self):
+        a = ClosureTree(((0, 1),), 2.0, frozenset((1,)))
+        b = ClosureTree(((0, 2),), 3.0, frozenset((2,)))
+        m = a.merged(b)
+        assert m.cost == 5.0
+        assert m.covered == frozenset((1, 2))
+        assert m.edges == ((0, 1), (0, 2))
+
+    def test_merged_overlapping_cover(self):
+        a = ClosureTree((), 2.0, frozenset((1,)))
+        b = ClosureTree((), 3.0, frozenset((1,)))
+        assert a.merged(b).num_covered == 1
+
+    def test_with_edge_adds_cost_not_cover(self):
+        t = ClosureTree((), 1.0, frozenset((5,)))
+        t2 = t.with_edge(0, 3, 2.5)
+        assert t2.cost == 3.5
+        assert t2.covered == t.covered
+        assert (0, 3) in t2.edges
+
+
+def chain_instance():
+    """r -> a -> t with a costly shortcut r -> t."""
+    g = StaticDigraph()
+    g.add_edge("r", "a", 1.0)
+    g.add_edge("a", "t", 1.0)
+    g.add_edge("r", "t", 10.0)
+    return prepare_instance(DSTInstance(g, "r", ("t",)))
+
+
+class TestLeafTree:
+    def test_leaf(self):
+        prepared = chain_instance()
+        t = leaf_tree(prepared, prepared.root, prepared.terminals[0])
+        assert t.cost == 2.0  # closure shortest path r->t
+        assert t.covered == frozenset(prepared.terminals)
+
+
+class TestExpand:
+    def test_closure_edge_becomes_path(self):
+        prepared = chain_instance()
+        tree = leaf_tree(prepared, prepared.root, prepared.terminals[0])
+        cost, edges = expand_closure_tree(prepared, tree)
+        assert cost == 2.0
+        assert len(edges) == 2  # r->a, a->t
+
+    def test_duplicate_paths_dedup_reduces_cost(self):
+        prepared = chain_instance()
+        tree = leaf_tree(prepared, prepared.root, prepared.terminals[0])
+        doubled = tree.merged(tree)
+        cost, edges = expand_closure_tree(prepared, doubled)
+        assert cost == 2.0  # dedup keeps one in-edge per vertex
+        assert doubled.cost == 4.0
+        assert len(edges) == 2
+
+    def test_self_loop_closure_edges_ignored(self):
+        prepared = chain_instance()
+        tree = ClosureTree(((0, 0),), 0.0, frozenset())
+        cost, edges = expand_closure_tree(prepared, tree)
+        assert cost == 0.0
+        assert edges == []
+
+    def test_expanded_cost_never_exceeds_closure_cost(self):
+        prepared = chain_instance()
+        r, t = prepared.root, prepared.terminals[0]
+        tree = ClosureTree(((r, t),), prepared.cost(r, t), frozenset((t,)))
+        cost, _ = expand_closure_tree(prepared, tree)
+        assert cost <= tree.cost
+
+
+class TestValidateCovering:
+    def test_valid(self):
+        prepared = chain_instance()
+        tree = leaf_tree(prepared, prepared.root, prepared.terminals[0])
+        _, edges = expand_closure_tree(prepared, tree)
+        assert validate_covering_tree(prepared, edges)
+
+    def test_invalid_when_empty(self):
+        prepared = chain_instance()
+        assert not validate_covering_tree(prepared, [])

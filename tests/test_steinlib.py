@@ -1,0 +1,144 @@
+"""Tests for SteinLib parsing/writing and the b-series generator."""
+
+import pytest
+
+from repro.core.errors import GraphFormatError
+from repro.steiner.steinlib import (
+    B_SERIES_SHAPES,
+    SteinLibProblem,
+    generate_b_instance,
+    generate_b_series,
+    parse_stp,
+    write_stp,
+)
+
+SAMPLE = """\
+33D32945 STP File, STP Format Version 1.0
+SECTION Comment
+Name    "toy"
+END
+
+SECTION Graph
+Nodes 4
+Edges 3
+E 1 2 5
+E 2 3 2
+E 2 4 7
+END
+
+SECTION Terminals
+Terminals 2
+T 3
+T 4
+END
+
+EOF
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        p = parse_stp(SAMPLE, name="toy")
+        assert p.num_vertices == 4
+        assert p.edges == ((1, 2, 5.0), (2, 3, 2.0), (2, 4, 7.0))
+        assert p.terminals == (3, 4)
+        assert p.root is None
+
+    def test_root_directive(self):
+        text = SAMPLE.replace("T 3", "Root 1\nT 3")
+        assert parse_stp(text).root == 1
+
+    def test_arcs_accepted(self):
+        text = SAMPLE.replace("E 1 2 5", "A 1 2 5")
+        assert parse_stp(text).edges[0] == (1, 2, 5.0)
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(GraphFormatError):
+            parse_stp("SECTION Graph\nNodes 3\nEND\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GraphFormatError, match="line"):
+            parse_stp(SAMPLE.replace("E 1 2 5", "E 1 x 5"))
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self):
+        p = parse_stp(SAMPLE, name="toy")
+        again = parse_stp(write_stp(p), name="toy")
+        assert again.edges == p.edges
+        assert again.terminals == p.terminals
+
+    def test_root_survives(self):
+        p = SteinLibProblem("x", 3, ((1, 2, 1.0), (2, 3, 1.0)), (3,), root=1)
+        assert parse_stp(write_stp(p)).root == 1
+
+
+class TestToDSTInstance:
+    def test_bidirection(self):
+        p = parse_stp(SAMPLE)
+        inst = p.to_dst_instance(root=1)
+        assert inst.graph.num_edges == 6  # each undirected edge twice
+        assert inst.root == 1
+        assert inst.terminals == (3, 4)
+
+    def test_default_root_is_first_terminal(self):
+        p = parse_stp(SAMPLE)
+        inst = p.to_dst_instance()
+        assert inst.root == 3
+        assert inst.terminals == (4,)
+
+
+class TestGenerator:
+    def test_shape(self):
+        p = generate_b_instance(30, 45, 6, seed=1)
+        assert p.num_vertices == 30
+        assert len(p.edges) == 45
+        assert len(p.terminals) == 6
+        assert p.root is not None
+        assert p.root not in p.terminals
+
+    def test_connected(self):
+        from repro.steiner.instance import prepare_instance
+
+        p = generate_b_instance(25, 30, 5, seed=2)
+        prepared = prepare_instance(p.to_dst_instance())  # raises if unreachable
+        assert prepared.num_terminals == 5
+
+    def test_weights_in_range(self):
+        p = generate_b_instance(20, 30, 4, max_weight=10, seed=3)
+        assert all(1 <= w <= 10 for _, _, w in p.edges)
+
+    def test_deterministic(self):
+        a = generate_b_instance(20, 30, 4, seed=7)
+        b = generate_b_instance(20, 30, 4, seed=7)
+        assert a == b
+
+    def test_no_duplicate_undirected_pairs(self):
+        p = generate_b_instance(15, 40, 4, seed=4)
+        pairs = [tuple(sorted(e[:2])) for e in p.edges]
+        assert len(pairs) == len(set(pairs))
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            generate_b_instance(10, 5, 3)
+        with pytest.raises(ValueError):
+            generate_b_instance(10, 15, 10)
+
+
+class TestBSeries:
+    def test_all_shapes_generated(self):
+        problems = generate_b_series()
+        assert set(problems) == set(B_SERIES_SHAPES)
+        for name, p in problems.items():
+            n, m, k = B_SERIES_SHAPES[name]
+            assert p.num_vertices == n
+            assert len(p.edges) == m
+            assert len(p.terminals) == k
+
+    def test_subset_selection(self):
+        problems = generate_b_series(["b01", "b05"])
+        assert sorted(problems) == ["b01", "b05"]
+
+    def test_unknown_name(self):
+        with pytest.raises(GraphFormatError):
+            generate_b_series(["b99"])

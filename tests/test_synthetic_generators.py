@@ -1,0 +1,92 @@
+"""Direct tests of the per-dataset synthetic generators."""
+
+import pytest
+
+from repro.datasets import synthetic
+from repro.temporal.stats import compute_statistics
+
+
+class TestSlashdot:
+    def test_sparse(self):
+        g = synthetic.slashdot_like(scale=0.3)
+        assert g.num_edges / g.num_vertices < 4
+
+    def test_minimum_size_floor(self):
+        g = synthetic.slashdot_like(scale=0.001)
+        assert g.num_vertices >= 10
+
+
+class TestEpinions:
+    def test_every_pair_unique(self):
+        g = synthetic.epinions_like(scale=0.2)
+        assert compute_statistics(g).max_multiplicity == 1
+
+    def test_no_self_loops(self):
+        g = synthetic.epinions_like(scale=0.1)
+        assert all(e.source != e.target for e in g.edges)
+
+    def test_unit_durations(self):
+        g = synthetic.epinions_like(scale=0.1)
+        assert all(e.duration == 1.0 for e in g.edges)
+
+
+class TestFacebookEnron:
+    def test_facebook_zero_durations(self):
+        g = synthetic.facebook_like(scale=0.2)
+        assert all(e.duration == 0 for e in g.edges)
+
+    def test_enron_hub_dominated(self):
+        g = synthetic.enron_like(scale=0.3)
+        stats = compute_statistics(g)
+        # the busiest vertex carries far more contacts than average
+        average = 2 * g.num_edges / g.num_vertices
+        assert stats.max_temporal_degree > 5 * average
+
+
+class TestHepPhDblp:
+    def test_hepph_dense(self):
+        g = synthetic.hepph_like(scale=0.3)
+        assert g.num_edges / g.num_vertices >= 30
+
+    def test_dblp_yearly_timestamps(self):
+        g = synthetic.dblp_like(scale=0.05)
+        timestamps = {e.start for e in g.edges}
+        assert timestamps <= {float(1990 + y) for y in range(25)}
+
+    def test_dblp_zero_durations(self):
+        g = synthetic.dblp_like(scale=0.05)
+        assert all(e.duration == 0 for e in g.edges)
+
+
+class TestPhone:
+    def test_weight_equals_duration(self):
+        g = synthetic.phone_like(scale=0.2)
+        assert all(e.weight == e.duration for e in g.edges)
+
+    def test_huge_edge_to_vertex_ratio(self):
+        g = synthetic.phone_like(scale=0.2)
+        assert g.num_edges / g.num_vertices > 100
+
+    def test_durations_positive(self):
+        g = synthetic.phone_like(scale=0.1)
+        assert all(e.duration >= 10 for e in g.edges)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            synthetic.slashdot_like,
+            synthetic.epinions_like,
+            synthetic.facebook_like,
+            synthetic.enron_like,
+            synthetic.hepph_like,
+            synthetic.dblp_like,
+            synthetic.phone_like,
+        ],
+        ids=lambda g: g.__name__,
+    )
+    def test_same_seed_same_graph(self, generator):
+        a = generator(scale=0.1, seed=42)
+        b = generator(scale=0.1, seed=42)
+        assert a.edges == b.edges

@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.temporal.edge`."""
+
+import pytest
+
+from repro.temporal.edge import TemporalEdge
+
+
+class TestConstruction:
+    def test_fields_follow_paper_notation(self):
+        e = TemporalEdge(0, 1, 1, 3, 2)
+        assert e.source == 0
+        assert e.target == 1
+        assert e.start == 1
+        assert e.arrival == 3
+        assert e.weight == 2
+
+    def test_default_weight_is_one(self):
+        e = TemporalEdge("a", "b", 0.0, 1.0)
+        assert e.weight == 1.0
+
+    def test_is_a_tuple(self):
+        e = TemporalEdge(0, 1, 1, 3, 2)
+        assert tuple(e) == (0, 1, 1, 3, 2)
+
+    def test_hashable_and_comparable(self):
+        e1 = TemporalEdge(0, 1, 1, 3, 2)
+        e2 = TemporalEdge(0, 1, 1, 3, 2)
+        assert e1 == e2
+        assert len({e1, e2}) == 1
+
+    def test_string_vertices_supported(self):
+        e = TemporalEdge("JFK", "LAX", 800, 1100, 250)
+        assert e.source == "JFK"
+        assert e.duration == 300
+
+
+class TestDuration:
+    def test_duration_is_arrival_minus_start(self):
+        assert TemporalEdge(0, 1, 2, 7, 0).duration == 5
+
+    def test_zero_duration(self):
+        assert TemporalEdge(0, 1, 4, 4, 0).duration == 0
+
+    def test_float_times(self):
+        assert TemporalEdge(0, 1, 0.5, 2.25, 1).duration == pytest.approx(1.75)
+
+
+class TestValidity:
+    def test_valid_edge(self):
+        assert TemporalEdge(0, 1, 1, 3, 2).is_valid()
+
+    def test_arrival_before_start_invalid(self):
+        assert not TemporalEdge(0, 1, 3, 1, 2).is_valid()
+
+    def test_negative_weight_invalid(self):
+        assert not TemporalEdge(0, 1, 1, 3, -1).is_valid()
+
+    def test_zero_duration_zero_weight_valid(self):
+        assert TemporalEdge(0, 1, 5, 5, 0).is_valid()
+
+
+class TestWindow:
+    def test_within_closed_interval(self):
+        e = TemporalEdge(0, 1, 2, 5, 1)
+        assert e.within(2, 5)
+        assert e.within(0, 10)
+
+    def test_start_before_window(self):
+        assert not TemporalEdge(0, 1, 2, 5, 1).within(3, 10)
+
+    def test_arrival_after_window(self):
+        assert not TemporalEdge(0, 1, 2, 5, 1).within(0, 4)
+
+
+class TestHelpers:
+    def test_reversed_swaps_endpoints_only(self):
+        e = TemporalEdge(0, 1, 2, 5, 3)
+        r = e.reversed()
+        assert (r.source, r.target) == (1, 0)
+        assert (r.start, r.arrival, r.weight) == (2, 5, 3)
+
+    def test_reversed_is_involution(self):
+        e = TemporalEdge("x", "y", 1, 2, 3)
+        assert e.reversed().reversed() == e
+
+    def test_static_key(self):
+        assert TemporalEdge(3, 7, 0, 1, 9).static_key() == (3, 7)

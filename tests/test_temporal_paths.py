@@ -1,0 +1,154 @@
+"""Unit tests for :mod:`repro.temporal.paths`."""
+
+import math
+
+import pytest
+
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.paths import (
+    earliest_arrival_times,
+    fastest_path_durations,
+    latest_departure_times,
+    reachable_set,
+    shortest_path_distances,
+)
+from repro.temporal.window import TimeWindow
+
+from tests.conftest import random_temporal
+
+
+class TestEarliestArrival:
+    def test_figure1_arrivals(self, figure1):
+        arrivals = earliest_arrival_times(figure1, 0)
+        assert arrivals == {0: 0.0, 1: 3, 2: 5, 3: 6, 4: 8, 5: 8}
+
+    def test_source_itself_at_t_alpha(self, figure1):
+        w = TimeWindow(2, 100)
+        assert earliest_arrival_times(figure1, 0, w)[0] == 2
+
+    def test_respects_time_constraint(self):
+        # 0->1 arrives at 5, 1->2 departs at 3: not time-respecting.
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 5, 1), TemporalEdge(1, 2, 3, 4, 1)]
+        )
+        arrivals = earliest_arrival_times(g, 0)
+        assert 2 not in arrivals
+
+    def test_window_cuts_late_edges(self, figure1):
+        arrivals = earliest_arrival_times(figure1, 0, TimeWindow(0, 6))
+        assert set(arrivals) == {0, 1, 2, 3}
+
+    def test_window_start_blocks_early_departures(self, figure1):
+        arrivals = earliest_arrival_times(figure1, 0, TimeWindow(2, math.inf))
+        # edges (0,1,1,3) and (0,2,1,5) depart before t_alpha = 2
+        assert arrivals[1] == 5  # via (0,1,4,5)
+        assert arrivals[2] == 6  # via (0,2,3,6)
+
+    def test_zero_duration_chains(self, figure3):
+        arrivals = earliest_arrival_times(figure3, 0)
+        assert arrivals == {0: 0.0, 1: 1, 4: 3, 3: 4, 2: 4}
+
+    def test_missing_source(self, figure1):
+        assert earliest_arrival_times(figure1, 42) == {}
+
+    def test_unreachable_absent(self):
+        g = TemporalGraph([TemporalEdge(1, 0, 0, 1, 1)], vertices=[0, 1, 2])
+        arrivals = earliest_arrival_times(g, 0)
+        assert set(arrivals) == {0}
+
+
+class TestReachableSet:
+    def test_figure1(self, figure1):
+        assert reachable_set(figure1, 0) == {0, 1, 2, 3, 4, 5}
+
+    def test_includes_source_always(self):
+        g = TemporalGraph([], vertices=[7])
+        assert reachable_set(g, 7) == {7}
+
+
+class TestLatestDeparture:
+    def test_simple_chain(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 2, 3, 1), TemporalEdge(1, 2, 5, 6, 1)]
+        )
+        departures = latest_departure_times(g, 2)
+        assert departures[1] == 5
+        assert departures[0] == 2
+
+    def test_choice_of_later_edge(self):
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 1, 1, 2, 1),
+                TemporalEdge(0, 1, 4, 5, 1),
+                TemporalEdge(1, 2, 6, 7, 1),
+            ]
+        )
+        assert latest_departure_times(g, 2)[0] == 4
+
+    def test_window_omega_bounds_target(self):
+        g = TemporalGraph([TemporalEdge(0, 1, 2, 9, 1)])
+        departures = latest_departure_times(g, 1, TimeWindow(0, 5))
+        assert 0 not in departures  # arrival 9 exceeds the window
+
+    def test_missing_target(self, figure1):
+        assert latest_departure_times(figure1, "zz") == {}
+
+
+class TestFastestPaths:
+    def test_figure1_vertex1(self, figure1):
+        durations = fastest_path_durations(figure1, 0)
+        # departing at 4 via (0,1,4,5,1) spans 1 < the 2 of (0,1,1,3)
+        assert durations[1] == 1
+
+    def test_source_zero(self, figure1):
+        assert fastest_path_durations(figure1, 0)[0] == 0.0
+
+    def test_two_hop_span(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 10, 11, 1), TemporalEdge(1, 2, 12, 13, 1)]
+        )
+        assert fastest_path_durations(g, 0)[2] == 3  # 13 - 10
+
+
+class TestShortestPaths:
+    def test_weight_not_time_optimised(self):
+        # Heavy direct edge vs light two-hop path.
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 2, 0, 1, 10),
+                TemporalEdge(0, 1, 0, 1, 1),
+                TemporalEdge(1, 2, 2, 3, 2),
+            ]
+        )
+        dist = shortest_path_distances(g, 0)
+        assert dist[2] == 3
+
+    def test_time_infeasible_cheap_path_rejected(self):
+        g = TemporalGraph(
+            [
+                TemporalEdge(0, 2, 0, 1, 10),
+                TemporalEdge(0, 1, 5, 6, 1),
+                TemporalEdge(1, 2, 2, 3, 1),  # departs before 1 is reached
+            ]
+        )
+        assert shortest_path_distances(g, 0)[2] == 10
+
+    def test_figure1_consistency_with_mstw_bound(self, figure1):
+        dist = shortest_path_distances(figure1, 0)
+        # per-vertex shortest costs are a lower bound for tree in-weights
+        assert dist[1] == 1
+        assert dist[3] == 4  # 2 (0->1) + 2 (1->3)
+
+    def test_missing_source(self, figure1):
+        assert shortest_path_distances(figure1, None) == {}
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("zero", [False, True])
+    def test_earliest_arrival_matches_brute_force(self, seed, zero):
+        from repro.baselines.brute_force import brute_force_earliest_arrival
+
+        g = random_temporal(seed, zero_duration=zero)
+        assert earliest_arrival_times(g, 0) == brute_force_earliest_arrival(g, 0)

@@ -1,0 +1,70 @@
+"""Unit tests for :mod:`repro.temporal.stats` (Table 1 statistics)."""
+
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.stats import GraphStatistics, compute_statistics, multiplicity_map
+
+
+class TestComputeStatistics:
+    def test_figure1_row(self, figure1):
+        stats = compute_statistics(figure1)
+        assert stats.num_vertices == 6
+        assert stats.num_temporal_edges == 10
+        # static pairs: (0,1) (0,2) (1,3) (2,3) (2,4) (3,4) (3,5) (4,5)
+        assert stats.num_static_edges == 8
+        assert stats.max_multiplicity == 2  # (0,1) and (0,2) twice each
+
+    def test_temporal_degree_counts_both_directions(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 1, 1), TemporalEdge(1, 0, 2, 3, 1)]
+        )
+        stats = compute_statistics(g)
+        assert stats.max_temporal_degree == 2
+        assert stats.max_static_degree == 2  # (0,1) and (1,0) are distinct pairs
+
+    def test_pi_of_parallel_heavy_pair(self):
+        edges = [TemporalEdge(0, 1, t, t + 1, 1) for t in range(7)]
+        edges.append(TemporalEdge(1, 2, 10, 11, 1))
+        stats = compute_statistics(TemporalGraph(edges))
+        assert stats.max_multiplicity == 7
+        assert stats.num_static_edges == 2
+
+    def test_distinct_time_instances(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 1, 1), TemporalEdge(1, 2, 1, 2, 1)]
+        )
+        assert compute_statistics(g).distinct_time_instances == 3
+
+    def test_empty_graph(self):
+        stats = compute_statistics(TemporalGraph([], vertices=[0, 1]))
+        assert stats.num_temporal_edges == 0
+        assert stats.max_temporal_degree == 0
+        assert stats.max_multiplicity == 0
+
+
+class TestFormatting:
+    def test_header_and_row_align(self):
+        header = GraphStatistics.header()
+        row = compute_statistics(TemporalGraph([TemporalEdge(0, 1, 0, 1, 1)])).as_row(
+            "tiny"
+        )
+        assert len(header.split(" | ")) == len(row.split(" | "))
+
+    def test_row_contains_values(self, figure1):
+        row = compute_statistics(figure1).as_row("fig1")
+        assert "fig1" in row
+        assert "10" in row  # M
+
+
+class TestMultiplicityMap:
+    def test_counts_per_pair(self, figure1):
+        counts = multiplicity_map(figure1)
+        assert counts[(0, 1)] == 2
+        assert counts[(1, 3)] == 1
+
+    def test_directional(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 1, 1), TemporalEdge(1, 0, 0, 1, 1)]
+        )
+        counts = multiplicity_map(g)
+        assert counts == {(0, 1): 1, (1, 0): 1}

@@ -1,0 +1,100 @@
+"""Unit tests for :mod:`repro.temporal.window`."""
+
+import math
+
+import pytest
+
+from repro.core.errors import UnreachableRootError
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import (
+    TimeWindow,
+    extract_window,
+    middle_tenth_window,
+    select_root,
+)
+
+
+class TestTimeWindow:
+    def test_unbounded(self):
+        w = TimeWindow.unbounded()
+        assert w.t_alpha == 0
+        assert math.isinf(w.t_omega)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow(5, 3)
+
+    def test_degenerate_point_window_allowed(self):
+        w = TimeWindow(4, 4)
+        assert w.length == 0
+        assert w.contains(4)
+
+    def test_contains_boundaries(self):
+        w = TimeWindow(1, 9)
+        assert w.contains(1)
+        assert w.contains(9)
+        assert not w.contains(0.99)
+        assert not w.contains(9.01)
+
+    def test_length_and_tuple(self):
+        w = TimeWindow(2, 12)
+        assert w.length == 10
+        assert w.as_tuple() == (2, 12)
+
+    def test_frozen(self):
+        w = TimeWindow(0, 1)
+        with pytest.raises(AttributeError):
+            w.t_alpha = 5
+
+
+class TestMiddleTenth:
+    def test_covers_middle_tenth(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 1, 1), TemporalEdge(1, 2, 99, 100, 1)]
+        )
+        w = middle_tenth_window(g)
+        assert w.length == pytest.approx(10.0)
+        # centred on the total range
+        assert w.t_alpha == pytest.approx(45.0)
+        assert w.t_omega == pytest.approx(55.0)
+
+    def test_custom_fraction(self):
+        g = TemporalGraph(
+            [TemporalEdge(0, 1, 0, 0, 1), TemporalEdge(1, 2, 100, 100, 1)]
+        )
+        w = middle_tenth_window(g, fraction=0.5)
+        assert w.length == pytest.approx(50.0)
+
+    def test_fraction_bounds(self):
+        g = TemporalGraph([TemporalEdge(0, 1, 0, 1, 1)])
+        with pytest.raises(ValueError):
+            middle_tenth_window(g, fraction=0)
+        with pytest.raises(ValueError):
+            middle_tenth_window(g, fraction=1.5)
+
+
+class TestExtractWindow:
+    def test_extract_matches_restricted(self, figure1):
+        w = TimeWindow(3, 7)
+        sub = extract_window(figure1, w)
+        assert {tuple(e) for e in sub.edges} == {
+            tuple(e) for e in figure1.restricted(3, 7).edges
+        }
+
+
+class TestSelectRoot:
+    def test_selects_reaching_vertex(self, figure1):
+        # vertex 0 reaches all 5 others, far above the 10% threshold
+        assert select_root(figure1) == 0
+
+    def test_threshold_respected(self):
+        # star graph: only the centre reaches anyone
+        edges = [TemporalEdge("c", i, 1, 2, 1) for i in range(5)]
+        g = TemporalGraph(edges)
+        assert select_root(g, min_reach_fraction=0.5) == "c"
+
+    def test_no_root_raises(self):
+        g = TemporalGraph([TemporalEdge(0, 1, 5, 6, 1)], vertices=range(40))
+        with pytest.raises(UnreachableRootError):
+            select_root(g, min_reach_fraction=0.5)

@@ -1,0 +1,85 @@
+"""Protocol-level tests for windowed evaluation (Section 5.1 mechanics)."""
+
+import math
+
+import pytest
+
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import (
+    TimeWindow,
+    extract_window,
+    middle_tenth_window,
+    select_root,
+)
+
+from tests.conftest import random_temporal
+
+
+class TestMiddleTenthProtocol:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_window_is_centred(self, seed):
+        g = random_temporal(seed, n=10, m=50)
+        t_a, t_omega = g.time_span()
+        w = middle_tenth_window(g)
+        left_margin = w.t_alpha - t_a
+        right_margin = t_omega - w.t_omega
+        assert left_margin == pytest.approx(right_margin)
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.25, 0.5, 1.0])
+    def test_window_length_fraction(self, fraction, figure1):
+        t_a, t_omega = figure1.time_span()
+        w = middle_tenth_window(figure1, fraction=fraction)
+        assert w.length == pytest.approx(fraction * (t_omega - t_a))
+
+    def test_extracted_edges_strictly_within(self, figure1):
+        w = middle_tenth_window(figure1, fraction=0.5)
+        sub = extract_window(figure1, w)
+        for e in sub.edges:
+            assert w.t_alpha <= e.start
+            assert e.arrival <= w.t_omega
+
+
+class TestRootSelectionProtocol:
+    def test_scans_in_label_order(self):
+        # both 3 and 1 reach enough; the smaller label wins
+        g = TemporalGraph(
+            [
+                TemporalEdge(3, 4, 0, 1, 1),
+                TemporalEdge(1, 2, 0, 1, 1),
+            ],
+            vertices=range(5),
+        )
+        assert select_root(g, min_reach_fraction=0.1) == 1
+
+    def test_fraction_zero_accepts_any_reaching_vertex(self, figure1):
+        assert select_root(figure1, min_reach_fraction=0.0) == 0
+
+    def test_windowed_selection_uses_window(self, figure1):
+        # within [7, 11] only vertex 4 has a usable out-edge (4->5 @8)
+        w = TimeWindow(7, 11)
+        root = select_root(extract_window(figure1, w), w, min_reach_fraction=0.1)
+        assert root == 4
+
+
+class TestWindowEdgeCases:
+    def test_point_window_only_instantaneous_edges(self, figure3):
+        w = TimeWindow(4, 4)
+        sub = extract_window(figure3, w)
+        assert all(e.start == e.arrival == 4 for e in sub.edges)
+        assert sub.num_edges == 2
+
+    def test_infinite_window_is_identity(self, figure1):
+        sub = extract_window(figure1, TimeWindow.unbounded())
+        assert sub.num_edges == figure1.num_edges
+
+    def test_window_hash_and_equality(self):
+        assert TimeWindow(0, 5) == TimeWindow(0, 5)
+        assert len({TimeWindow(0, 5), TimeWindow(0, 5)}) == 1
+        assert TimeWindow(0, 5) != TimeWindow(0, 6)
+
+    def test_window_with_infinite_bounds_contains(self):
+        w = TimeWindow.unbounded()
+        assert w.contains(0)
+        assert w.contains(1e18)
+        assert not w.contains(-1)

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples report quickcheck clean
+.PHONY: install test bench examples report quickcheck ci lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -26,6 +26,20 @@ report:
 
 quickcheck:
 	$(PYTHON) -m pytest tests/ -x -q -k "not property and not examples"
+
+# What the GitHub Actions workflow runs: the tier-1 suite plus lint.
+# ruff is optional locally (the workflow installs it); a missing ruff
+# falls back to a byte-compile pass so `make ci` still catches syntax
+# errors anywhere.
+ci: test lint
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; running compileall instead"; \
+		$(PYTHON) -m compileall -q src tests; \
+	fi
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

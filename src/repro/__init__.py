@@ -18,6 +18,8 @@ problems together with every substrate they depend on:
   comparator and brute-force oracles.
 * :mod:`repro.hardness` -- the NP-hardness reduction of Theorem 3 as an
   executable construction.
+* :mod:`repro.resilience` -- cooperative execution budgets and the
+  graceful-degradation fallback chain for the expensive solvers.
 * :mod:`repro.datasets` -- synthetic stand-ins for the paper's seven
   real temporal networks and the SteinLib benchmark instances.
 
@@ -32,6 +34,7 @@ Quickstart::
 """
 
 from repro.core.errors import (
+    BudgetExceededError,
     GraphFormatError,
     ReproError,
     UnreachableRootError,
@@ -46,11 +49,16 @@ from repro.core.mstw import MSTwResult, minimum_spanning_tree_w
 from repro.core.spanning_tree import TemporalSpanningTree
 from repro.core.steiner_temporal import TemporalSteinerResult, minimum_steiner_tree_w
 from repro.core.transformation import TransformedGraph, transform_temporal_graph
+from repro.resilience.budget import Budget
+from repro.resilience.fallback import FallbackResult, run_with_fallback
 from repro.temporal.edge import TemporalEdge
 from repro.temporal.graph import TemporalGraph
 from repro.temporal.window import TimeWindow
 
 __all__ = [
+    "Budget",
+    "BudgetExceededError",
+    "FallbackResult",
     "GraphFormatError",
     "MSTwResult",
     "ReproError",
@@ -67,6 +75,7 @@ __all__ = [
     "minimum_steiner_tree_w",
     "msta_chronological",
     "msta_stack",
+    "run_with_fallback",
     "transform_temporal_graph",
 ]
 

@@ -21,17 +21,43 @@ import argparse
 import sys
 from typing import Optional
 
-from repro.core.errors import ReproError
+from repro.core.errors import (
+    BudgetExceededError,
+    ExperimentInterruptedError,
+    GraphFormatError,
+    ReproError,
+    UnreachableRootError,
+)
 from repro.core.export import tree_to_dot, tree_to_json
 from repro.core.msta import minimum_spanning_tree_a
 from repro.core.mstw import minimum_spanning_tree_w
 from repro.core.steiner_temporal import minimum_steiner_tree_w
 from repro.datasets.registry import DATASETS, load_dataset
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.resilience.budget import Budget
 from repro.temporal import io as tio
 from repro.temporal.graph import TemporalGraph
 from repro.temporal.stats import GraphStatistics, compute_statistics
 from repro.temporal.window import TimeWindow
+
+#: Exit codes per failure family (sysexits-style), checked in order.
+#: ``2`` stays the usage-error code (argparse's convention).
+EXIT_CODES = (
+    (GraphFormatError, 65),  # EX_DATAERR: malformed input
+    (UnreachableRootError, 66),  # EX_NOINPUT: root/terminals unreachable
+    (BudgetExceededError, 67),  # budget drained without a fallback
+    (ExperimentInterruptedError, 75),  # EX_TEMPFAIL: resumable stop
+)
+#: Any other ReproError (EX_SOFTWARE).
+EXIT_OTHER_REPRO_ERROR = 70
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """The distinct exit code for one :class:`ReproError` subclass."""
+    for error_type, code in EXIT_CODES:
+        if isinstance(exc, error_type):
+            return code
+    return EXIT_OTHER_REPRO_ERROR
 
 
 def _load_graph(path: str, fmt: str, duration: float) -> TemporalGraph:
@@ -95,6 +121,41 @@ def _add_window_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--t-omega", type=float, default=None, help="window end")
 
 
+def _positive_float(token: str) -> float:
+    try:
+        value = float(token)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {token!r}") from None
+    if value <= 0 or value != value:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {token}")
+    return value
+
+
+def _positive_int(token: str) -> int:
+    try:
+        value = int(token)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {token!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {token}")
+    return value
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--budget",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the DST solve",
+    )
+    parser.add_argument(
+        "--fallback",
+        action="store_true",
+        help="degrade to cheaper solver rungs instead of failing on budget",
+    )
+
+
 def _add_output_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--output",
@@ -123,6 +184,21 @@ def _cmd_msta(args) -> int:
     return 0
 
 
+def _budget_from(args) -> Optional[Budget]:
+    if getattr(args, "budget", None) is None:
+        return None
+    return Budget(deadline_seconds=args.budget)
+
+
+def _degradation_note(result) -> str:
+    if getattr(result, "rung", None) is None:
+        return ""
+    note = f"; solved by {result.rung}"
+    if result.degraded:
+        note += " (degraded)"
+    return note
+
+
 def _cmd_mstw(args) -> int:
     graph = _load_graph(args.graph, args.format, args.duration)
     result = minimum_spanning_tree_w(
@@ -131,12 +207,15 @@ def _cmd_mstw(args) -> int:
         _window_from(args),
         level=args.level,
         algorithm=args.algorithm,
+        budget=_budget_from(args),
+        fallback=args.fallback,
     )
     _emit_tree(
         result.tree,
         args,
         f"# root {args.root}; weight {result.weight:g}; "
-        f"{result.num_terminals} terminals; level {result.level}",
+        f"{result.num_terminals} terminals; level {result.level}"
+        + _degradation_note(result),
     )
     return 0
 
@@ -152,13 +231,16 @@ def _cmd_steiner(args) -> int:
         level=args.level,
         algorithm=args.algorithm,
         allow_unreachable=args.allow_unreachable,
+        budget=_budget_from(args),
+        fallback=args.fallback,
     )
     _emit_tree(
         result.tree,
         args,
         f"# root {args.root}; weight {result.weight:g}; "
         f"targets {len(result.terminals)}; unreachable {len(result.unreachable)}; "
-        f"steiner relays {len(result.steiner_vertices)}",
+        f"steiner relays {len(result.steiner_vertices)}"
+        + _degradation_note(result),
     )
     return 0
 
@@ -179,12 +261,33 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _experiment_context(args) -> Optional[ExperimentContext]:
+    """An ExperimentContext when any resilience flag is set, else None."""
+    if (
+        args.budget is None
+        and args.checkpoint_dir is None
+        and not args.resume
+        and args.max_cells is None
+    ):
+        return None
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and args.resume:
+        checkpoint_dir = ".repro-checkpoints"
+    return ExperimentContext(
+        cell_budget_seconds=args.budget,
+        checkpoint_dir=checkpoint_dir,
+        resume=args.resume,
+        interrupt_after=args.max_cells,
+    )
+
+
 def _cmd_experiment(args) -> int:
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    context = _experiment_context(args)
     if args.markdown:
         from repro.experiments.report import build_report
 
-        document = build_report(names, quick=args.quick)
+        document = build_report(names, quick=args.quick, context=context)
         if args.markdown == "-":
             print(document, end="")
         else:
@@ -194,7 +297,7 @@ def _cmd_experiment(args) -> int:
         return 0
     for name in names:
         try:
-            result = run_experiment(name, quick=args.quick)
+            result = run_experiment(name, quick=args.quick, context=context)
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
@@ -238,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["pruned", "improved", "charikar"],
         default="pruned",
     )
+    _add_budget_arguments(p_mstw)
     p_mstw.set_defaults(func=_cmd_mstw)
 
     p_steiner = sub.add_parser(
@@ -257,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="pruned",
     )
     p_steiner.add_argument("--allow-unreachable", action="store_true")
+    _add_budget_arguments(p_steiner)
     p_steiner.set_defaults(func=_cmd_steiner)
 
     p_gen = sub.add_parser("generate", help="write a synthetic dataset")
@@ -285,6 +390,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a markdown report to this file ('-' for stdout)",
     )
+    p_exp.add_argument(
+        "--budget",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per experiment cell",
+    )
+    p_exp.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-experiment checkpoint files "
+        "(default with --resume: .repro-checkpoints)",
+    )
+    p_exp.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed cells from a previous interrupted run",
+    )
+    p_exp.add_argument(
+        "--max-cells",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="stop after N freshly computed cells (checkpoint survives)",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
 
     return parser
@@ -297,7 +427,7 @@ def main(argv: Optional[list] = None) -> int:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

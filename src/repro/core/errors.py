@@ -35,5 +35,46 @@ class UnreachableRootError(ReproError):
     """The requested root cannot reach any other vertex in the window."""
 
 
+class BudgetExceededError(ReproError):
+    """A cooperative :class:`repro.resilience.Budget` ran out mid-solve.
+
+    Raised from ``budget.checkpoint()`` inside the DST solvers and the
+    ``MST_w`` pipeline when the wall-clock deadline, the node-expansion
+    ceiling, or the memory ceiling is hit.  Carries enough context for
+    structured reporting (which resource ran out, and how far the
+    computation got).
+
+    Attributes
+    ----------
+    reason:
+        ``"deadline"``, ``"expansions"``, or ``"memory"``.
+    elapsed_seconds:
+        Wall-clock time since the budget started.
+    expansions:
+        Node expansions counted up to the failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str = "deadline",
+        elapsed_seconds: float = 0.0,
+        expansions: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.elapsed_seconds = elapsed_seconds
+        self.expansions = expansions
+
+
+class ExperimentInterruptedError(ReproError):
+    """An experiment run stopped early with its checkpoint safely on disk.
+
+    Raised by the checkpointing harness when a per-run cell limit is
+    reached (``ExperimentContext.interrupt_after``); resuming with the
+    same checkpoint directory continues from the last completed cell.
+    """
+
+
 class InvalidTreeError(ReproError):
     """A produced tree failed structural or time-respecting validation."""

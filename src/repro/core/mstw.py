@@ -25,6 +25,8 @@ from repro.core.errors import UnreachableRootError
 from repro.core.postprocess import closure_tree_to_temporal
 from repro.core.spanning_tree import TemporalSpanningTree
 from repro.core.transformation import transform_temporal_graph
+from repro.resilience.budget import Budget
+from repro.resilience.fallback import run_with_fallback
 from repro.steiner.charikar import charikar_dst
 from repro.steiner.improved import improved_dst
 from repro.steiner.instance import PreparedInstance, prepare_instance
@@ -61,6 +63,11 @@ class MSTwResult:
         Wall-clock split between stages 1-3 and stages 4-5.
     level / algorithm:
         The requested iteration count ``i`` and solver name.
+    rung / degraded / caveat:
+        Set when the solve went through the fallback chain
+        (:func:`repro.resilience.run_with_fallback`): the ladder rung
+        that answered, whether a stronger rung was attempted first, and
+        the answering rung's approximation caveat.
     """
 
     tree: TemporalSpanningTree
@@ -72,6 +79,9 @@ class MSTwResult:
     solve_seconds: float
     level: int
     algorithm: str
+    rung: Optional[str] = None
+    degraded: bool = False
+    caveat: Optional[str] = None
 
     @property
     def weight(self) -> float:
@@ -85,6 +95,8 @@ def minimum_spanning_tree_w(
     window: Optional[TimeWindow] = None,
     level: int = 2,
     algorithm: str = "pruned",
+    budget: Optional[Budget] = None,
+    fallback: bool = False,
 ) -> MSTwResult:
     """Approximate a ``MST_w`` rooted at ``root``.
 
@@ -104,11 +116,23 @@ def minimum_spanning_tree_w(
     algorithm:
         ``"pruned"`` (Algorithm 6, default), ``"improved"``
         (Algorithm 4), or ``"charikar"`` (Algorithm 3).
+    budget:
+        Optional cooperative :class:`repro.resilience.Budget` covering
+        both the pipeline stage boundaries and the DST solve.
+    fallback:
+        When True, the solve runs through
+        :func:`repro.resilience.run_with_fallback`: if the budget
+        drains mid-solve, the answer degrades (lower level, then the
+        shortest-paths heuristic) instead of raising; the result's
+        ``rung``/``degraded``/``caveat`` fields record the outcome.
 
     Raises
     ------
     UnreachableRootError
         If the root reaches no other vertex within the window.
+    BudgetExceededError
+        If ``budget`` drains and ``fallback`` is False.  With
+        ``fallback`` on the pipeline never raises for budget reasons.
     ValueError
         For an unknown algorithm name or non-positive level.
     """
@@ -122,21 +146,45 @@ def minimum_spanning_tree_w(
         raise ValueError(f"level must be >= 1, got {level}")
     if window is None:
         window = TimeWindow.unbounded()
+    if budget is not None:
+        budget.start()
 
+    # Preprocessing has no degraded alternative, so with fallback on
+    # its checkpoints must not raise: the chain's final unbudgeted rung
+    # still answers, just from an already-drained budget.
+    check = budget is not None and not fallback
     prep_start = time.perf_counter()
     reachable = reachable_set(graph, root, window)
+    if check:
+        budget.checkpoint()
     terminals = sorted((v for v in reachable if v != root), key=repr)
     if not terminals:
         raise UnreachableRootError(
             f"root {root!r} reaches no other vertex within {window}"
         )
     transformed = transform_temporal_graph(graph, root, window)
+    if check:
+        budget.checkpoint()
     instance = transformed.dst_instance(terminals=terminals)
     prepared = prepare_instance(instance)
+    if check:
+        budget.checkpoint()
     prep_seconds = time.perf_counter() - prep_start
 
     solve_start = time.perf_counter()
-    closure_tree = solver(prepared, level)
+    rung: Optional[str] = None
+    degraded = False
+    caveat: Optional[str] = None
+    if fallback:
+        outcome = run_with_fallback(
+            prepared, budget=budget, level=level, solver=algorithm
+        )
+        closure_tree = outcome.tree
+        rung = outcome.rung
+        degraded = outcome.degraded
+        caveat = outcome.caveat
+    else:
+        closure_tree = solver(prepared, level, budget=budget)
     tree = closure_tree_to_temporal(transformed, prepared, closure_tree)
     solve_seconds = time.perf_counter() - solve_start
 
@@ -150,6 +198,9 @@ def minimum_spanning_tree_w(
         solve_seconds=solve_seconds,
         level=level,
         algorithm=algorithm,
+        rung=rung,
+        degraded=degraded,
+        caveat=caveat,
     )
 
 

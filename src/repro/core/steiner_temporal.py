@@ -23,6 +23,8 @@ from typing import Iterable, Optional, Sequence
 
 from repro.core.errors import UnreachableRootError
 from repro.core.mstw import _SOLVERS
+from repro.resilience.budget import Budget
+from repro.resilience.fallback import run_with_fallback
 from repro.core.postprocess import closure_tree_to_temporal
 from repro.core.spanning_tree import TemporalSpanningTree
 from repro.core.transformation import transform_temporal_graph
@@ -50,6 +52,9 @@ class TemporalSteinerResult:
         Targets that cannot be reached in the window at all.
     closure_tree_cost / level / algorithm / solve_seconds:
         Solver diagnostics, mirroring :class:`repro.core.mstw.MSTwResult`.
+    rung / degraded / caveat:
+        Fallback-chain outcome when ``fallback=True`` (see
+        :func:`repro.resilience.run_with_fallback`).
     """
 
     tree: TemporalSpanningTree
@@ -59,6 +64,9 @@ class TemporalSteinerResult:
     level: int
     algorithm: str
     solve_seconds: float
+    rung: Optional[str] = None
+    degraded: bool = False
+    caveat: Optional[str] = None
 
     @property
     def weight(self) -> float:
@@ -108,6 +116,8 @@ def minimum_steiner_tree_w(
     level: int = 2,
     algorithm: str = "pruned",
     allow_unreachable: bool = False,
+    budget: Optional[Budget] = None,
+    fallback: bool = False,
 ) -> TemporalSteinerResult:
     """Approximate a minimum-weight temporal directed Steiner tree.
 
@@ -124,6 +134,11 @@ def minimum_steiner_tree_w(
     allow_unreachable:
         When True, targets unreachable within the window are reported
         in ``unreachable`` instead of raising.
+    budget, fallback:
+        As in :func:`repro.core.mstw.minimum_spanning_tree_w`: an
+        optional cooperative budget, and whether a drained budget
+        degrades the solve through the fallback chain instead of
+        raising ``BudgetExceededError``.
 
     Raises
     ------
@@ -165,11 +180,32 @@ def minimum_steiner_tree_w(
     if not covered:
         raise UnreachableRootError("no requested terminal is reachable")
 
+    if budget is not None:
+        budget.start()
+    # As in mstw: preprocessing checkpoints must not raise when the
+    # fallback chain guarantees an answer anyway.
+    check = budget is not None and not fallback
     start = time.perf_counter()
     transformed = transform_temporal_graph(graph, root, window)
+    if check:
+        budget.checkpoint()
     instance = transformed.dst_instance(terminals=covered)
     prepared = prepare_instance(instance)
-    closure_tree = solver(prepared, level)
+    if check:
+        budget.checkpoint()
+    rung: Optional[str] = None
+    degraded = False
+    caveat: Optional[str] = None
+    if fallback:
+        outcome = run_with_fallback(
+            prepared, budget=budget, level=level, solver=algorithm
+        )
+        closure_tree = outcome.tree
+        rung = outcome.rung
+        degraded = outcome.degraded
+        caveat = outcome.caveat
+    else:
+        closure_tree = solver(prepared, level, budget=budget)
     tree = closure_tree_to_temporal(transformed, prepared, closure_tree)
     tree = _prune_useless_relays(tree, covered)
     elapsed = time.perf_counter() - start
@@ -182,4 +218,7 @@ def minimum_steiner_tree_w(
         level=level,
         algorithm=algorithm,
         solve_seconds=elapsed,
+        rung=rung,
+        degraded=degraded,
+        caveat=caveat,
     )

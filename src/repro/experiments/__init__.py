@@ -15,7 +15,15 @@ Usage::
     rows = result.rows          # machine-readable
 """
 
-from repro.experiments.runner import TableResult
+from repro.experiments.checkpoint import ExperimentContext
+from repro.experiments.runner import DegradedCell, OverBudgetCell, TableResult
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
-__all__ = ["EXPERIMENTS", "TableResult", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "DegradedCell",
+    "ExperimentContext",
+    "OverBudgetCell",
+    "TableResult",
+    "run_experiment",
+]

@@ -1,0 +1,191 @@
+"""Checkpointed, budgeted, resumable experiment execution.
+
+An :class:`ExperimentContext` threads three robustness features through
+the table modules:
+
+* **per-cell budgets** -- every expensive cell runs under a fresh
+  :class:`repro.resilience.Budget` deadline; a cell that trips becomes a
+  structured :class:`repro.experiments.runner.OverBudgetCell` instead of
+  hanging the whole table;
+* **JSON checkpoints** -- each completed cell is appended to
+  ``<checkpoint_dir>/<experiment>.json`` (written atomically), so a
+  killed run loses at most the cell in flight;
+* **resume** -- with ``resume=True`` previously checkpointed cells are
+  returned from the file instead of being recomputed, and a completed
+  run deletes its checkpoint.
+
+Cells are identified by stable string keys chosen by the table modules
+(solver/dataset/level triples), so a resumed run reproduces the exact
+rows an uninterrupted run would have produced -- byte-identical for
+deterministic cells (weights, errors), and carrying the recorded
+timings for timing cells.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.errors import BudgetExceededError, ExperimentInterruptedError
+from repro.experiments.runner import DegradedCell, OverBudgetCell
+from repro.resilience.budget import Budget
+
+#: Schema tag for the checkpoint files (bump on incompatible changes).
+CHECKPOINT_VERSION = 1
+
+
+def encode_cell(value: Any) -> Any:
+    """A JSON-encodable form of one cell value."""
+    if isinstance(value, OverBudgetCell):
+        return {"__cell__": "over_budget", "elapsed": value.elapsed, "rung": value.rung}
+    if isinstance(value, DegradedCell):
+        return {
+            "__cell__": "degraded",
+            "value": encode_cell(value.value),
+            "rung": value.rung,
+        }
+    return value
+
+
+def decode_cell(obj: Any) -> Any:
+    """Inverse of :func:`encode_cell`."""
+    if isinstance(obj, dict) and "__cell__" in obj:
+        if obj["__cell__"] == "over_budget":
+            return OverBudgetCell(elapsed=obj["elapsed"], rung=obj.get("rung"))
+        if obj["__cell__"] == "degraded":
+            return DegradedCell(value=decode_cell(obj["value"]), rung=obj["rung"])
+        raise ValueError(f"unknown cell tag {obj['__cell__']!r}")
+    return obj
+
+
+@dataclass
+class ExperimentContext:
+    """Execution policy + checkpoint state for one experiment run.
+
+    Parameters
+    ----------
+    cell_budget_seconds:
+        Wall-clock deadline applied to every cell individually; ``None``
+        disables budget enforcement.
+    checkpoint_dir:
+        Directory for per-experiment JSON checkpoints; ``None`` disables
+        checkpointing entirely.
+    resume:
+        Reuse cells from an existing checkpoint file (when its ``quick``
+        flag matches) instead of recomputing them.
+    interrupt_after:
+        Stop the run with :class:`ExperimentInterruptedError` after this
+        many *freshly computed* cells (the checkpoint is already on
+        disk).  Useful for incremental runs and exercised by the
+        resume tests.
+    """
+
+    cell_budget_seconds: Optional[float] = None
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    interrupt_after: Optional[int] = None
+
+    fresh_cells: int = field(default=0, init=False)
+    _experiment: Optional[str] = field(default=None, init=False, repr=False)
+    _quick: bool = field(default=False, init=False, repr=False)
+    _cells: Dict[str, Any] = field(default_factory=dict, init=False, repr=False)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (driven by the registry)
+    # ------------------------------------------------------------------
+    def begin(self, experiment: str, quick: bool) -> None:
+        """Start (or resume) one experiment's cell cache."""
+        self._experiment = experiment
+        self._quick = quick
+        self._cells = {}
+        path = self._path()
+        if not (self.resume and path and os.path.exists(path)):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if (
+            payload.get("version") == CHECKPOINT_VERSION
+            and payload.get("experiment") == experiment
+            and payload.get("quick") == quick
+        ):
+            self._cells = {
+                key: decode_cell(value)
+                for key, value in payload.get("cells", {}).items()
+            }
+
+    def complete(self, experiment: str) -> None:
+        """Drop the checkpoint of a successfully finished experiment."""
+        path = self._path(experiment)
+        if path and os.path.exists(path):
+            os.remove(path)
+
+    # ------------------------------------------------------------------
+    # The cell protocol (used by the table modules)
+    # ------------------------------------------------------------------
+    def has(self, key: str) -> bool:
+        """Whether ``key`` is already answered by the loaded checkpoint."""
+        return key in self._cells
+
+    def cell(self, key: str, fn: Callable[[Optional[Budget]], Any]) -> Any:
+        """Run (or recall) one budgeted, checkpointed cell.
+
+        ``fn`` receives the cell's :class:`Budget` (or ``None`` when
+        budgets are disabled) and returns a JSON-encodable cell value.
+        A ``BudgetExceededError`` escaping ``fn`` becomes an
+        :class:`OverBudgetCell`.
+
+        Raises
+        ------
+        ExperimentInterruptedError
+            After ``interrupt_after`` fresh cells (checkpoint saved).
+        """
+        if key in self._cells:
+            return self._cells[key]
+        budget = (
+            Budget(deadline_seconds=self.cell_budget_seconds).start()
+            if self.cell_budget_seconds is not None
+            else None
+        )
+        try:
+            value = fn(budget)
+        except BudgetExceededError as exc:
+            value = OverBudgetCell(elapsed=exc.elapsed_seconds)
+        self._cells[key] = value
+        self.fresh_cells += 1
+        self._save()
+        if (
+            self.interrupt_after is not None
+            and self.fresh_cells >= self.interrupt_after
+        ):
+            raise ExperimentInterruptedError(
+                f"stopped after {self.fresh_cells} cells "
+                f"(checkpoint saved; rerun with resume to continue)"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Checkpoint I/O
+    # ------------------------------------------------------------------
+    def _path(self, experiment: Optional[str] = None) -> Optional[str]:
+        name = experiment or self._experiment
+        if self.checkpoint_dir is None or name is None:
+            return None
+        return os.path.join(self.checkpoint_dir, f"{name}.json")
+
+    def _save(self) -> None:
+        path = self._path()
+        if path is None:
+            return
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "experiment": self._experiment,
+            "quick": self._quick,
+            "cells": {key: encode_cell(v) for key, v in self._cells.items()},
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)

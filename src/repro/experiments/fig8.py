@@ -2,14 +2,21 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.experiments.runner import TableResult, timed
 from repro.steiner.improved import improved_dst
 from repro.steiner.instance import prepare_instance
 from repro.steiner.pruned import pruned_dst
 from repro.steiner.steinlib import generate_b_instance
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.checkpoint import ExperimentContext
 
-def run_fig8a(quick: bool = False) -> TableResult:
+
+def run_fig8a(
+    quick: bool = False, context: Optional["ExperimentContext"] = None
+) -> TableResult:
     """Figure 8(a): Alg6 runtime vs density at fixed |V| (flat)."""
     n, k = (40, 6) if quick else (60, 8)
     level = 2 if quick else 3
@@ -33,7 +40,9 @@ def run_fig8a(quick: bool = False) -> TableResult:
     return result
 
 
-def run_fig8b(quick: bool = False) -> TableResult:
+def run_fig8b(
+    quick: bool = False, context: Optional["ExperimentContext"] = None
+) -> TableResult:
     """Figure 8(b): Alg4/Alg6 runtime vs |V| at fixed ratios (growing)."""
     # the quick sweep spans a 4x size range so the growth shape remains
     # visible above timing noise even at millisecond runtimes

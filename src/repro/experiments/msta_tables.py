@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.baselines.bhadra import bhadra_msta
 from repro.core.msta import msta_chronological, msta_stack
 from repro.experiments.runner import TableResult, timed_best_of
 from repro.experiments.workloads import msta_graph, msta_protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.checkpoint import ExperimentContext
 
 DATASETS = ["slashdot", "epinions", "facebook", "enron", "hepph", "dblp"]
 
@@ -36,7 +39,9 @@ def _runtime_rows(
     return rows
 
 
-def run_table2(quick: bool = False) -> TableResult:
+def run_table2(
+    quick: bool = False, context: Optional["ExperimentContext"] = None
+) -> TableResult:
     """Table 2: MST_a with non-zero durations (Bhadra vs Alg2 vs Alg1)."""
     scale = 0.4 if quick else 1.0
     rounds = 1 if quick else 3
@@ -58,7 +63,9 @@ def run_table2(quick: bool = False) -> TableResult:
     return result
 
 
-def run_table3(quick: bool = False) -> TableResult:
+def run_table3(
+    quick: bool = False, context: Optional["ExperimentContext"] = None
+) -> TableResult:
     """Table 3: MST_a with zero durations (Bhadra vs Alg2 only)."""
     scale = 0.4 if quick else 1.0
     rounds = 1 if quick else 3

@@ -1,16 +1,25 @@
-"""Experiments: Tables 4, 5, and 6 -- the MST_w pipeline."""
+"""Experiments: Tables 4, 5, and 6 -- the MST_w pipeline.
+
+All expensive cells run through the :class:`ExperimentContext` cell
+protocol, so these tables are budgeted (a hung DST solve degrades to a
+structured over-budget cell), checkpointed after every completed cell,
+and resumable after a kill.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.postprocess import closure_tree_to_temporal
-from repro.experiments.runner import TableResult, timed
+from repro.experiments.checkpoint import ExperimentContext
+from repro.experiments.runner import DegradedCell, TableResult, timed
 from repro.experiments.workloads import (
     MSTW_WORKLOADS,
     QUICK_MSTW_WORKLOADS,
     mstw_workload,
 )
+from repro.resilience.budget import Budget
+from repro.resilience.fallback import run_with_fallback
 from repro.steiner.charikar import charikar_dst
 from repro.steiner.improved import improved_dst
 from repro.steiner.pruned import pruned_dst
@@ -26,8 +35,16 @@ def _configs(quick: bool):
     return QUICK_MSTW_WORKLOADS if quick else MSTW_WORKLOADS
 
 
-def run_table4(quick: bool = False) -> TableResult:
-    """Table 4: window extraction / transformation sizes / Tprep."""
+def run_table4(
+    quick: bool = False, context: Optional[ExperimentContext] = None
+) -> TableResult:
+    """Table 4: window extraction / transformation sizes / Tprep.
+
+    Preprocessing is not cooperatively interruptible (the closure build
+    is one vectorised pass), so these cells are checkpointed but run
+    unbudgeted.
+    """
+    ctx = context if context is not None else ExperimentContext()
     result = TableResult(
         name="table4",
         title="Table 4: extracted G', transformed graph sizes, preprocessing (s)",
@@ -42,22 +59,28 @@ def run_table4(quick: bool = False) -> TableResult:
         ],
     )
     for config in sorted(_configs(quick), key=lambda c: c.name):
-        workload = mstw_workload(config)
-        result.add_row(
-            config.name,
-            workload.graph.num_vertices,
-            workload.graph.num_edges,
-            workload.prepared.num_terminals,
-            workload.transformed.num_vertices,
-            workload.transformed.num_edges,
-            workload.preprocessing_seconds,
-        )
+
+        def prep_cell(budget: Optional[Budget], config=config) -> list:
+            workload = mstw_workload(config)
+            return [
+                workload.graph.num_vertices,
+                workload.graph.num_edges,
+                workload.prepared.num_terminals,
+                workload.transformed.num_vertices,
+                workload.transformed.num_edges,
+                workload.preprocessing_seconds,
+            ]
+
+        result.add_row(config.name, *ctx.cell(f"prep:{config.name}", prep_cell))
     result.notes.append("Tprep is dominated by the transitive closure (Lemma 2 sizes)")
     return result
 
 
-def run_table5(quick: bool = False) -> TableResult:
+def run_table5(
+    quick: bool = False, context: Optional[ExperimentContext] = None
+) -> TableResult:
     """Table 5: DST runtime, Charik vs Alg4 vs Alg6 at i = 1..3."""
+    ctx = context if context is not None else ExperimentContext()
     configs = sorted(_configs(quick), key=lambda c: c.name)
     levels = (1, 2) if quick else (1, 2, 3)
     result = TableResult(
@@ -73,10 +96,25 @@ def run_table5(quick: bool = False) -> TableResult:
                 if level > getattr(config, cap_attr):
                     row.append("-")
                     continue
-                workload = mstw_workload(config)
-                elapsed, _ = timed(solver, workload.prepared, level)
-                timings[(solver_name, config.name, level)] = elapsed
-                row.append(elapsed)
+
+                def runtime_cell(
+                    budget: Optional[Budget],
+                    solver=solver,
+                    config=config,
+                    level=level,
+                ) -> float:
+                    workload = mstw_workload(config)
+                    elapsed, _ = timed(
+                        solver, workload.prepared, level, budget=budget
+                    )
+                    return elapsed
+
+                value = ctx.cell(
+                    f"runtime:{solver_name}:{config.name}:{level}", runtime_cell
+                )
+                if isinstance(value, float):
+                    timings[(solver_name, config.name, level)] = value
+                row.append(value)
             result.rows.append(row)
     speedups = []
     for config in configs:
@@ -92,8 +130,16 @@ def run_table5(quick: bool = False) -> TableResult:
     return result
 
 
-def run_table6(quick: bool = False) -> TableResult:
-    """Table 6: weights of the MST_w solutions per iteration count."""
+def run_table6(
+    quick: bool = False, context: Optional[ExperimentContext] = None
+) -> TableResult:
+    """Table 6: weights of the MST_w solutions per iteration count.
+
+    Weight cells solve through the fallback chain: an over-budget
+    Alg6-``i`` run degrades to a cheaper rung and the cell records the
+    rung that answered instead of dropping the entry.
+    """
+    ctx = context if context is not None else ExperimentContext()
     configs = sorted(_configs(quick), key=lambda c: c.name)
     levels = (1, 2) if quick else (1, 2, 3)
     result = TableResult(
@@ -107,12 +153,23 @@ def run_table6(quick: bool = False) -> TableResult:
             if level > config.pruned_max_level:
                 row.append("-")
                 continue
-            workload = mstw_workload(config)
-            closure_tree = pruned_dst(workload.prepared, level)
-            tree = closure_tree_to_temporal(
-                workload.transformed, workload.prepared, closure_tree
-            )
-            row.append(round(tree.total_weight, 2))
+
+            def weight_cell(
+                budget: Optional[Budget], config=config, level=level
+            ):
+                workload = mstw_workload(config)
+                outcome = run_with_fallback(
+                    workload.prepared, budget=budget, level=level
+                )
+                tree = closure_tree_to_temporal(
+                    workload.transformed, workload.prepared, outcome.tree
+                )
+                weight = round(tree.total_weight, 2)
+                if outcome.degraded:
+                    return DegradedCell(weight, outcome.rung)
+                return weight
+
+            row.append(ctx.cell(f"weight:{config.name}:{level}", weight_cell))
         result.rows.append(row)
     result.notes.append(
         "paper shape: weights drop from i=1 to i=2 and stabilise by i=3"

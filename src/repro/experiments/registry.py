@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from repro.experiments.checkpoint import ExperimentContext
 from repro.experiments.fig8 import run_fig8a, run_fig8b
 from repro.experiments.msta_tables import run_table2, run_table3
 from repro.experiments.mstw_tables import run_table4, run_table5, run_table6
@@ -25,17 +26,42 @@ EXPERIMENTS: Dict[str, Callable[..., TableResult]] = {
 }
 
 
-def run_experiment(name: str, quick: bool = False) -> TableResult:
+def run_experiment(
+    name: str,
+    quick: bool = False,
+    context: Optional[ExperimentContext] = None,
+) -> TableResult:
     """Run one named experiment (see :data:`EXPERIMENTS` for the keys).
+
+    Parameters
+    ----------
+    name:
+        Experiment key (case-insensitive).
+    quick:
+        Smaller workloads and fewer levels.
+    context:
+        Optional :class:`ExperimentContext` adding per-cell budgets,
+        JSON checkpoints after every completed cell, and resume-from-
+        checkpoint.  The checkpoint of a run that finishes is deleted;
+        an interrupted run leaves it behind for ``resume``.
 
     Raises
     ------
     KeyError
         For an unknown experiment name.
+    ExperimentInterruptedError
+        When the context's ``interrupt_after`` cell limit is reached
+        (the checkpoint is already saved).
     """
     key = name.lower()
     if key not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[key](quick=quick)
+    fn = EXPERIMENTS[key]
+    if context is None:
+        return fn(quick=quick)
+    context.begin(key, quick)
+    result = fn(quick=quick, context=context)
+    context.complete(key)
+    return result

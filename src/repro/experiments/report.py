@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from repro.experiments.checkpoint import ExperimentContext
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.runner import TableResult
 
@@ -65,8 +66,13 @@ def table_to_markdown(result: TableResult) -> str:
 def build_report(
     names: Optional[Iterable[str]] = None,
     quick: bool = True,
+    context: Optional[ExperimentContext] = None,
 ) -> str:
-    """Run experiments and return the assembled markdown document."""
+    """Run experiments and return the assembled markdown document.
+
+    ``context`` (optional) adds per-cell budgets, checkpoints, and
+    resume -- see :class:`repro.experiments.checkpoint.ExperimentContext`.
+    """
     selected: List[str] = sorted(EXPERIMENTS) if names is None else list(names)
     sections = [
         "# Regenerated evaluation",
@@ -76,7 +82,7 @@ def build_report(
         "",
     ]
     for name in selected:
-        result = run_experiment(name, quick=quick)
+        result = run_experiment(name, quick=quick, context=context)
         sections.append(f"## {result.title}")
         sections.append("")
         claim = PAPER_CLAIMS.get(name)

@@ -4,7 +4,42 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Tuple
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class OverBudgetCell:
+    """A table cell whose computation exhausted its budget.
+
+    Replaces the bare ``"-"`` convention with structure: how long the
+    attempt ran before tripping, and (when a fallback chain was in
+    play) the last rung that was attempted.  Renders as
+    ``-[>1.25s]`` or ``-[pruned-2 1.25s]``.
+    """
+
+    elapsed: float
+    rung: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.rung:
+            return f"-[{self.rung} {self.elapsed:.2f}s]"
+        return f"-[>{self.elapsed:.2f}s]"
+
+
+@dataclass(frozen=True)
+class DegradedCell:
+    """A cell answered by a fallback rung, not the requested solver.
+
+    ``value`` is the (approximate) answer; ``rung`` names the ladder
+    rung that produced it (see :func:`repro.resilience.run_with_fallback`).
+    Renders as ``12.34~shortest-paths``.
+    """
+
+    value: Any
+    rung: str
+
+    def __str__(self) -> str:
+        return f"{_fmt(self.value)}~{self.rung}"
 
 
 @dataclass
@@ -20,8 +55,10 @@ class TableResult:
     header:
         Column names.
     rows:
-        Lists of cells (numbers or strings; ``"-"`` marks an entry that
-        was out of budget, mirroring the paper's '-').
+        Lists of cells -- numbers, strings, or the structured
+        :class:`OverBudgetCell` / :class:`DegradedCell` markers.  A bare
+        ``"-"`` still marks a cell that was skipped by configuration
+        (mirroring the paper's '-').
     notes:
         Free-form caveats (e.g. which shape claims were checked).
     """

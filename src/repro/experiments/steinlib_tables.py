@@ -1,10 +1,23 @@
-"""Experiments: Tables 7 and 8 -- certified-optimum instances."""
+"""Experiments: Tables 7 and 8 -- certified-optimum instances.
+
+Like the MST_w tables, every solver cell goes through the
+:class:`ExperimentContext` protocol: budgeted, checkpointed after each
+completed cell, and resumable.
+"""
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.experiments.runner import TableResult, timed
+from repro.experiments.checkpoint import ExperimentContext
+from repro.experiments.runner import (
+    DegradedCell,
+    OverBudgetCell,
+    TableResult,
+    timed,
+)
+from repro.resilience.budget import Budget
+from repro.resilience.fallback import run_with_fallback
 from repro.steiner.charikar import charikar_dst
 from repro.steiner.exact import exact_dst_cost
 from repro.steiner.instance import PreparedInstance, prepare_instance
@@ -13,6 +26,8 @@ from repro.steiner.steinlib import generate_b_series
 
 FULL_INSTANCES = ["b01", "b03", "b05", "b07", "b09", "b11", "b13", "b15", "b17"]
 QUICK_INSTANCES = ["b01", "b05", "b09"]
+
+_SOLVER_FNS = {"Charik": charikar_dst, "Alg6": pruned_dst}
 
 
 def _prepare(names) -> Dict[str, PreparedInstance]:
@@ -23,8 +38,37 @@ def _prepare(names) -> Dict[str, PreparedInstance]:
     }
 
 
-def run_table7(quick: bool = False) -> TableResult:
+def _opt_cell(ctx: ExperimentContext, name: str, prepared: Dict[str, PreparedInstance]):
+    """The certified optimum for one instance (over-budget aware)."""
+
+    def fn(budget: Optional[Budget], name=name):
+        return exact_dst_cost(prepared[name], budget=budget)
+
+    return ctx.cell(f"opt:{name}", fn)
+
+
+def _runtime_cell(
+    ctx: ExperimentContext,
+    solver_name: str,
+    name: str,
+    level: int,
+    prepared: Dict[str, PreparedInstance],
+):
+    """One solver runtime (over-budget aware)."""
+    solver = _SOLVER_FNS[solver_name]
+
+    def fn(budget: Optional[Budget], name=name, level=level):
+        elapsed, _ = timed(solver, prepared[name], level, budget=budget)
+        return elapsed
+
+    return ctx.cell(f"runtime:{solver_name}:{name}:{level}", fn)
+
+
+def run_table7(
+    quick: bool = False, context: Optional[ExperimentContext] = None
+) -> TableResult:
     """Table 7: runtime of Charik-3 vs Alg6-3/4 on b-series instances."""
+    ctx = context if context is not None else ExperimentContext()
     names = QUICK_INSTANCES if quick else FULL_INSTANCES
     deep = set() if quick else {"b01", "b03", "b05", "b07", "b09", "b11"}
     prepared = _prepare(names)
@@ -35,24 +79,23 @@ def run_table7(quick: bool = False) -> TableResult:
         header=["G", "|V|", "|E|", "|X|", "Opt", "Charik-3", "Alg6-3", "Alg6-4"],
     )
     for name in names:
-        inst = prepared[name]
         problem = problems[name]
-        opt = exact_dst_cost(inst)
-        t_charik, _ = timed(charikar_dst, inst, 3)
-        t_alg6, _ = timed(pruned_dst, inst, 3)
+        opt = _opt_cell(ctx, name, prepared)
+        t_charik = _runtime_cell(ctx, "Charik", name, 3, prepared)
+        t_alg6 = _runtime_cell(ctx, "Alg6", name, 3, prepared)
         if name in deep:
-            t_alg6_4, _ = timed(pruned_dst, inst, 4)
+            t_alg6_4 = _runtime_cell(ctx, "Alg6", name, 4, prepared)
         else:
-            t_alg6_4 = None
+            t_alg6_4 = "-"
         result.add_row(
             name,
             problem.num_vertices,
             len(problem.edges),
             len(problem.terminals),
-            int(opt),
+            opt if isinstance(opt, OverBudgetCell) else int(opt),
             t_charik,
             t_alg6,
-            t_alg6_4 if t_alg6_4 is not None else "-",
+            t_alg6_4,
         )
     result.notes.append(
         "optima certified by the exact directed Dreyfus-Wagner solver "
@@ -61,12 +104,21 @@ def run_table7(quick: bool = False) -> TableResult:
     return result
 
 
-def run_table8(quick: bool = False) -> TableResult:
-    """Table 8: relative error of Alg6 per level."""
+def run_table8(
+    quick: bool = False, context: Optional[ExperimentContext] = None
+) -> TableResult:
+    """Table 8: relative error of Alg6 per level.
+
+    Approximation cells solve through the fallback chain; an
+    over-budget Alg6-``i`` degrades and the cell names the rung that
+    answered.  When even the certified optimum is over budget the error
+    cell carries that over-budget marker.
+    """
+    ctx = context if context is not None else ExperimentContext()
     names = QUICK_INSTANCES if quick else FULL_INSTANCES
     levels = (1, 2) if quick else (1, 2, 3)
     prepared = _prepare(names)
-    optima = {name: exact_dst_cost(inst) for name, inst in prepared.items()}
+    optima = {name: _opt_cell(ctx, name, prepared) for name in names}
     result = TableResult(
         name="table8",
         title="Table 8: relative error (Approx-Opt)/Opt of Alg6 per level",
@@ -75,8 +127,23 @@ def run_table8(quick: bool = False) -> TableResult:
     for level in levels:
         row = [f"i={level}"]
         for name in names:
-            approx = pruned_dst(prepared[name], level).cost
-            row.append(round((approx - optima[name]) / optima[name], 2))
+            opt = optima[name]
+            if isinstance(opt, OverBudgetCell):
+                row.append(opt)
+                continue
+
+            def error_cell(
+                budget: Optional[Budget], name=name, level=level, opt=opt
+            ):
+                outcome = run_with_fallback(
+                    prepared[name], budget=budget, level=level
+                )
+                error = round((outcome.cost - opt) / opt, 2)
+                if outcome.degraded:
+                    return DegradedCell(error, outcome.rung)
+                return error
+
+            row.append(ctx.cell(f"error:{name}:{level}", error_cell))
         result.rows.append(row)
     result.notes.append(
         "errors sit far below the i^2 (i-1) k^(1/i) bound and shrink with i"

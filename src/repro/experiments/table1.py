@@ -2,13 +2,24 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.datasets.registry import DATASETS, load_dataset
 from repro.experiments.runner import TableResult
 from repro.temporal.stats import compute_statistics
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.checkpoint import ExperimentContext
 
-def run(quick: bool = False) -> TableResult:
-    """Regenerate Table 1 for every synthetic dataset stand-in."""
+
+def run(
+    quick: bool = False, context: Optional["ExperimentContext"] = None
+) -> TableResult:
+    """Regenerate Table 1 for every synthetic dataset stand-in.
+
+    Statistics are cheap; ``context`` is accepted for a uniform harness
+    signature but not used for budgets or checkpoints.
+    """
     scale = 0.2 if quick else 0.5
     result = TableResult(
         name="table1",

@@ -1,0 +1,28 @@
+"""Budgeted execution and graceful degradation.
+
+The robustness layer for everything expensive in this library (see
+``docs/robustness.md``):
+
+* :class:`Budget` -- a cooperative wall-clock / node-expansion / memory
+  budget threaded through the DST solvers and the ``MST_w`` pipeline;
+  checkpoints raise :class:`repro.core.errors.BudgetExceededError`.
+* :func:`run_with_fallback` -- the degradation ladder exact ->
+  level-``i`` greedy (decreasing ``i``) -> shortest-paths heuristic,
+  recording which rung answered and its approximation caveat.
+"""
+
+from repro.core.errors import BudgetExceededError
+from repro.resilience.budget import Budget
+from repro.resilience.fallback import (
+    FallbackAttempt,
+    FallbackResult,
+    run_with_fallback,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceededError",
+    "FallbackAttempt",
+    "FallbackResult",
+    "run_with_fallback",
+]

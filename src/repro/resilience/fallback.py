@@ -1,0 +1,248 @@
+"""Graceful degradation for DST solves: exact -> greedy -> heuristic.
+
+``run_with_fallback`` walks a rung ladder from the strongest solver the
+budget might afford down to a last-resort heuristic that always
+answers:
+
+1. (optional) the exact Dreyfus-Wagner subset DP, when the terminal
+   count permits it;
+2. the level-``i`` greedy solver (Algorithm 6 by default) with ``i``
+   decreasing from the requested level down to 1;
+3. the shortest-paths heuristic -- the ``k``-approximation every greedy
+   level degenerates to -- which runs *unbudgeted* as the safety net.
+
+All rungs share one :class:`~repro.resilience.budget.Budget`, so the
+deadline covers the whole ladder; a rung that trips the budget is
+recorded and the next (cheaper) rung is tried with whatever time is
+left.  The result names the rung that answered and the approximation
+caveat it carries, so experiment tables can report *how degraded* an
+answer is instead of a bare ``"-"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from repro.core.errors import BudgetExceededError
+from repro.resilience.budget import Budget
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.steiner.instance import PreparedInstance
+    from repro.steiner.tree import ClosureTree
+
+_SOLVER_NAMES = ("charikar", "improved", "pruned")
+
+
+def _greedy_solvers():
+    """Name -> greedy solver map, imported lazily.
+
+    The solver modules import :mod:`repro.resilience.budget`, so a
+    module-level import here would be circular.
+    """
+    from repro.steiner.charikar import charikar_dst
+    from repro.steiner.improved import improved_dst
+    from repro.steiner.pruned import pruned_dst
+
+    return {
+        "charikar": charikar_dst,
+        "improved": improved_dst,
+        "pruned": pruned_dst,
+    }
+
+
+@dataclass(frozen=True)
+class FallbackAttempt:
+    """One rung's outcome: ran out, errored, was skipped, or answered."""
+
+    rung: str
+    status: str  # "ok" | "budget_exceeded" | "skipped"
+    elapsed_seconds: float
+    detail: str = ""
+
+
+@dataclass
+class FallbackResult:
+    """The answer of the first rung that finished within budget.
+
+    Attributes
+    ----------
+    tree:
+        A :class:`ClosureTree` covering every terminal (valid whichever
+        rung produced it).
+    rung:
+        Name of the answering rung (``"exact"``, ``"pruned-3"``, ...,
+        ``"shortest-paths"``).
+    level:
+        The greedy level that answered, or ``None`` for non-greedy rungs.
+    degraded:
+        True when a stronger rung was attempted (or skipped) first.
+    caveat:
+        Human-readable approximation guarantee of the answering rung.
+    attempts:
+        Every rung outcome in ladder order, including the winner.
+    elapsed_seconds:
+        Wall-clock total across the whole ladder.
+    """
+
+    tree: ClosureTree
+    rung: str
+    level: Optional[int]
+    degraded: bool
+    caveat: str
+    attempts: List[FallbackAttempt] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def cost(self) -> float:
+        return self.tree.cost
+
+
+def _edges_to_closure_tree(
+    prepared: "PreparedInstance", cost: float, edges
+) -> "ClosureTree":
+    """Wrap base-graph ``(u, v, w)`` triples as a ClosureTree.
+
+    Base edges are valid closure edges (the closure dominates them), so
+    downstream postprocessing -- which re-expands each closure edge into
+    a shortest path -- keeps a covering tree of no greater cost.
+    """
+    from repro.steiner.tree import ClosureTree
+
+    return ClosureTree(
+        tuple((u, v) for u, v, _ in edges),
+        float(cost),
+        frozenset(prepared.terminals),
+    )
+
+
+def _rung_ladder(
+    prepared: "PreparedInstance",
+    level: int,
+    solver: str,
+    include_exact: bool,
+) -> List[Tuple[str, Optional[int], str, Callable]]:
+    """``(name, level, caveat, runner)`` rungs, strongest first."""
+    from repro.steiner.exact import MAX_EXACT_TERMINALS, exact_dst
+    from repro.steiner.heuristics import shortest_paths_heuristic
+    from repro.steiner.instance import approximation_ratio
+
+    k = prepared.num_terminals
+    greedy = _greedy_solvers()[solver]
+    ladder: List[Tuple[str, Optional[int], str, Callable]] = []
+    if include_exact and k <= MAX_EXACT_TERMINALS:
+
+        def run_exact(budget: Budget) -> "ClosureTree":
+            cost, edges = exact_dst(prepared, budget=budget)
+            return _edges_to_closure_tree(prepared, cost, edges)
+
+        ladder.append(("exact", None, "optimal (Dreyfus-Wagner subset DP)", run_exact))
+    for i in range(max(1, level), 0, -1):
+
+        def run_greedy(budget: Budget, i: int = i) -> "ClosureTree":
+            return greedy(prepared, i, budget=budget)
+
+        ladder.append(
+            (
+                f"{solver}-{i}",
+                i,
+                f"{approximation_ratio(i, k):.3g}-approximation "
+                f"(level {i} greedy)",
+                run_greedy,
+            )
+        )
+
+    def run_heuristic(_: Budget) -> "ClosureTree":
+        cost, edges = shortest_paths_heuristic(prepared)
+        return _edges_to_closure_tree(prepared, cost, edges)
+
+    ladder.append(
+        (
+            "shortest-paths",
+            None,
+            f"{k}-approximation (per-terminal shortest paths)",
+            run_heuristic,
+        )
+    )
+    return ladder
+
+
+def run_with_fallback(
+    prepared: PreparedInstance,
+    budget: Optional[Budget] = None,
+    level: int = 3,
+    solver: str = "pruned",
+    include_exact: bool = False,
+) -> FallbackResult:
+    """Solve a DST instance, degrading gracefully as the budget drains.
+
+    Parameters
+    ----------
+    prepared:
+        The prepared instance (root must reach all terminals).
+    budget:
+        One shared budget for the whole ladder.  ``None`` means
+        unlimited -- the first rung then always answers.
+    level:
+        The strongest greedy level to attempt.
+    solver:
+        Greedy family: ``"pruned"`` (default), ``"improved"``, or
+        ``"charikar"``.
+    include_exact:
+        Try the exact subset DP first (only when the terminal count is
+        within :data:`repro.steiner.exact.MAX_EXACT_TERMINALS`).
+
+    Returns
+    -------
+    A :class:`FallbackResult`; never raises ``BudgetExceededError`` --
+    the final heuristic rung runs unbudgeted and always answers.
+
+    Raises
+    ------
+    ValueError
+        For an unknown ``solver`` name or ``level < 1``.
+    """
+    if solver not in _SOLVER_NAMES:
+        raise ValueError(
+            f"unknown solver {solver!r}; expected one of {sorted(_SOLVER_NAMES)}"
+        )
+    if level < 1:
+        raise ValueError(f"level must be >= 1, got {level}")
+    if budget is None:
+        budget = Budget.unlimited()
+    budget.start()
+
+    ladder = _rung_ladder(prepared, level, solver, include_exact)
+    attempts: List[FallbackAttempt] = []
+    last = len(ladder) - 1
+    for index, (name, rung_level, caveat, run) in enumerate(ladder):
+        rung_started = budget.elapsed_seconds()
+        if index < last and budget.exceeded() is not None:
+            attempts.append(
+                FallbackAttempt(name, "skipped", 0.0, "budget already exhausted")
+            )
+            continue
+        try:
+            tree = run(budget)
+        except BudgetExceededError as exc:
+            attempts.append(
+                FallbackAttempt(
+                    name,
+                    "budget_exceeded",
+                    budget.elapsed_seconds() - rung_started,
+                    f"{exc.reason} ({exc.expansions} expansions)",
+                )
+            )
+            continue
+        elapsed = budget.elapsed_seconds() - rung_started
+        attempts.append(FallbackAttempt(name, "ok", elapsed))
+        return FallbackResult(
+            tree=tree,
+            rung=name,
+            level=rung_level,
+            degraded=index > 0,
+            caveat=caveat,
+            attempts=attempts,
+            elapsed_seconds=budget.elapsed_seconds(),
+        )
+    raise AssertionError("the unbudgeted final rung cannot fail")  # pragma: no cover

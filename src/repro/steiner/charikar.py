@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Optional, Set
 
+from repro.resilience.budget import NULL_BUDGET, Budget
 from repro.steiner.instance import PreparedInstance
 from repro.steiner.tree import ClosureTree
 
@@ -24,6 +25,7 @@ def charikar_dst(
     prepared: PreparedInstance,
     level: int,
     k: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> ClosureTree:
     """Run ``A^level(k, root, X)`` on a prepared instance.
 
@@ -35,6 +37,10 @@ def charikar_dst(
         The number of iterations ``i`` (tree height bound).
     k:
         Number of terminals to cover; defaults to all of them.
+    budget:
+        Optional cooperative :class:`repro.resilience.Budget`; a
+        checkpoint runs once per candidate-vertex expansion and raises
+        :class:`repro.core.errors.BudgetExceededError` when exhausted.
 
     Returns
     -------
@@ -45,7 +51,11 @@ def charikar_dst(
     terminals = frozenset(prepared.terminals)
     if k is None:
         k = len(terminals)
-    return _a_recursive(prepared, level, k, prepared.root, terminals)
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
+    return _a_recursive(prepared, level, k, prepared.root, terminals, budget)
 
 
 def _a_recursive(
@@ -54,6 +64,7 @@ def _a_recursive(
     k: int,
     r: int,
     terminals: FrozenSet[int],
+    budget: Budget,
 ) -> ClosureTree:
     """The recursive body of Algorithm 3."""
     remaining: Set[int] = set(terminals)
@@ -62,6 +73,7 @@ def _a_recursive(
 
     if i == 1:
         # Pick the k terminals with the cheapest closure edge from r.
+        budget.checkpoint()
         costs = prepared.closure.costs_from(r)
         chosen = sorted(remaining, key=lambda x: (costs[x], x))[:k]
         for x in chosen:
@@ -74,10 +86,11 @@ def _a_recursive(
         best: Optional[ClosureTree] = None
         best_density = float("inf")
         for v in range(num_vertices):
+            budget.checkpoint()
             edge_cost = prepared.cost(r, v)
             for k_prime in range(1, k + 1):
                 subtree = _a_recursive(
-                    prepared, i - 1, k_prime, v, frozenset(remaining)
+                    prepared, i - 1, k_prime, v, frozenset(remaining), budget
                 )
                 candidate = subtree.with_edge(r, v, edge_cost)
                 density = candidate.density

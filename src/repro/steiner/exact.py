@@ -20,31 +20,36 @@ that the paper takes from SteinLib's published optima.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.resilience.budget import NULL_BUDGET, Budget
 from repro.steiner.instance import PreparedInstance
 
 #: Refuse plainly infeasible subset DPs (3^18 ~ 4e8 split operations).
 MAX_EXACT_TERMINALS = 18
 
 
-def exact_dst_cost(prepared: PreparedInstance) -> float:
+def exact_dst_cost(
+    prepared: PreparedInstance, budget: Optional[Budget] = None
+) -> float:
     """The optimal DST cost for ``prepared`` (root covering all terminals)."""
-    table = _subset_table(prepared)
+    table = _subset_table(prepared, budget)
     full = (1 << prepared.num_terminals) - 1
     return float(table[full][prepared.root])
 
 
-def exact_dst(prepared: PreparedInstance) -> Tuple[float, List[Tuple[int, int, float]]]:
+def exact_dst(
+    prepared: PreparedInstance, budget: Optional[Budget] = None
+) -> Tuple[float, List[Tuple[int, int, float]]]:
     """The optimal cost together with a realising edge set.
 
     Returns ``(cost, edges)`` where ``edges`` are ``(u, v, w)`` triples
     over base-graph indices obtained by expanding the DP's closure-level
     decisions into shortest paths.
     """
-    table = _subset_table(prepared)
+    table = _subset_table(prepared, budget)
     full = (1 << prepared.num_terminals) - 1
     cost = float(table[full][prepared.root])
     closure_edges: Set[Tuple[int, int]] = set()
@@ -60,8 +65,18 @@ def exact_dst(prepared: PreparedInstance) -> Tuple[float, List[Tuple[int, int, f
     return cost, edges
 
 
-def _subset_table(prepared: PreparedInstance) -> List[np.ndarray]:
-    """Fill the ``f[D]`` arrays for every terminal subset ``D``."""
+def _subset_table(
+    prepared: PreparedInstance, budget: Optional[Budget] = None
+) -> List[np.ndarray]:
+    """Fill the ``f[D]`` arrays for every terminal subset ``D``.
+
+    ``budget`` (optional) is checkpointed once per subset mask, so a
+    deadline interrupts the DP between (vectorised) subset rows.
+    """
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
     k = prepared.num_terminals
     if k > MAX_EXACT_TERMINALS:
         raise ValueError(
@@ -79,6 +94,7 @@ def _subset_table(prepared: PreparedInstance) -> List[np.ndarray]:
 
     for size in range(2, k + 1):
         for mask in masks_by_size[size]:
+            budget.checkpoint()
             # Merge step: split the subset at v, fixing the lowest bit
             # in one side to avoid enumerating each split twice.
             low = mask & (-mask)

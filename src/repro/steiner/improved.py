@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Optional, Set
 
+from repro.resilience.budget import NULL_BUDGET, Budget
 from repro.steiner.instance import PreparedInstance
 from repro.steiner.tree import ClosureTree
 
@@ -23,14 +24,23 @@ def improved_dst(
     prepared: PreparedInstance,
     level: int,
     k: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> ClosureTree:
-    """Run ``Ã^level(k, root, X)`` (Algorithm 4) on a prepared instance."""
+    """Run ``Ã^level(k, root, X)`` (Algorithm 4) on a prepared instance.
+
+    ``budget`` (optional) is checkpointed once per candidate-vertex
+    expansion; see :class:`repro.resilience.Budget`.
+    """
     if level < 1:
         raise ValueError(f"level must be >= 1, got {level}")
     terminals = frozenset(prepared.terminals)
     if k is None:
         k = len(terminals)
-    return _a_improved(prepared, level, k, prepared.root, terminals)
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
+    return _a_improved(prepared, level, k, prepared.root, terminals, budget)
 
 
 def _base_greedy(
@@ -55,11 +65,13 @@ def _a_improved(
     k: int,
     r: int,
     terminals: FrozenSet[int],
+    budget: Budget,
 ) -> ClosureTree:
     """Algorithm 4: one ``B`` call per candidate vertex per w-iteration."""
     remaining: Set[int] = set(terminals)
     k = min(k, len(remaining))
     if i == 1:
+        budget.checkpoint()
         return _base_greedy(prepared, k, r, remaining)
 
     tree = ClosureTree.EMPTY
@@ -69,8 +81,11 @@ def _a_improved(
         best_density = float("inf")
         frozen_remaining = frozenset(remaining)
         for v in range(num_vertices):
+            budget.checkpoint()
             edge_cost = prepared.cost(r, v)
-            subtree = _b_prefix(prepared, i - 1, k, v, frozen_remaining, edge_cost)
+            subtree = _b_prefix(
+                prepared, i - 1, k, v, frozen_remaining, edge_cost, budget
+            )
             candidate = subtree.with_edge(r, v, edge_cost)
             density = candidate.density
             if best is None or density < best_density:
@@ -93,6 +108,7 @@ def _b_prefix(
     r: int,
     terminals: FrozenSet[int],
     incoming_cost: float,
+    budget: Budget,
 ) -> ClosureTree:
     """Algorithm 5: best-density greedy prefix ``B^i(k, r, X, e)``.
 
@@ -107,6 +123,7 @@ def _b_prefix(
     best_density = float("inf")
 
     if i == 1:
+        budget.checkpoint()
         costs = prepared.closure.costs_from(r)
         chosen = sorted(remaining, key=lambda x: (costs[x], x))[:k]
         current = ClosureTree.EMPTY
@@ -126,8 +143,11 @@ def _b_prefix(
         sub_best_density = float("inf")
         frozen_remaining = frozenset(remaining)
         for v in range(num_vertices):
+            budget.checkpoint()
             edge_cost = prepared.cost(r, v)
-            subtree = _b_prefix(prepared, i - 1, k, v, frozen_remaining, edge_cost)
+            subtree = _b_prefix(
+                prepared, i - 1, k, v, frozen_remaining, edge_cost, budget
+            )
             candidate = subtree.with_edge(r, v, edge_cost)
             density = candidate.density
             if sub_best is None or density < sub_best_density:

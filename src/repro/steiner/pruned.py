@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from typing import FrozenSet, List, Optional, Set
 
+from repro.resilience.budget import NULL_BUDGET, Budget
 from repro.steiner.improved import _base_greedy
 from repro.steiner.instance import PreparedInstance
 from repro.steiner.tree import ClosureTree
@@ -25,14 +26,23 @@ def pruned_dst(
     prepared: PreparedInstance,
     level: int,
     k: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> ClosureTree:
-    """Run ``FinalA^level(k, root, X)`` (Algorithm 6) on a prepared instance."""
+    """Run ``FinalA^level(k, root, X)`` (Algorithm 6) on a prepared instance.
+
+    ``budget`` (optional) is checkpointed once per scanned candidate
+    vertex; see :class:`repro.resilience.Budget`.
+    """
     if level < 1:
         raise ValueError(f"level must be >= 1, got {level}")
     terminals = frozenset(prepared.terminals)
     if k is None:
         k = len(terminals)
-    return _final_a(prepared, level, k, prepared.root, terminals)
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
+    return _final_a(prepared, level, k, prepared.root, terminals, budget)
 
 
 def _scan_vertices(
@@ -43,6 +53,7 @@ def _scan_vertices(
     remaining: FrozenSet[int],
     tau: List[float],
     order: List[int],
+    budget: Budget,
 ) -> ClosureTree:
     """One pruned w-iteration: the best candidate branch ``T' ∪ (r, v)``.
 
@@ -57,8 +68,9 @@ def _scan_vertices(
     for v in order:
         if best is not None and tau[v] >= best_density:
             break
+        budget.checkpoint()
         edge_cost = prepared.cost(r, v)
-        subtree = _final_b(prepared, i - 1, k, v, remaining, edge_cost)
+        subtree = _final_b(prepared, i - 1, k, v, remaining, edge_cost, budget)
         candidate = subtree.with_edge(r, v, edge_cost)
         density = candidate.density
         tau[v] = density
@@ -75,11 +87,13 @@ def _final_a(
     k: int,
     r: int,
     terminals: FrozenSet[int],
+    budget: Budget,
 ) -> ClosureTree:
     """Algorithm 6's top level (Algorithm 4 with pruned vertex scans)."""
     remaining: Set[int] = set(terminals)
     k = min(k, len(remaining))
     if i == 1:
+        budget.checkpoint()
         return _base_greedy(prepared, k, r, remaining)
 
     tree = ClosureTree.EMPTY
@@ -88,7 +102,7 @@ def _final_a(
     order = list(range(num_vertices))
     while k > 0:
         best = _scan_vertices(
-            prepared, i, k, r, frozenset(remaining), tau, order
+            prepared, i, k, r, frozenset(remaining), tau, order, budget
         )
         newly_covered = best.covered & remaining
         if not newly_covered:  # pragma: no cover - defensive
@@ -106,6 +120,7 @@ def _final_b(
     r: int,
     terminals: FrozenSet[int],
     incoming_cost: float,
+    budget: Budget,
 ) -> ClosureTree:
     """``FinalB^i``: Algorithm 5 with the same pruned vertex scan."""
     remaining: Set[int] = set(terminals)
@@ -114,6 +129,7 @@ def _final_b(
     best_density = math.inf
 
     if i == 1:
+        budget.checkpoint()
         costs = prepared.closure.costs_from(r)
         chosen = sorted(remaining, key=lambda x: (costs[x], x))[:k]
         current = ClosureTree.EMPTY
@@ -132,7 +148,7 @@ def _final_b(
     order = list(range(num_vertices))
     while k > 0:
         sub_best = _scan_vertices(
-            prepared, i, k, r, frozenset(remaining), tau, order
+            prepared, i, k, r, frozenset(remaining), tau, order, budget
         )
         newly_covered = sub_best.covered & remaining
         if not newly_covered:  # pragma: no cover - defensive

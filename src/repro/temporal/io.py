@@ -10,6 +10,10 @@ Two formats are supported:
   ``u v start arrival weight`` preserving full temporal edges.
 
 Lines starting with ``%`` or ``#`` are comments.
+
+Both readers validate rows strictly: non-numeric, nan, or infinite
+weights/timestamps, negative weights, and edges arriving before they
+start all raise :class:`GraphFormatError` naming the offending line.
 """
 
 from __future__ import annotations
@@ -45,6 +49,31 @@ def _parse_vertex(token: str):
         return token
 
 
+def _parse_float(token: str, lineno: int, column: str) -> float:
+    """One finite numeric column, or GraphFormatError naming the line."""
+    try:
+        value = float(token)
+    except ValueError:
+        raise GraphFormatError(
+            f"line {lineno}: {column} is not a number: {token!r}"
+        ) from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise GraphFormatError(
+            f"line {lineno}: {column} must be finite, got {token!r}"
+        )
+    return value
+
+
+def _check_row(lineno: int, start: float, arrival: float, weight: float) -> None:
+    """Semantic sanity for one edge row."""
+    if arrival < start:
+        raise GraphFormatError(
+            f"line {lineno}: arrival {arrival:g} precedes start {start:g}"
+        )
+    if weight < 0:
+        raise GraphFormatError(f"line {lineno}: negative weight {weight:g}")
+
+
 def read_konect(
     source: PathOrFile,
     duration: float = 0.0,
@@ -72,8 +101,15 @@ def read_konect(
                 )
             u = _parse_vertex(parts[0])
             v = _parse_vertex(parts[1])
-            weight = float(parts[2]) if len(parts) >= 3 else default_weight
-            timestamp = float(parts[3]) if len(parts) >= 4 else float(len(edges))
+            if len(parts) >= 3:
+                weight = _parse_float(parts[2], lineno, "weight")
+            else:
+                weight = default_weight
+            if len(parts) >= 4:
+                timestamp = _parse_float(parts[3], lineno, "timestamp")
+            else:
+                timestamp = float(len(edges))
+            _check_row(lineno, timestamp, timestamp + duration, weight)
             edges.append(TemporalEdge(u, v, timestamp, timestamp + duration, weight))
         return TemporalGraph(edges)
     finally:
@@ -96,13 +132,17 @@ def read_native(source: PathOrFile) -> TemporalGraph:
                     f"line {lineno}: expected 5 columns "
                     f"'u v start arrival weight', got {len(parts)}"
                 )
+            start = _parse_float(parts[2], lineno, "start")
+            arrival = _parse_float(parts[3], lineno, "arrival")
+            weight = _parse_float(parts[4], lineno, "weight")
+            _check_row(lineno, start, arrival, weight)
             edges.append(
                 TemporalEdge(
                     _parse_vertex(parts[0]),
                     _parse_vertex(parts[1]),
-                    float(parts[2]),
-                    float(parts[3]),
-                    float(parts[4]),
+                    start,
+                    arrival,
+                    weight,
                 )
             )
         return TemporalGraph(edges)

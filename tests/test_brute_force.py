@@ -1,6 +1,5 @@
 """Tests for the brute-force oracles themselves."""
 
-import math
 
 import pytest
 

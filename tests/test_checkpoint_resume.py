@@ -1,0 +1,193 @@
+"""Checkpointed, resumable experiment runs.
+
+The headline property: a table run interrupted mid-way (via the
+``interrupt_after`` fresh-cell limit) and then resumed produces rows
+identical to an uninterrupted run, and the checkpoint file disappears
+once the run completes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.errors import ExperimentInterruptedError
+from repro.experiments import (
+    DegradedCell,
+    ExperimentContext,
+    OverBudgetCell,
+    run_experiment,
+)
+from repro.experiments.checkpoint import (
+    CHECKPOINT_VERSION,
+    decode_cell,
+    encode_cell,
+)
+
+#: The cheapest deterministic table in the suite (3 opt + 6 error cells
+#: in quick mode), used as the interruption workload.
+EXPERIMENT = "table8"
+
+
+def _run_to_completion(context=None):
+    return run_experiment(EXPERIMENT, quick=True, context=context)
+
+
+class TestCellEncoding:
+    def test_plain_values_pass_through(self):
+        for value in (1, 2.5, "x", [1, 2], None):
+            assert decode_cell(encode_cell(value)) == value
+
+    def test_over_budget_round_trip(self):
+        cell = OverBudgetCell(elapsed=1.25, rung="pruned-1")
+        assert decode_cell(encode_cell(cell)) == cell
+        assert decode_cell(encode_cell(OverBudgetCell(elapsed=0.5))) == (
+            OverBudgetCell(elapsed=0.5)
+        )
+
+    def test_degraded_round_trip(self):
+        cell = DegradedCell(value=12.5, rung="shortest-paths")
+        assert decode_cell(encode_cell(cell)) == cell
+
+    def test_round_trip_survives_json(self):
+        cell = DegradedCell(value=3.25, rung="pruned-2")
+        dumped = json.dumps(encode_cell(cell))
+        assert decode_cell(json.loads(dumped)) == cell
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            decode_cell({"__cell__": "martian"})
+
+
+class TestInterruptAndResume:
+    def test_interrupt_leaves_checkpoint(self, tmp_path):
+        context = ExperimentContext(
+            checkpoint_dir=str(tmp_path), interrupt_after=2
+        )
+        with pytest.raises(ExperimentInterruptedError):
+            _run_to_completion(context)
+        path = tmp_path / f"{EXPERIMENT}.json"
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["version"] == CHECKPOINT_VERSION
+        assert payload["experiment"] == EXPERIMENT
+        assert payload["quick"] is True
+        assert len(payload["cells"]) == 2
+
+    def test_resumed_run_matches_uninterrupted(self, tmp_path):
+        baseline = _run_to_completion()
+
+        context = ExperimentContext(
+            checkpoint_dir=str(tmp_path), interrupt_after=2
+        )
+        with pytest.raises(ExperimentInterruptedError):
+            _run_to_completion(context)
+
+        resumed_context = ExperimentContext(
+            checkpoint_dir=str(tmp_path), resume=True
+        )
+        resumed = _run_to_completion(resumed_context)
+
+        assert resumed.rows == baseline.rows
+        assert resumed.render() == baseline.render()
+        # the resumed run recomputed only the missing cells
+        assert resumed_context.fresh_cells < len(resumed.rows) * (
+            len(resumed.header) - 1
+        ) + len(resumed.rows)
+
+    def test_checkpoint_deleted_on_completion(self, tmp_path):
+        context = ExperimentContext(
+            checkpoint_dir=str(tmp_path), interrupt_after=2
+        )
+        with pytest.raises(ExperimentInterruptedError):
+            _run_to_completion(context)
+        resumed_context = ExperimentContext(
+            checkpoint_dir=str(tmp_path), resume=True
+        )
+        _run_to_completion(resumed_context)
+        assert not (tmp_path / f"{EXPERIMENT}.json").exists()
+
+    def test_repeated_interrupts_make_progress(self, tmp_path):
+        """Each restart adds cells; eventually the run completes."""
+        baseline = _run_to_completion()
+        for _ in range(30):
+            context = ExperimentContext(
+                checkpoint_dir=str(tmp_path), resume=True, interrupt_after=1
+            )
+            try:
+                result = _run_to_completion(context)
+            except ExperimentInterruptedError:
+                continue
+            break
+        else:  # pragma: no cover - would mean no progress per restart
+            pytest.fail("run never completed under repeated interruption")
+        assert result.rows == baseline.rows
+
+    def test_quick_mismatch_ignores_checkpoint(self, tmp_path):
+        path = tmp_path / f"{EXPERIMENT}.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": CHECKPOINT_VERSION,
+                    "experiment": EXPERIMENT,
+                    "quick": False,
+                    "cells": {"opt:b01": 9999},
+                }
+            )
+        )
+        context = ExperimentContext(checkpoint_dir=str(tmp_path), resume=True)
+        context.begin(EXPERIMENT, quick=True)
+        assert not context.has("opt:b01")
+
+    def test_version_mismatch_ignores_checkpoint(self, tmp_path):
+        path = tmp_path / f"{EXPERIMENT}.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": CHECKPOINT_VERSION + 1,
+                    "experiment": EXPERIMENT,
+                    "quick": True,
+                    "cells": {"opt:b01": 9999},
+                }
+            )
+        )
+        context = ExperimentContext(checkpoint_dir=str(tmp_path), resume=True)
+        context.begin(EXPERIMENT, quick=True)
+        assert not context.has("opt:b01")
+
+    def test_checkpointed_cells_are_authoritative(self, tmp_path):
+        """Resume trusts the file: a poisoned cell value is reused."""
+        context = ExperimentContext(checkpoint_dir=str(tmp_path))
+        context.begin(EXPERIMENT, quick=True)
+        context.cell("opt:b01", lambda budget: 4242)
+        resumed = ExperimentContext(checkpoint_dir=str(tmp_path), resume=True)
+        resumed.begin(EXPERIMENT, quick=True)
+        assert resumed.has("opt:b01")
+        assert resumed.cell("opt:b01", lambda budget: 0) == 4242
+        assert resumed.fresh_cells == 0
+
+
+class TestBudgetedCells:
+    def test_over_budget_cell_is_structured(self, tmp_path):
+        context = ExperimentContext(
+            cell_budget_seconds=1e-9, checkpoint_dir=str(tmp_path)
+        )
+        context.begin(EXPERIMENT, quick=True)
+
+        def slow_cell(budget):
+            import time
+
+            time.sleep(0.002)
+            budget.checkpoint()
+            return 1.0  # pragma: no cover - budget trips first
+
+        value = context.cell("opt:b01", slow_cell)
+        assert isinstance(value, OverBudgetCell)
+        assert value.elapsed > 0
+        assert str(value).startswith("-[")
+
+    def test_no_checkpoint_dir_means_no_files(self, tmp_path):
+        context = ExperimentContext()
+        context.begin(EXPERIMENT, quick=True)
+        context.cell("opt:b01", lambda budget: 1)
+        assert os.listdir(tmp_path) == []

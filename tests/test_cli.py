@@ -62,7 +62,7 @@ class TestMsta:
 
     def test_bad_root_reports_error(self, capsys, fig1_file):
         code, _, err = run_cli(capsys, "msta", fig1_file, "--root", "99")
-        assert code == 2
+        assert code == 66
         assert "error" in err
 
 

@@ -1,8 +1,20 @@
-"""CLI failure-path tests: bad files, bad arguments, graceful errors."""
+"""CLI failure-path tests: bad files, bad arguments, distinct exit codes."""
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_OTHER_REPRO_ERROR,
+    build_parser,
+    exit_code_for,
+    main,
+)
+from repro.core.errors import (
+    BudgetExceededError,
+    ExperimentInterruptedError,
+    GraphFormatError,
+    ReproError,
+    UnreachableRootError,
+)
 
 
 class TestParser:
@@ -31,6 +43,37 @@ class TestParser:
             build_parser().parse_args(["generate", "orkut"])
 
 
+class TestExitCodeMapping:
+    """Each ReproError family maps to its own sysexits-style code."""
+
+    def test_format_error(self):
+        assert exit_code_for(GraphFormatError("bad")) == 65
+
+    def test_unreachable_error(self):
+        assert exit_code_for(UnreachableRootError("isolated")) == 66
+
+    def test_budget_error(self):
+        assert exit_code_for(BudgetExceededError("drained")) == 67
+
+    def test_interrupted_error(self):
+        assert exit_code_for(ExperimentInterruptedError("stopped")) == 75
+
+    def test_base_repro_error(self):
+        assert exit_code_for(ReproError("other")) == EXIT_OTHER_REPRO_ERROR
+
+    def test_codes_are_distinct_and_nonzero(self):
+        errors = [
+            GraphFormatError("a"),
+            UnreachableRootError("b"),
+            BudgetExceededError("c"),
+            ExperimentInterruptedError("d"),
+            ReproError("e"),
+        ]
+        codes = [exit_code_for(e) for e in errors]
+        assert len(set(codes)) == len(codes)
+        assert all(code not in (0, 1, 2) for code in codes)
+
+
 class TestRuntimeErrors:
     def test_missing_file(self, capsys):
         with pytest.raises(FileNotFoundError):
@@ -41,22 +84,62 @@ class TestRuntimeErrors:
         path.write_text("1 2 3\n")
         code = main(["stats", str(path)])
         err = capsys.readouterr().err
-        assert code == 2
+        assert code == 65
         assert "error" in err
+
+    def test_nan_weight_names_line(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0 1 1\n1 2 0 1 nan\n")
+        code = main(["stats", str(path)])
+        err = capsys.readouterr().err
+        assert code == 65
+        assert "line 2" in err
 
     def test_mstw_on_isolated_root(self, tmp_path, capsys):
         path = tmp_path / "g.txt"
         path.write_text("1 2 0 1 1\n")
         code = main(["mstw", str(path), "--root", "9", "--level", "1"])
-        assert code == 2
+        assert code == 66
         assert "error" in capsys.readouterr().err
 
     def test_steiner_unreachable_without_flag(self, tmp_path, capsys):
         path = tmp_path / "g.txt"
         path.write_text("0 1 0 1 1\n2 1 0 1 1\n")
         code = main(["steiner", str(path), "--root", "0", "--terminals", "2"])
-        assert code == 2
+        assert code == 66
         assert "unreachable" in capsys.readouterr().err
+
+    def test_budget_without_fallback_exits_67(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        lines = [f"0 {v} 0 1 1\n" for v in range(1, 30)]
+        lines += [f"{u} {u + 1} 1 2 1\n" for u in range(1, 29)]
+        path.write_text("".join(lines))
+        code = main(
+            ["mstw", str(path), "--root", "0", "--budget", "0.0000001"]
+        )
+        err = capsys.readouterr().err
+        assert code == 67
+        assert "error" in err
+
+    def test_budget_with_fallback_succeeds(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        lines = [f"0 {v} 0 1 1\n" for v in range(1, 30)]
+        lines += [f"{u} {u + 1} 1 2 1\n" for u in range(1, 29)]
+        path.write_text("".join(lines))
+        code = main(
+            [
+                "mstw",
+                str(path),
+                "--root",
+                "0",
+                "--budget",
+                "0.0000001",
+                "--fallback",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solved by" in out
 
     def test_negative_window_rejected(self, tmp_path, capsys):
         path = tmp_path / "g.txt"

@@ -6,7 +6,6 @@ from repro.experiments.runner import TableResult, timed, timed_best_of
 from repro.experiments.workloads import (
     MSTW_WORKLOADS,
     QUICK_MSTW_WORKLOADS,
-    WorkloadConfig,
     msta_graph,
     msta_protocol,
     mstw_workload,

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.temporal.edge import TemporalEdge
-from repro.temporal.graph import TemporalGraph
 from repro.temporal.paths import earliest_arrival_path, earliest_arrival_times
 from repro.temporal.window import TimeWindow
 

@@ -12,7 +12,7 @@ import pytest
 
 from repro.baselines.bhadra import bhadra_msta
 from repro.core.msta import minimum_spanning_tree_a
-from repro.core.mstw import minimum_spanning_tree_w, prepare_mstw_instance
+from repro.core.mstw import minimum_spanning_tree_w
 from repro.datasets.registry import load_dataset
 from repro.datasets.weights import apply_weight_cascade
 from repro.steiner.exact import exact_dst_cost

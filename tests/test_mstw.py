@@ -1,6 +1,5 @@
 """Tests for the end-to-end ``MST_w`` pipeline and postprocessing."""
 
-import math
 
 import pytest
 

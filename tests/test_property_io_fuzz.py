@@ -1,0 +1,109 @@
+"""Property-based fuzzing (hypothesis) of the edge-list parsers.
+
+The contract under test: ``from_string`` either returns a
+``TemporalGraph`` or raises ``GraphFormatError`` -- never ValueError,
+IndexError, or any other leak from the parsing internals -- no matter
+how malformed the input text is.  A second group checks that the
+validation layer rejects every non-finite or time-inverted row it is
+specified to reject, with the offending line number in the message.
+"""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import example, given, settings
+
+from repro.core.errors import GraphFormatError
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.io import from_string
+
+FORMATS = ("native", "konect")
+
+# Tokens that stress the tokenizer and float parsing: valid numbers,
+# float-accepted spellings the validator must reject (nan/inf), and junk.
+_tokens = st.one_of(
+    st.integers(min_value=-99, max_value=99).map(str),
+    st.floats(allow_nan=False, allow_infinity=False, width=16).map(repr),
+    st.sampled_from(
+        ["nan", "inf", "-inf", "NaN", "Infinity", "1e999", "-1e999",
+         "a", "x7", "--", "0x1f", "1_0", "", "#", "%"]
+    ),
+    st.text(alphabet="0123456789.eE+-naif_", min_size=0, max_size=8),
+)
+
+_lines = st.lists(_tokens, min_size=0, max_size=7).map(" ".join)
+_documents = st.lists(_lines, min_size=0, max_size=12).map("\n".join)
+
+
+class TestParserNeverLeaks:
+    """Arbitrary text produces a graph or GraphFormatError, nothing else."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(text=_documents, fmt=st.sampled_from(FORMATS))
+    @example(text="1 2 1e999 1 1", fmt="native")
+    @example(text="1 2 0 1 1_0", fmt="native")
+    @example(text="1 2 0x10", fmt="konect")
+    @example(text="\x00 \x00 0 1 1", fmt="native")
+    def test_only_graph_or_format_error(self, text, fmt):
+        try:
+            graph = from_string(text, fmt)
+        except GraphFormatError:
+            return
+        assert isinstance(graph, TemporalGraph)
+
+    @settings(max_examples=100, deadline=None)
+    @given(text=_documents, duration=st.floats(0, 4, allow_nan=False))
+    def test_konect_duration_variants(self, text, duration):
+        try:
+            graph = from_string(text, "konect", duration=duration)
+        except GraphFormatError:
+            return
+        assert isinstance(graph, TemporalGraph)
+
+
+class TestParsedGraphsAreSane:
+    """Whatever parses must satisfy the validated invariants."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(text=_documents, fmt=st.sampled_from(FORMATS))
+    def test_accepted_edges_are_finite_and_ordered(self, text, fmt):
+        try:
+            graph = from_string(text, fmt)
+        except GraphFormatError:
+            return
+        for edge in graph.edges:
+            assert math.isfinite(edge.start)
+            assert math.isfinite(edge.arrival)
+            assert math.isfinite(edge.weight)
+            assert edge.arrival >= edge.start
+            assert edge.weight >= 0
+
+
+class TestRejections:
+    """The specified bad rows are rejected and the line is named."""
+
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "1e999"])
+    @pytest.mark.parametrize("column", [2, 3, 4])
+    def test_native_nonfinite_columns(self, bad, column):
+        parts = ["1", "2", "0", "1", "1"]
+        parts[column] = bad
+        with pytest.raises(GraphFormatError, match="line 2"):
+            from_string("0 1 0 1 1\n" + " ".join(parts), "native")
+
+    @pytest.mark.parametrize("row", ["1 2 nan 0", "1 2 1 inf", "1 2 1 nan"])
+    def test_konect_nonfinite_columns(self, row):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            from_string(row, "konect")
+
+    def test_arrival_before_start(self):
+        with pytest.raises(GraphFormatError, match="precedes"):
+            from_string("1 2 9 3 1", "native")
+
+    def test_negative_weight(self):
+        with pytest.raises(GraphFormatError, match="negative weight"):
+            from_string("1 2 0 1 -5", "native")
+
+    def test_unknown_format_is_format_error(self):
+        with pytest.raises(GraphFormatError):
+            from_string("1 2 0 1 1", "matrixmarket")

@@ -1,6 +1,5 @@
 """Tests for markdown report generation."""
 
-import pytest
 
 from repro.experiments.report import PAPER_CLAIMS, build_report, table_to_markdown
 from repro.experiments.runner import TableResult

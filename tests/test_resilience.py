@@ -1,0 +1,210 @@
+"""The resilience layer: budgets, budgeted solvers, the fallback chain.
+
+Includes the acceptance scenario for the robustness work: a DST solve
+given a 50 ms budget on an instance too large to finish must still
+return a *valid* (degraded) covering tree through the fallback chain,
+with the answering rung recorded.
+"""
+
+import time
+
+import pytest
+
+from repro.core.errors import BudgetExceededError
+from repro.resilience import Budget, FallbackResult, run_with_fallback
+from repro.resilience.budget import NULL_BUDGET
+from repro.steiner.charikar import charikar_dst
+from repro.steiner.exact import exact_dst
+from repro.steiner.improved import improved_dst
+from repro.steiner.instance import DSTInstance, prepare_instance
+from repro.steiner.pruned import pruned_dst
+from repro.steiner.tree import expand_closure_tree, validate_covering_tree
+from repro.static.digraph import StaticDigraph
+
+SOLVERS = [charikar_dst, improved_dst, pruned_dst]
+
+
+def _instance(num_spokes=12, num_terminals=8):
+    """A two-layer fan: root -> spokes -> terminals, plus direct edges."""
+    n = 1 + num_spokes + num_terminals
+    graph = StaticDigraph(range(n))
+    spokes = range(1, 1 + num_spokes)
+    terminals = list(range(1 + num_spokes, n))
+    for i, s in enumerate(spokes):
+        graph.add_edge(0, s, 1.0 + 0.01 * i)
+        for j, t in enumerate(terminals):
+            graph.add_edge(s, t, 1.0 + 0.01 * ((i + j) % 5))
+    for j, t in enumerate(terminals):
+        graph.add_edge(0, t, 5.0 + 0.1 * j)
+    return prepare_instance(DSTInstance(graph, 0, tuple(terminals)))
+
+
+def _large_instance():
+    return _instance(num_spokes=30, num_terminals=24)
+
+
+class TestBudget:
+    def test_unlimited_never_trips(self):
+        budget = Budget.unlimited()
+        for _ in range(10_000):
+            budget.checkpoint()
+        assert budget.exceeded() is None
+        assert not budget.is_limited
+
+    def test_expansion_ceiling(self):
+        budget = Budget(max_expansions=100)
+        with pytest.raises(BudgetExceededError) as info:
+            for _ in range(200):
+                budget.checkpoint()
+        assert info.value.reason == "expansions"
+        assert info.value.expansions > 100
+
+    def test_deadline(self):
+        budget = Budget(deadline_seconds=0.01).start()
+        time.sleep(0.02)
+        with pytest.raises(BudgetExceededError) as info:
+            budget.checkpoint()
+        assert info.value.reason == "deadline"
+        assert info.value.elapsed_seconds >= 0.01
+
+    def test_start_is_idempotent(self):
+        budget = Budget(deadline_seconds=10).start()
+        first = budget._started_at
+        time.sleep(0.005)
+        budget.start()
+        assert budget._started_at == first
+
+    def test_restart_resets_clock(self):
+        budget = Budget(deadline_seconds=10).start()
+        first = budget._started_at
+        time.sleep(0.005)
+        budget.restart()
+        assert budget._started_at > first
+
+    def test_exceeded_probe_does_not_raise(self):
+        budget = Budget(deadline_seconds=0.0).start()
+        time.sleep(0.001)
+        assert budget.exceeded() == "deadline"
+
+    def test_null_budget_is_free(self):
+        NULL_BUDGET.checkpoint(10**9)
+        assert NULL_BUDGET.exceeded() is None
+
+    def test_checkpoint_amount(self):
+        budget = Budget(max_expansions=10)
+        budget.checkpoint(amount=5)
+        with pytest.raises(BudgetExceededError):
+            budget.checkpoint(amount=6)
+
+
+class TestBudgetedSolvers:
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_solver_trips_on_tiny_expansion_budget(self, solver):
+        prepared = _instance()
+        with pytest.raises(BudgetExceededError):
+            solver(prepared, 2, budget=Budget(max_expansions=3))
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_solver_unchanged_without_budget(self, solver):
+        prepared = _instance()
+        plain = solver(prepared, 2)
+        budgeted = solver(prepared, 2, budget=Budget.unlimited())
+        assert budgeted.cost == plain.cost
+
+    def test_exact_trips(self):
+        prepared = _instance(num_spokes=4, num_terminals=6)
+        with pytest.raises(BudgetExceededError):
+            exact_dst(prepared, budget=Budget(max_expansions=2))
+
+
+class TestFallbackChain:
+    def test_acceptance_50ms_budget_returns_valid_degraded_tree(self):
+        """The tentpole acceptance scenario."""
+        prepared = _large_instance()
+        outcome = run_with_fallback(
+            prepared, budget=Budget(deadline_seconds=0.05), level=3
+        )
+        assert isinstance(outcome, FallbackResult)
+        assert outcome.rung is not None
+        _, edges = expand_closure_tree(prepared, outcome.tree)
+        assert validate_covering_tree(prepared, edges)
+        if outcome.degraded:
+            assert outcome.caveat
+            statuses = [a.status for a in outcome.attempts]
+            assert "budget_exceeded" in statuses or "skipped" in statuses
+
+    def test_zero_budget_still_answers(self):
+        prepared = _instance()
+        outcome = run_with_fallback(
+            prepared, budget=Budget(max_expansions=0), level=3
+        )
+        assert outcome.degraded
+        assert outcome.rung == "shortest-paths"
+        _, edges = expand_closure_tree(prepared, outcome.tree)
+        assert validate_covering_tree(prepared, edges)
+
+    def test_unlimited_budget_is_not_degraded(self):
+        prepared = _instance()
+        outcome = run_with_fallback(prepared, budget=None, level=2)
+        assert not outcome.degraded
+        assert outcome.rung == "pruned-2"
+        assert "approximation" in outcome.caveat
+
+    def test_attempts_record_the_ladder(self):
+        prepared = _instance()
+        outcome = run_with_fallback(
+            prepared, budget=Budget(max_expansions=0), level=2
+        )
+        rungs = [a.rung for a in outcome.attempts]
+        assert rungs == ["pruned-2", "pruned-1", "shortest-paths"]
+        assert [a.status for a in outcome.attempts][-1] == "ok"
+
+    def test_include_exact_rung_first(self):
+        prepared = _instance(num_spokes=3, num_terminals=4)
+        outcome = run_with_fallback(prepared, include_exact=True, level=2)
+        assert outcome.rung == "exact"
+        assert not outcome.degraded
+
+    def test_degraded_cost_never_beats_stronger_rung_validity(self):
+        """Degraded answers may cost more but must still cover."""
+        prepared = _instance()
+        full = run_with_fallback(prepared, budget=None, level=2)
+        degraded = run_with_fallback(
+            prepared, budget=Budget(max_expansions=0), level=2
+        )
+        assert degraded.cost >= full.cost
+        _, edges = expand_closure_tree(prepared, degraded.tree)
+        assert validate_covering_tree(prepared, edges)
+
+    def test_unknown_solver_rejected(self):
+        prepared = _instance(num_spokes=2, num_terminals=2)
+        with pytest.raises(ValueError):
+            run_with_fallback(prepared, solver="dijkstra")
+
+
+class TestPipelineFallback:
+    def test_mstw_fallback_never_raises_on_drained_budget(self):
+        from repro.core.mstw import minimum_spanning_tree_w
+        from repro.temporal.io import from_string
+
+        lines = [f"0 {v} 0 1 1\n" for v in range(1, 20)]
+        lines += [f"{u} {u + 1} 1 2 1\n" for u in range(1, 19)]
+        graph = from_string("".join(lines))
+        result = minimum_spanning_tree_w(
+            graph, 0, budget=Budget(max_expansions=0), fallback=True
+        )
+        assert result.degraded
+        assert result.rung == "shortest-paths"
+        assert result.tree.total_weight > 0
+
+    def test_mstw_without_fallback_raises(self):
+        from repro.core.mstw import minimum_spanning_tree_w
+        from repro.temporal.io import from_string
+
+        lines = [f"0 {v} 0 1 1\n" for v in range(1, 20)]
+        lines += [f"{u} {u + 1} 1 2 1\n" for u in range(1, 19)]
+        graph = from_string("".join(lines))
+        with pytest.raises(BudgetExceededError):
+            minimum_spanning_tree_w(
+                graph, 0, budget=Budget(max_expansions=0), fallback=False
+            )

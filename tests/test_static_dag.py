@@ -1,6 +1,5 @@
 """Tests for the DAG fast-path closure."""
 
-import math
 import random
 
 import numpy as np

@@ -5,7 +5,6 @@ instances with generic (float) weights the three algorithms return the
 same tree cost at every level.
 """
 
-import math
 import random
 
 import pytest

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.static.digraph import StaticDigraph
 from repro.steiner.instance import DSTInstance, prepare_instance

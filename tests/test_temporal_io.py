@@ -7,7 +7,6 @@ import pytest
 from repro.core.errors import GraphFormatError
 from repro.temporal import io as tio
 from repro.temporal.edge import TemporalEdge
-from repro.temporal.graph import TemporalGraph
 
 
 class TestReadKonect:

@@ -1,6 +1,5 @@
 """Protocol-level tests for windowed evaluation (Section 5.1 mechanics)."""
 
-import math
 
 import pytest
 

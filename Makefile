@@ -2,7 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples report quickcheck ci lint clean
+.PHONY: install test bench bench-full bench-check pybench examples report quickcheck ci lint clean
+
+# Bench defaults (override: make bench BENCH_SCALE=full BENCH_REPEATS=9).
+BENCH_SCALE ?= smoke
+BENCH_REPEATS ?= 5
+BENCH_OUT ?= BENCH_PR2.json
+BENCH_BASELINE ?= benchmarks/baseline_smoke.json
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -10,7 +16,22 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# The deterministic perf suite (repro.perf): median-of-N timings to a
+# schema-versioned JSON document.
 bench:
+	$(PYTHON) -m repro bench --scale $(BENCH_SCALE) --repeats $(BENCH_REPEATS) --out $(BENCH_OUT)
+
+bench-full:
+	$(MAKE) bench BENCH_SCALE=full
+
+# The CI regression gate: run at smoke scale and diff against the
+# committed baseline (exit 1 on regression).
+bench-check:
+	$(PYTHON) -m repro bench --scale smoke --repeats $(BENCH_REPEATS) \
+		--out $(BENCH_OUT) --compare $(BENCH_BASELINE) --tolerance 3.0
+
+# The legacy pytest-benchmark suite (needs the [test] extra).
+pybench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 examples:

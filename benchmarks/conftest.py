@@ -1,12 +1,27 @@
 """Benchmark-suite configuration.
 
-Adds the repository root to ``sys.path`` so bench modules can import
-the shared ``_common`` helpers regardless of invocation directory, and
-registers a summary hook that reminds the user the paper-style tables
-are printed on stdout (run with ``-s`` to see them inline).
+Makes the suite runnable from both supported setups without manual
+``sys.path`` surgery:
+
+* adds this directory to ``sys.path`` so bench modules can import the
+  shared ``_common`` helpers regardless of invocation directory;
+* when ``repro`` is not importable (fresh checkout, no ``pip install
+  -e .`` yet), falls back to the in-tree ``src/`` layout -- the same
+  code an installed environment resolves, so results are identical.
+
+Also registers a summary hook reminding the user the paper-style
+tables are printed on stdout (run with ``-s`` to see them inline).
 """
 
 import os
 import sys
 
-sys.path.insert(0, os.path.dirname(__file__))
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    _SRC = os.path.join(os.path.dirname(_HERE), "src")
+    if os.path.isdir(os.path.join(_SRC, "repro")):
+        sys.path.insert(0, _SRC)

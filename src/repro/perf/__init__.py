@@ -1,0 +1,56 @@
+"""Performance harness: deterministic micro-benchmarks and regression gating.
+
+The paper's headline claim is a complexity improvement (``O(n^i k^{2i})``
+to ``O(n^i k^i)`` for the level-``i`` DST greedy), so this reproduction
+needs a *measured* performance trajectory, not just correct output.
+This package provides it:
+
+* :mod:`repro.perf.scenarios` -- seeded, deterministic workloads timing
+  every hot path: transformed-graph construction, the metric closure,
+  the three DST solvers, earliest-arrival / ``MST_a``, window
+  extraction, and the end-to-end ``MST_w`` pipeline;
+* :mod:`repro.perf.harness` -- median-of-N timing with expansion counts
+  and peak-allocation tracking, emitting a schema-versioned JSON
+  document (``BENCH_*.json``);
+* :mod:`repro.perf.compare` -- diffs two bench documents with
+  per-scenario tolerances and exits nonzero on regression (the CI
+  ``bench-smoke`` gate);
+* :mod:`repro.perf.legacy` -- verbatim pre-optimisation reference
+  implementations, kept so speedups are measured against real old code
+  and equivalence is property-tested rather than assumed.
+
+Run ``python -m repro bench --scale smoke`` for the CI-sized suite, or
+see ``docs/performance.md`` for the full workflow.
+"""
+
+# Lazy re-exports (PEP 562): keeps `python -m repro.perf.compare` from
+# double-executing the submodule and `import repro` cheap.
+_EXPORTS = {
+    "ComparisonReport": "repro.perf.compare",
+    "compare_benchmarks": "repro.perf.compare",
+    "SCHEMA_VERSION": "repro.perf.harness",
+    "ScenarioResult": "repro.perf.harness",
+    "run_benchmarks": "repro.perf.harness",
+    "write_benchmarks": "repro.perf.harness",
+    "SCALES": "repro.perf.scenarios",
+    "Scenario": "repro.perf.scenarios",
+    "build_scenarios": "repro.perf.scenarios",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

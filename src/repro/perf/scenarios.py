@@ -1,0 +1,396 @@
+"""Deterministic benchmark scenarios covering the hot paths.
+
+Every scenario is a seeded synthetic workload with an untimed ``setup``
+(dataset generation, window/root selection, instance preparation) and a
+timed ``run``.  Two scales are defined:
+
+* ``smoke`` -- CI-sized; the whole suite finishes well under a minute;
+* ``full`` -- the Table 4/5 shapes (closure graphs with ``n`` in the
+  low hundreds); this is the scale behind the committed
+  ``BENCH_PR2.json`` speedup numbers.
+
+Scenarios with a ``baseline`` name are speedup pairs: the harness
+records ``baseline_median / median`` as the scenario's ``speedup``.
+The headline pair is ``solve_improved_i2`` vs
+``solve_improved_i2_legacy`` (the verbatim pre-optimisation solver from
+:mod:`repro.perf.legacy`), whose output equality is property-tested in
+``tests/test_perf_caches.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.mstw import (
+    clear_prepare_memo,
+    minimum_spanning_tree_w,
+    prepare_mstw_instance,
+)
+from repro.core.transformation import (
+    clear_transformation_cache,
+    transform_temporal_graph,
+)
+from repro.datasets.registry import load_dataset
+from repro.perf.legacy import legacy_improved_dst
+from repro.resilience.budget import Budget
+from repro.steiner.charikar import charikar_dst
+from repro.steiner.improved import improved_dst
+from repro.steiner.pruned import pruned_dst
+from repro.temporal.paths import earliest_arrival_times
+from repro.temporal.window import (
+    extract_window,
+    middle_tenth_window,
+    select_root,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One timed workload.
+
+    ``setup`` is called once (untimed) and returns an opaque state
+    object; ``run(state)`` is the timed body and returns the expansion
+    count when the workload threads a :class:`Budget` through a solver,
+    else ``None``.  ``baseline`` names another scenario whose median
+    this one is compared against (``speedup`` in the emitted document);
+    ``tolerance`` overrides the comparator's default regression factor.
+    """
+
+    name: str
+    group: str
+    description: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    setup: Callable[[], Any] = lambda: None
+    run: Callable[[Any], Optional[int]] = lambda state: None
+    baseline: Optional[str] = None
+    tolerance: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class _ScaleSpec:
+    """Dataset shapes for one scale."""
+
+    # (dataset name, generator scale, window fraction) for the MST_w
+    # pipeline scenarios.
+    mstw_dataset: Tuple[str, float, float]
+    # Same, for the MST_a / path-scan scenarios (cheap, so larger).
+    msta_dataset: Tuple[str, float, float]
+    # DST level used by the "i2" solver scenarios (always 2) and
+    # whether the level-3 pruned scenario is included.
+    include_level3: bool
+
+
+SCALES: Dict[str, _ScaleSpec] = {
+    "smoke": _ScaleSpec(
+        mstw_dataset=("epinions", 0.02, 0.3),
+        msta_dataset=("slashdot", 0.3, 0.5),
+        include_level3=True,
+    ),
+    "full": _ScaleSpec(
+        mstw_dataset=("epinions", 0.08, 0.3),
+        msta_dataset=("slashdot", 1.0, 0.5),
+        include_level3=False,
+    ),
+}
+
+
+def _mstw_state(spec: _ScaleSpec):
+    """Graph, window, root, and a prepared instance for the MST_w runs."""
+    name, scale, fraction = spec.mstw_dataset
+    base = load_dataset(name, scale=scale, weighted=True)
+    window = middle_tenth_window(base, fraction=fraction)
+    sub = extract_window(base, window)
+    root = select_root(sub, window, min_reach_fraction=0.02)
+    transformed, prepared = prepare_mstw_instance(
+        sub, root, window, use_cache=False
+    )
+    return {
+        "base": base,
+        "graph": sub,
+        "window": window,
+        "root": root,
+        "transformed": transformed,
+        "prepared": prepared,
+    }
+
+
+def _msta_state(spec: _ScaleSpec):
+    name, scale, fraction = spec.msta_dataset
+    graph = load_dataset(name, scale=scale)
+    window = middle_tenth_window(graph, fraction=fraction)
+    sub = extract_window(graph, window)
+    root = select_root(sub, window, min_reach_fraction=0.02)
+    return {"base": graph, "graph": sub, "window": window, "root": root}
+
+
+def _solver_run(solver, level: int):
+    def run(state):
+        budget = Budget.unlimited()
+        solver(state["prepared"], level, budget=budget)
+        return budget.expansions
+
+    return run
+
+
+def build_scenarios(scale: str) -> List[Scenario]:
+    """The scenario list for a named scale (see :data:`SCALES`)."""
+    try:
+        spec = SCALES[scale]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {scale!r}; available: {sorted(SCALES)}"
+        ) from None
+
+    mstw_name, mstw_scale, mstw_fraction = spec.mstw_dataset
+    msta_name, msta_scale, msta_fraction = spec.msta_dataset
+    mstw_params = {
+        "dataset": mstw_name,
+        "scale": mstw_scale,
+        "fraction": mstw_fraction,
+    }
+    msta_params = {
+        "dataset": msta_name,
+        "scale": msta_scale,
+        "fraction": msta_fraction,
+    }
+
+    def transform_setup():
+        state = _mstw_state(spec)
+        clear_transformation_cache()
+        return state
+
+    def transform_uncached_run(state):
+        transform_temporal_graph(
+            state["graph"], state["root"], state["window"], use_cache=False
+        )
+        return None
+
+    def transform_cached_run(state):
+        # First call in the repeat loop warms the window index; steady
+        # state is the cached path this PR adds.
+        transform_temporal_graph(
+            state["graph"], state["root"], state["window"], use_cache=True
+        )
+        return None
+
+    def prepare_setup():
+        state = _mstw_state(spec)
+        clear_prepare_memo()
+        return state
+
+    def prepare_uncached_run(state):
+        prepare_mstw_instance(
+            state["graph"], state["root"], state["window"], use_cache=False
+        )
+        return None
+
+    def prepare_memo_run(state):
+        prepare_mstw_instance(
+            state["graph"], state["root"], state["window"], use_cache=True
+        )
+        return None
+
+    def pipeline_run(state):
+        budget = Budget.unlimited()
+        minimum_spanning_tree_w(
+            state["graph"],
+            state["root"],
+            state["window"],
+            level=2,
+            algorithm="pruned",
+            budget=budget,
+        )
+        return budget.expansions
+
+    def msta_setup():
+        return _msta_state(spec)
+
+    def msta_chrono_run(state):
+        from repro.core.msta import msta_chronological
+
+        msta_chronological(state["graph"], state["root"], state["window"])
+        return None
+
+    def msta_stack_run(state):
+        from repro.core.msta import msta_stack
+
+        msta_stack(state["graph"], state["root"], state["window"])
+        return None
+
+    def arrival_run(state):
+        earliest_arrival_times(state["graph"], state["root"], state["window"])
+        return None
+
+    def window_extract_run(state):
+        window = middle_tenth_window(state["base"], fraction=msta_fraction)
+        extract_window(state["base"], window)
+        return None
+
+    def select_root_run(state):
+        select_root(state["graph"], state["window"], min_reach_fraction=0.02)
+        return None
+
+    scenarios = [
+        Scenario(
+            name="transform_uncached",
+            group="transformation",
+            description=(
+                "Transformed-graph construction with the per-window "
+                "index cache disabled (the pre-PR code path)."
+            ),
+            params=dict(mstw_params),
+            setup=transform_setup,
+            run=transform_uncached_run,
+        ),
+        Scenario(
+            name="transform_cached",
+            group="transformation",
+            description=(
+                "Transformed-graph construction through the shared "
+                "per-(graph, window) index cache."
+            ),
+            params=dict(mstw_params),
+            setup=transform_setup,
+            run=transform_cached_run,
+            baseline="transform_uncached",
+        ),
+        Scenario(
+            name="closure_prepare",
+            group="transformation",
+            description=(
+                "Full instance preparation (reachability sweep, "
+                "transformation, DAG metric closure), memo disabled."
+            ),
+            params=dict(mstw_params),
+            setup=prepare_setup,
+            run=prepare_uncached_run,
+        ),
+        Scenario(
+            name="prepare_memo",
+            group="transformation",
+            description=(
+                "Instance preparation through the (root, window) LRU "
+                "memo -- the fallback ladder's repeated-query path."
+            ),
+            params=dict(mstw_params),
+            setup=prepare_setup,
+            run=prepare_memo_run,
+            baseline="closure_prepare",
+        ),
+        Scenario(
+            name="solve_charikar_i1",
+            group="solver",
+            description="Algorithm 3 (Charikar A^i) at level 1.",
+            params=dict(mstw_params, level=1),
+            setup=lambda: _mstw_state(spec),
+            run=_solver_run(charikar_dst, 1),
+        ),
+        Scenario(
+            name="solve_improved_i2_legacy",
+            group="solver",
+            description=(
+                "Verbatim pre-optimisation Algorithm 4/5 at level 2 "
+                "(repro.perf.legacy) -- the speedup baseline."
+            ),
+            params=dict(mstw_params, level=2),
+            setup=lambda: _mstw_state(spec),
+            run=_solver_run(legacy_improved_dst, 2),
+        ),
+        Scenario(
+            name="solve_improved_i2",
+            group="solver",
+            description=(
+                "Optimised Algorithm 4/5 at level 2 (memoised cost "
+                "rows, prefix-scan base case, allocation hoisting)."
+            ),
+            params=dict(mstw_params, level=2),
+            setup=lambda: _mstw_state(spec),
+            run=_solver_run(improved_dst, 2),
+            baseline="solve_improved_i2_legacy",
+        ),
+        Scenario(
+            name="solve_pruned_i2",
+            group="solver",
+            description="Algorithm 6 (density-pruned) at level 2.",
+            params=dict(mstw_params, level=2),
+            setup=lambda: _mstw_state(spec),
+            run=_solver_run(pruned_dst, 2),
+        ),
+        Scenario(
+            name="pipeline_mstw",
+            group="pipeline",
+            description=(
+                "End-to-end minimum_spanning_tree_w (level 2, pruned), "
+                "including preparation."
+            ),
+            params=dict(mstw_params, level=2),
+            setup=prepare_setup,
+            run=pipeline_run,
+        ),
+        Scenario(
+            name="msta_chronological",
+            group="msta",
+            description="Algorithm 1: chronological single-pass MST_a.",
+            params=dict(msta_params),
+            setup=msta_setup,
+            run=msta_chrono_run,
+        ),
+        Scenario(
+            name="msta_stack",
+            group="msta",
+            description="Algorithm 2: stack-driven MST_a.",
+            params=dict(msta_params),
+            setup=msta_setup,
+            run=msta_stack_run,
+        ),
+        Scenario(
+            name="earliest_arrival",
+            group="paths",
+            description=(
+                "Single-source earliest-arrival sweep over the cached "
+                "ascending adjacency."
+            ),
+            params=dict(msta_params),
+            setup=msta_setup,
+            run=arrival_run,
+        ),
+        Scenario(
+            name="window_extract",
+            group="paths",
+            description="Window computation + subgraph extraction.",
+            params=dict(msta_params),
+            setup=msta_setup,
+            run=window_extract_run,
+        ),
+        Scenario(
+            name="select_root",
+            group="paths",
+            description=(
+                "Reach-fraction root selection (one earliest-arrival "
+                "sweep per candidate, via the cached start arrays)."
+            ),
+            params=dict(msta_params),
+            setup=msta_setup,
+            run=select_root_run,
+        ),
+    ]
+
+    if spec.include_level3:
+        scenarios.append(
+            Scenario(
+                name="solve_pruned_i3",
+                group="solver",
+                description="Algorithm 6 at level 3.",
+                params=dict(mstw_params, level=3),
+                setup=lambda: _mstw_state(spec),
+                run=_solver_run(pruned_dst, 3),
+            )
+        )
+
+    return scenarios
+
+
+def scenario_names(scale: str) -> List[str]:
+    """Names only, in run order (for ``bench --list``)."""
+    return [s.name for s in build_scenarios(scale)]

@@ -13,7 +13,8 @@ per vertex, stored as dense ``float64`` / ``int32`` matrices.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,12 +34,18 @@ class MetricClosure:
         (``inf`` when ``v`` is unreachable from ``u``).
     """
 
-    __slots__ = ("graph", "dist", "_pred")
+    __slots__ = ("graph", "dist", "_pred", "_edge_weights", "_path_memo")
+
+    #: Bound on memoised reconstructed paths (LRU); repeated expansions
+    #: query the same (root, terminal) pairs, so a small window suffices.
+    PATH_MEMO_SIZE = 4096
 
     def __init__(self, graph: StaticDigraph, dist: np.ndarray, pred: np.ndarray) -> None:
         self.graph = graph
         self.dist = dist
         self._pred = pred
+        self._edge_weights: dict = {}
+        self._path_memo: "OrderedDict[Tuple[int, int], List[tuple]]" = OrderedDict()
 
     @property
     def num_vertices(self) -> int:
@@ -63,18 +70,37 @@ class MetricClosure:
         return reconstruct_path(self._pred[source], source, target)
 
     def path_edges(self, source: int, target: int) -> List[tuple]:
-        """The shortest path as ``(u, v, w)`` edge triples in the base graph."""
+        """The shortest path as ``(u, v, w)`` edge triples in the base graph.
+
+        Memoised (bounded LRU): tree expansion and the shortest-paths
+        fallback rung re-reconstruct the same root-to-terminal paths
+        across repeated solves.  Callers must not mutate the result.
+        """
+        key = (source, target)
+        memo = self._path_memo
+        cached = memo.get(key)
+        if cached is not None:
+            memo.move_to_end(key)
+            return cached
         vertices = self.path(source, target)
-        return [
+        edges = [
             (u, v, self._edge_weight(u, v)) for u, v in zip(vertices, vertices[1:])
         ]
+        memo[key] = edges
+        if len(memo) > self.PATH_MEMO_SIZE:
+            memo.popitem(last=False)
+        return edges
 
     def _edge_weight(self, u: int, v: int) -> float:
-        """Cheapest direct edge weight ``u -> v`` in the base graph."""
+        """Cheapest direct edge weight ``u -> v`` in the base graph (memoised)."""
+        cached = self._edge_weights.get((u, v))
+        if cached is not None:
+            return cached
         best = math.inf
         for w_target, w in self.graph.out_neighbors(u):
             if w_target == v and w < best:
                 best = w
+        self._edge_weights[(u, v)] = best
         return best
 
 

@@ -12,7 +12,7 @@ the graph is a DAG and silently falls back to Dijkstra otherwise.
 from __future__ import annotations
 
 import math
-from collections import deque
+from collections import OrderedDict, deque
 from typing import List, Optional
 
 import numpy as np
@@ -51,12 +51,17 @@ class DagMetricClosure:
     next-hop matrix instead of per-source predecessors.
     """
 
-    __slots__ = ("graph", "dist", "_next_hop")
+    __slots__ = ("graph", "dist", "_next_hop", "_edge_weights", "_path_memo")
+
+    #: Bound on memoised reconstructed paths; see MetricClosure.
+    PATH_MEMO_SIZE = 4096
 
     def __init__(self, graph: StaticDigraph, dist: np.ndarray, next_hop: np.ndarray):
         self.graph = graph
         self.dist = dist
         self._next_hop = next_hop
+        self._edge_weights: dict = {}
+        self._path_memo: "OrderedDict[tuple, List[tuple]]" = OrderedDict()
 
     @property
     def num_vertices(self) -> int:
@@ -85,15 +90,32 @@ class DagMetricClosure:
         return path
 
     def path_edges(self, source: int, target: int) -> List[tuple]:
-        """Shortest path as ``(u, v, w)`` base-graph edge triples."""
+        """Shortest path as ``(u, v, w)`` base-graph edge triples.
+
+        Memoised (bounded LRU) like ``MetricClosure.path_edges``;
+        callers must not mutate the result.
+        """
+        key = (source, target)
+        memo = self._path_memo
+        cached = memo.get(key)
+        if cached is not None:
+            memo.move_to_end(key)
+            return cached
         vertices = self.path(source, target)
         edges = []
+        weights = self._edge_weights
         for u, v in zip(vertices, vertices[1:]):
-            best = math.inf
-            for w_target, w in self.graph.out_neighbors(u):
-                if w_target == v and w < best:
-                    best = w
+            best = weights.get((u, v))
+            if best is None:
+                best = math.inf
+                for w_target, w in self.graph.out_neighbors(u):
+                    if w_target == v and w < best:
+                        best = w
+                weights[(u, v)] = best
             edges.append((u, v, best))
+        memo[key] = edges
+        if len(memo) > self.PATH_MEMO_SIZE:
+            memo.popitem(last=False)
         return edges
 
 

@@ -72,22 +72,29 @@ def _a_recursive(
     tree = ClosureTree.EMPTY
 
     if i == 1:
-        # Pick the k terminals with the cheapest closure edge from r.
+        # Pick the k terminals with the cheapest closure edge from r
+        # (prefix of the per-source memoised terminal order).
         budget.checkpoint()
-        costs = prepared.closure.costs_from(r)
-        chosen = sorted(remaining, key=lambda x: (costs[x], x))[:k]
-        for x in chosen:
-            leaf = ClosureTree(((r, x),), float(costs[x]), frozenset((x,)))
+        row = prepared.cost_row(r)
+        taken = 0
+        for x in prepared.sorted_terminals_from(r):
+            if taken >= k:
+                break
+            if x not in remaining:
+                continue
+            leaf = ClosureTree(((r, x),), row[x], frozenset((x,)))
             tree = tree.merged(leaf)
+            taken += 1
         return tree
 
     num_vertices = prepared.num_vertices
+    root_row = prepared.cost_row(r)
     while k > 0:
         best: Optional[ClosureTree] = None
         best_density = float("inf")
         for v in range(num_vertices):
             budget.checkpoint()
-            edge_cost = prepared.cost(r, v)
+            edge_cost = root_row[v]
             for k_prime in range(1, k + 1):
                 subtree = _a_recursive(
                     prepared, i - 1, k_prime, v, frozenset(remaining), budget

@@ -49,14 +49,27 @@ def _base_greedy(
     r: int,
     remaining: Set[int],
 ) -> ClosureTree:
-    """The shared ``i == 1`` base: k cheapest closure edges to terminals."""
-    costs = prepared.closure.costs_from(r)
-    chosen = sorted(remaining, key=lambda x: (costs[x], x))[:k]
-    tree = ClosureTree.EMPTY
+    """The shared ``i == 1`` base: k cheapest closure edges to terminals.
+
+    Scans the per-source memoised terminal order instead of re-sorting
+    ``remaining`` on every call; the selected sequence is identical
+    (``remaining`` is always a subset of the instance terminals).
+    """
+    row = prepared.cost_row(r)
+    chosen: list = []
+    for x in prepared.sorted_terminals_from(r):
+        if len(chosen) >= k:
+            break
+        if x in remaining:
+            chosen.append(x)
+    if not chosen:
+        return ClosureTree.EMPTY
+    cost = 0.0
     for x in chosen:
-        leaf = ClosureTree(((r, x),), float(costs[x]), frozenset((x,)))
-        tree = tree.merged(leaf)
-    return tree
+        cost += row[x]
+    return ClosureTree(
+        tuple((r, x) for x in chosen), cost, frozenset(chosen)
+    )
 
 
 def _a_improved(
@@ -76,20 +89,22 @@ def _a_improved(
 
     tree = ClosureTree.EMPTY
     num_vertices = prepared.num_vertices
+    root_row = prepared.cost_row(r)
     while k > 0:
         best: Optional[ClosureTree] = None
         best_density = float("inf")
         frozen_remaining = frozenset(remaining)
         for v in range(num_vertices):
             budget.checkpoint()
-            edge_cost = prepared.cost(r, v)
+            edge_cost = root_row[v]
             subtree = _b_prefix(
                 prepared, i - 1, k, v, frozen_remaining, edge_cost, budget
             )
-            candidate = subtree.with_edge(r, v, edge_cost)
-            density = candidate.density
+            # Density of ``subtree ∪ (r, v)`` without materialising the
+            # candidate tree; the tree is only built when it wins.
+            density = subtree.density_with_edge(edge_cost)
             if best is None or density < best_density:
-                best = candidate
+                best = subtree.with_edge(r, v, edge_cost)
                 best_density = density
         assert best is not None
         newly_covered = best.covered & remaining
@@ -124,34 +139,51 @@ def _b_prefix(
 
     if i == 1:
         budget.checkpoint()
-        costs = prepared.closure.costs_from(r)
-        chosen = sorted(remaining, key=lambda x: (costs[x], x))[:k]
-        current = ClosureTree.EMPTY
-        for x in chosen:
-            leaf = ClosureTree(((r, x),), float(costs[x]), frozenset((x,)))
-            current = current.merged(leaf)
-            density = current.density_with_edge(incoming_cost)
+        row = prepared.cost_row(r)
+        # Greedy prefix over the memoised cheapest-first order, tracking
+        # the best prefix length without building intermediate trees;
+        # the running left-to-right cost sum reproduces the incremental
+        # merge exactly (same float accumulation order).
+        chosen: list = []
+        cost = 0.0
+        best_len = 0
+        for x in prepared.sorted_terminals_from(r):
+            if len(chosen) >= k:
+                break
+            if x not in remaining:
+                continue
+            chosen.append(x)
+            cost += row[x]
+            density = (cost + incoming_cost) / len(chosen)
             if density < best_density:
-                best = current
                 best_density = density
-        return best
+                best_len = len(chosen)
+        if best_len == 0:
+            return ClosureTree.EMPTY
+        prefix = chosen[:best_len]
+        prefix_cost = 0.0
+        for x in prefix:
+            prefix_cost += row[x]
+        return ClosureTree(
+            tuple((r, x) for x in prefix), prefix_cost, frozenset(prefix)
+        )
 
     current = ClosureTree.EMPTY
     num_vertices = prepared.num_vertices
+    root_row = prepared.cost_row(r)
     while k > 0:
         sub_best: Optional[ClosureTree] = None
         sub_best_density = float("inf")
         frozen_remaining = frozenset(remaining)
         for v in range(num_vertices):
             budget.checkpoint()
-            edge_cost = prepared.cost(r, v)
+            edge_cost = root_row[v]
             subtree = _b_prefix(
                 prepared, i - 1, k, v, frozen_remaining, edge_cost, budget
             )
-            candidate = subtree.with_edge(r, v, edge_cost)
-            density = candidate.density
+            density = subtree.density_with_edge(edge_cost)
             if sub_best is None or density < sub_best_density:
-                sub_best = candidate
+                sub_best = subtree.with_edge(r, v, edge_cost)
                 sub_best_density = density
         assert sub_best is not None
         newly_covered = sub_best.covered & remaining

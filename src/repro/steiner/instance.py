@@ -65,7 +65,14 @@ class PreparedInstance:
         Dense indices of the terminals, in the instance's order.
     """
 
-    __slots__ = ("instance", "closure", "root", "terminals")
+    __slots__ = (
+        "instance",
+        "closure",
+        "root",
+        "terminals",
+        "_cost_rows",
+        "_terminal_orders",
+    )
 
     def __init__(
         self,
@@ -78,6 +85,8 @@ class PreparedInstance:
         self.closure = closure
         self.root = root
         self.terminals = terminals
+        self._cost_rows: dict = {}
+        self._terminal_orders: dict = {}
 
     @property
     def num_vertices(self) -> int:
@@ -90,6 +99,34 @@ class PreparedInstance:
     def cost(self, u: int, v: int) -> float:
         """Closure edge cost (shortest-path distance) ``u -> v``."""
         return self.closure.cost(u, v)
+
+    def cost_row(self, source: int) -> list:
+        """``source``'s closure distances as a plain-float list, memoised.
+
+        The greedy solvers read ``cost(r, v)`` for every vertex ``v`` in
+        every w-iteration; indexing a Python list of floats avoids the
+        per-element ``numpy`` scalar boxing that dominated those scans.
+        """
+        row = self._cost_rows.get(source)
+        if row is None:
+            row = self.closure.costs_from(source).tolist()
+            self._cost_rows[source] = row
+        return row
+
+    def sorted_terminals_from(self, source: int) -> Tuple[int, ...]:
+        """All terminals sorted by ``(closure cost from source, index)``.
+
+        The ``i == 1`` greedy base case selects the ``k`` cheapest
+        *remaining* terminals; with this order memoised per source it
+        becomes a filtered prefix scan instead of a fresh sort per call
+        (the sort repeated ``O(n^{i-1})`` times in the recursion).
+        """
+        order = self._terminal_orders.get(source)
+        if order is None:
+            row = self.cost_row(source)
+            order = tuple(sorted(self.terminals, key=lambda x: (row[x], x)))
+            self._terminal_orders[source] = order
+        return order
 
 
 def prepare_instance(

@@ -89,6 +89,19 @@ class CountingInstance:
         self.counts.cost_lookups += 1
         return self._prepared.cost(u, v)
 
+    # The plain PreparedInstance memoises these per source; the counting
+    # proxy deliberately does not, so every call tallies one logical row
+    # access and the counts keep exhibiting the paper's complexity
+    # bounds independently of the memoisation optimisations.
+    def cost_row(self, source: int) -> list:
+        self.counts.row_scans += 1
+        return self._prepared.closure.costs_from(source).tolist()
+
+    def sorted_terminals_from(self, source: int) -> tuple:
+        self.counts.row_scans += 1
+        row = self._prepared.closure.costs_from(source).tolist()
+        return tuple(sorted(self.terminals, key=lambda x: (row[x], x)))
+
 
 def count_operations(
     solver: Callable,

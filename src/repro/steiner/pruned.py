@@ -62,20 +62,21 @@ def _scan_vertices(
     before the scan so the early-break prunes all remaining vertices.
     Both are updated in place.
     """
-    order.sort(key=lambda v: tau[v])
+    order.sort(key=tau.__getitem__)
+    root_row = prepared.cost_row(r)
     best: Optional[ClosureTree] = None
     best_density = math.inf
     for v in order:
         if best is not None and tau[v] >= best_density:
             break
         budget.checkpoint()
-        edge_cost = prepared.cost(r, v)
+        edge_cost = root_row[v]
         subtree = _final_b(prepared, i - 1, k, v, remaining, edge_cost, budget)
-        candidate = subtree.with_edge(r, v, edge_cost)
-        density = candidate.density
+        # Candidate density without materialising the candidate tree.
+        density = subtree.density_with_edge(edge_cost)
         tau[v] = density
         if best is None or density < best_density:
-            best = candidate
+            best = subtree.with_edge(r, v, edge_cost)
             best_density = density
     assert best is not None
     return best
@@ -130,17 +131,32 @@ def _final_b(
 
     if i == 1:
         budget.checkpoint()
-        costs = prepared.closure.costs_from(r)
-        chosen = sorted(remaining, key=lambda x: (costs[x], x))[:k]
-        current = ClosureTree.EMPTY
-        for x in chosen:
-            leaf = ClosureTree(((r, x),), float(costs[x]), frozenset((x,)))
-            current = current.merged(leaf)
-            density = current.density_with_edge(incoming_cost)
+        row = prepared.cost_row(r)
+        # Same prefix scan as improved._b_prefix's base case: best
+        # prefix length first, one tree construction at the end.
+        chosen: list = []
+        cost = 0.0
+        best_len = 0
+        for x in prepared.sorted_terminals_from(r):
+            if len(chosen) >= k:
+                break
+            if x not in remaining:
+                continue
+            chosen.append(x)
+            cost += row[x]
+            density = (cost + incoming_cost) / len(chosen)
             if density < best_density:
-                best = current
                 best_density = density
-        return best
+                best_len = len(chosen)
+        if best_len == 0:
+            return ClosureTree.EMPTY
+        prefix = chosen[:best_len]
+        prefix_cost = 0.0
+        for x in prefix:
+            prefix_cost += row[x]
+        return ClosureTree(
+            tuple((r, x) for x in prefix), prefix_cost, frozenset(prefix)
+        )
 
     current = ClosureTree.EMPTY
     num_vertices = prepared.num_vertices

@@ -43,8 +43,11 @@ class TemporalGraph:
         "_chronological",
         "_arrival_sorted",
         "_adjacency_desc",
+        "_adjacency_asc",
+        "_starts_asc",
         "_in_edges",
         "_out_edges",
+        "__weakref__",
     )
 
     def __init__(
@@ -70,6 +73,8 @@ class TemporalGraph:
         self._chronological: Optional[Tuple[TemporalEdge, ...]] = None
         self._arrival_sorted: Optional[Tuple[TemporalEdge, ...]] = None
         self._adjacency_desc: Optional[Dict[Vertex, List[TemporalEdge]]] = None
+        self._adjacency_asc: Optional[Dict[Vertex, List[TemporalEdge]]] = None
+        self._starts_asc: Optional[Dict[Vertex, List[float]]] = None
         self._in_edges: Optional[Dict[Vertex, List[TemporalEdge]]] = None
         self._out_edges: Optional[Dict[Vertex, List[TemporalEdge]]] = None
 
@@ -151,6 +156,38 @@ class TemporalGraph:
                 out_list.sort(key=lambda e: -e.start)
             self._adjacency_desc = adjacency
         return self._adjacency_desc
+
+    def ascending_adjacency(self) -> Dict[Vertex, List[TemporalEdge]]:
+        """Out-edges per vertex sorted by ascending start time.
+
+        The layout every label-setting temporal-path sweep consumes
+        (:mod:`repro.temporal.paths`); cached so repeated single-source
+        queries -- root selection probes one sweep per candidate vertex
+        -- stop rebuilding and re-sorting the adjacency per call.
+        """
+        if self._adjacency_asc is None:
+            adjacency: Dict[Vertex, List[TemporalEdge]] = {
+                v: [] for v in self._vertices
+            }
+            for edge in self._edges:
+                adjacency[edge.source].append(edge)
+            for out_list in adjacency.values():
+                out_list.sort(key=lambda e: e.start)
+            self._adjacency_asc = adjacency
+        return self._adjacency_asc
+
+    def ascending_starts(self) -> Dict[Vertex, List[float]]:
+        """Per-vertex start times aligned with :meth:`ascending_adjacency`.
+
+        Sweeps bisect this to find the first usable out-edge; cached for
+        the same reason as the adjacency itself.
+        """
+        if self._starts_asc is None:
+            self._starts_asc = {
+                v: [e.start for e in edges]
+                for v, edges in self.ascending_adjacency().items()
+            }
+        return self._starts_asc
 
     def out_edges(self, vertex: Vertex) -> List[TemporalEdge]:
         """``N_o(u)``: the out temporal edges incident to ``vertex``."""

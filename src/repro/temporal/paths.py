@@ -26,13 +26,8 @@ from repro.temporal.window import TimeWindow
 
 
 def _ascending_adjacency(graph: TemporalGraph) -> Dict[Vertex, List[TemporalEdge]]:
-    """Out-edges per vertex sorted by ascending start time."""
-    adjacency: Dict[Vertex, List[TemporalEdge]] = {v: [] for v in graph.vertices}
-    for edge in graph.edges:
-        adjacency[edge.source].append(edge)
-    for edges in adjacency.values():
-        edges.sort(key=lambda e: e.start)
-    return adjacency
+    """Out-edges per vertex sorted by ascending start time (graph-cached)."""
+    return graph.ascending_adjacency()
 
 
 def earliest_arrival_times(
@@ -56,9 +51,7 @@ def earliest_arrival_times(
     if source not in graph.vertices:
         return {}
     adjacency = _ascending_adjacency(graph)
-    starts: Dict[Vertex, List[float]] = {
-        v: [e.start for e in edges] for v, edges in adjacency.items()
-    }
+    starts = graph.ascending_starts()
     arrival: Dict[Vertex, float] = {source: window.t_alpha}
     settled: Set[Vertex] = set()
     heap: List[Tuple[float, int, Vertex]] = [(window.t_alpha, 0, source)]
@@ -100,9 +93,7 @@ def earliest_arrival_path(
     if source == target:
         return []
     adjacency = _ascending_adjacency(graph)
-    starts: Dict[Vertex, List[float]] = {
-        v: [e.start for e in edges] for v, edges in adjacency.items()
-    }
+    starts = graph.ascending_starts()
     arrival: Dict[Vertex, float] = {source: window.t_alpha}
     parent: Dict[Vertex, TemporalEdge] = {}
     settled: Set[Vertex] = set()
@@ -241,9 +232,7 @@ def shortest_path_distances(
     if source not in graph.vertices:
         return {}
     adjacency = _ascending_adjacency(graph)
-    starts: Dict[Vertex, List[float]] = {
-        v: [e.start for e in edges] for v, edges in adjacency.items()
-    }
+    starts = graph.ascending_starts()
     # State = (vertex, arrival time at vertex).  dist maps states to the
     # cheapest cost of reaching that state.
     dist: Dict[Tuple[Vertex, float], float] = {(source, window.t_alpha): 0.0}

@@ -1,0 +1,230 @@
+"""Output-identity guarantees behind every PR-2 perf optimisation.
+
+Each cache / hoisting change is only admissible if the optimised code
+returns *exactly* what the unoptimised code returned.  These property
+tests pin that down:
+
+* cached vs uncached transformed-graph construction (labels, edges,
+  arrival instances) across random graphs, roots, and windows;
+* cache invalidation: changing the window yields the window's own
+  index, never a stale one;
+* end-to-end ``MST_w`` weight identity with caches on vs off;
+* the optimised level-``i`` solvers vs the verbatim pre-optimisation
+  implementation (:mod:`repro.perf.legacy`);
+* the memoised per-source rows/orders vs their numpy originals.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.mstw import (
+    clear_prepare_memo,
+    minimum_spanning_tree_w,
+    prepare_mstw_instance,
+)
+from repro.core.transformation import (
+    clear_transformation_cache,
+    transform_temporal_graph,
+    transformation_cache_info,
+)
+from repro.perf.legacy import legacy_improved_dst
+from repro.steiner.improved import improved_dst
+from repro.steiner.pruned import pruned_dst
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+
+@st.composite
+def reachable_graphs(draw, max_vertices=6, max_extra=8):
+    """Temporal graphs where every vertex is reachable from root 0."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    edges = []
+    arrival = {0: 0}
+    for v in range(1, n):
+        parent = draw(st.sampled_from(sorted(arrival)))
+        start = arrival[parent] + draw(st.integers(min_value=0, max_value=3))
+        duration = draw(st.integers(min_value=0, max_value=2))
+        weight = draw(st.integers(min_value=1, max_value=9))
+        edges.append(TemporalEdge(parent, v, start, start + duration, weight))
+        arrival[v] = start + duration
+    extra = draw(st.integers(min_value=0, max_value=max_extra))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        start = draw(st.integers(min_value=0, max_value=12))
+        duration = draw(st.integers(min_value=0, max_value=2))
+        weight = draw(st.integers(min_value=1, max_value=9))
+        edges.append(TemporalEdge(u, v, start, start + duration, weight))
+    return TemporalGraph(edges, vertices=range(n))
+
+
+windows = st.sampled_from(
+    [
+        None,
+        TimeWindow(0, float("inf")),
+        TimeWindow(0, 8),
+        TimeWindow(2, 10),
+    ]
+)
+
+
+def _transform_fingerprint(transformed):
+    """Everything observable about a transformed graph, as plain data."""
+    return (
+        tuple(transformed.digraph.labels()),
+        sorted(transformed.digraph.iter_labeled_edges()),
+        transformed.root_label,
+        {
+            v: tuple(instants)
+            for v, instants in transformed.arrival_instances.items()
+        },
+        transformed.skipped_edges,
+    )
+
+
+class TestTransformationCache:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=reachable_graphs(), window=windows)
+    def test_cached_equals_uncached(self, graph, window):
+        clear_transformation_cache()
+        uncached = transform_temporal_graph(graph, 0, window, use_cache=False)
+        cold = transform_temporal_graph(graph, 0, window, use_cache=True)
+        warm = transform_temporal_graph(graph, 0, window, use_cache=True)
+        expected = _transform_fingerprint(uncached)
+        assert _transform_fingerprint(cold) == expected
+        assert _transform_fingerprint(warm) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=reachable_graphs())
+    def test_window_change_invalidates(self, graph):
+        """A different window must never see the previous window's index."""
+        clear_transformation_cache()
+        narrow = TimeWindow(0, 3)
+        wide = TimeWindow(0, float("inf"))
+        cached_narrow = transform_temporal_graph(graph, 0, narrow)
+        cached_wide = transform_temporal_graph(graph, 0, wide)
+        fresh_narrow = transform_temporal_graph(
+            graph, 0, narrow, use_cache=False
+        )
+        fresh_wide = transform_temporal_graph(graph, 0, wide, use_cache=False)
+        assert _transform_fingerprint(cached_narrow) == _transform_fingerprint(
+            fresh_narrow
+        )
+        assert _transform_fingerprint(cached_wide) == _transform_fingerprint(
+            fresh_wide
+        )
+
+    def test_cache_counters(self):
+        clear_transformation_cache()
+        graph = TemporalGraph(
+            [TemporalEdge(0, 1, 1, 2, 1)], vertices=range(2)
+        )
+        assert transformation_cache_info() == {"hits": 0, "misses": 0}
+        transform_temporal_graph(graph, 0)
+        transform_temporal_graph(graph, 0)
+        info = transformation_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+        # Different window -> its own index (a miss, not a stale hit).
+        transform_temporal_graph(graph, 0, TimeWindow(0, 1.5))
+        assert transformation_cache_info()["misses"] == 2
+
+
+class TestPipelineCacheIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        graph=reachable_graphs(),
+        level=st.integers(min_value=1, max_value=3),
+    )
+    def test_mstw_weight_identical_with_caches(self, graph, level):
+        clear_transformation_cache()
+        clear_prepare_memo()
+        first = minimum_spanning_tree_w(graph, 0, level=level)
+        # Second run hits the window index and the prepare memo.
+        second = minimum_spanning_tree_w(graph, 0, level=level)
+        assert first.weight == second.weight
+        assert first.tree.parent_edge == second.tree.parent_edge
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=reachable_graphs())
+    def test_prepare_memo_returns_equal_instance(self, graph):
+        clear_prepare_memo()
+        t1, p1 = prepare_mstw_instance(graph, 0)
+        t2, p2 = prepare_mstw_instance(graph, 0)
+        assert t2 is t1  # memo hit
+        assert p2 is p1
+        t3, p3 = prepare_mstw_instance(graph, 0, use_cache=False)
+        assert t3 is not t1
+        assert _transform_fingerprint(t3) == _transform_fingerprint(t1)
+        assert p3.num_terminals == p1.num_terminals
+
+
+class TestSolverEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        graph=reachable_graphs(),
+        level=st.integers(min_value=1, max_value=3),
+    )
+    def test_improved_matches_legacy(self, graph, level):
+        """The optimised Algorithm 4/5 returns the legacy solver's tree."""
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        old = legacy_improved_dst(prepared, level)
+        new = improved_dst(prepared, level)
+        assert new.cost == old.cost
+        assert sorted(new.edges) == sorted(old.edges)
+        assert new.covered == old.covered
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        graph=reachable_graphs(),
+        level=st.integers(min_value=1, max_value=3),
+    )
+    def test_pruned_matches_legacy(self, graph, level):
+        """Algorithm 6 still agrees with the legacy solver (Theorem 9)."""
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        old = legacy_improved_dst(prepared, level)
+        new = pruned_dst(prepared, level)
+        assert new.cost == pytest.approx(old.cost)
+        assert new.covered == old.covered
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        graph=reachable_graphs(),
+        level=st.integers(min_value=1, max_value=2),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_partial_coverage_matches_legacy(self, graph, level, k):
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        old = legacy_improved_dst(prepared, level, k=k)
+        new = improved_dst(prepared, level, k=k)
+        assert new.cost == old.cost
+        assert new.covered == old.covered
+
+
+class TestRowMemoEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(graph=reachable_graphs())
+    def test_cost_row_matches_closure(self, graph):
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        for source in range(prepared.num_vertices):
+            row = prepared.cost_row(source)
+            costs = prepared.closure.costs_from(source)
+            assert row == [float(c) for c in costs]
+            # Memoised: same list object on repeat.
+            assert prepared.cost_row(source) is row
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=reachable_graphs())
+    def test_sorted_terminals_matches_fresh_sort(self, graph):
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        for source in range(prepared.num_vertices):
+            order = prepared.sorted_terminals_from(source)
+            costs = prepared.closure.costs_from(source)
+            expected = tuple(
+                sorted(prepared.terminals, key=lambda x: (costs[x], x))
+            )
+            assert order == expected

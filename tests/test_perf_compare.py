@@ -1,0 +1,158 @@
+"""The bench comparator: tolerances, noise floor, exit codes."""
+
+import json
+
+import pytest
+
+from repro.perf.compare import (
+    DEFAULT_TOLERANCE,
+    NOISE_FLOOR_S,
+    compare_benchmarks,
+    main,
+)
+from repro.perf.harness import SCHEMA_VERSION
+
+
+def doc(*rows):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scale": "smoke",
+        "repeats": 3,
+        "platform": {},
+        "scenarios": [dict(r) for r in rows],
+    }
+
+
+def row(name, median, tolerance=None):
+    return {
+        "name": name,
+        "median_s": median,
+        "tolerance": tolerance,
+    }
+
+
+class TestCompare:
+    def test_clean_pass(self):
+        report = compare_benchmarks(
+            doc(row("a", 0.10), row("b", 0.20)),
+            doc(row("a", 0.10), row("b", 0.21)),
+        )
+        assert report.ok
+        assert [d.status for d in report.deltas] == ["ok", "ok"]
+
+    def test_regression_flagged(self):
+        report = compare_benchmarks(
+            doc(row("a", 0.10)),
+            doc(row("a", 0.20)),
+        )
+        assert not report.ok
+        (delta,) = report.failures
+        assert delta.name == "a"
+        assert delta.status == "regression"
+        assert delta.ratio == pytest.approx(2.0)
+
+    def test_tolerance_boundary(self):
+        """Exactly at tolerance passes; just above fails."""
+        at = compare_benchmarks(
+            doc(row("a", 0.10)), doc(row("a", 0.10 * DEFAULT_TOLERANCE))
+        )
+        assert at.ok
+        above = compare_benchmarks(
+            doc(row("a", 0.10)),
+            doc(row("a", 0.10 * DEFAULT_TOLERANCE * 1.01)),
+        )
+        assert not above.ok
+
+    def test_per_scenario_tolerance_overrides_default(self):
+        baseline = doc(row("hot", 0.10, tolerance=3.0))
+        assert compare_benchmarks(baseline, doc(row("hot", 0.25))).ok
+        assert not compare_benchmarks(baseline, doc(row("hot", 0.35))).ok
+
+    def test_call_level_tolerance(self):
+        baseline = doc(row("a", 0.10))
+        assert compare_benchmarks(
+            baseline, doc(row("a", 0.28)), tolerance=3.0
+        ).ok
+
+    def test_noise_floor_never_flags(self):
+        fast = NOISE_FLOOR_S / 4
+        report = compare_benchmarks(
+            doc(row("tiny", fast)), doc(row("tiny", fast * 3))
+        )
+        assert report.ok
+        assert report.deltas[0].status == "skipped-noise"
+
+    def test_noise_floor_requires_both_sides(self):
+        """A scenario that grew *past* the floor is a real regression."""
+        report = compare_benchmarks(
+            doc(row("grew", NOISE_FLOOR_S / 2)),
+            doc(row("grew", NOISE_FLOOR_S * 10)),
+        )
+        assert not report.ok
+
+    def test_missing_scenario_fails(self):
+        report = compare_benchmarks(doc(row("a", 0.1), row("b", 0.1)), doc(row("a", 0.1)))
+        assert not report.ok
+        (delta,) = report.failures
+        assert delta.name == "b"
+        assert delta.status == "missing"
+
+    def test_new_scenario_never_fails(self):
+        report = compare_benchmarks(
+            doc(row("a", 0.1)), doc(row("a", 0.1), row("brand-new", 9.9))
+        )
+        assert report.ok
+        statuses = {d.name: d.status for d in report.deltas}
+        assert statuses["brand-new"] == "new"
+
+    def test_schema_mismatch_rejected(self):
+        bad = doc(row("a", 0.1))
+        bad["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            compare_benchmarks(bad, doc(row("a", 0.1)))
+        with pytest.raises(ValueError, match="schema_version"):
+            compare_benchmarks(doc(row("a", 0.1)), bad)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_benchmarks(doc(), doc(), tolerance=0)
+
+    def test_render_mentions_failures(self):
+        report = compare_benchmarks(doc(row("a", 0.1)), doc(row("a", 0.5)))
+        text = report.render()
+        assert "FAIL" in text
+        assert "REGRESSION" in text
+
+
+class TestMain:
+    def _write(self, path, document):
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_exit_zero_on_clean(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", doc(row("a", 0.1)))
+        cur = self._write(tmp_path / "cur.json", doc(row("a", 0.1)))
+        assert main([base, cur]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", doc(row("a", 0.1)))
+        cur = self._write(tmp_path / "cur.json", doc(row("a", 0.9)))
+        assert main([base, cur]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tolerance_flag(self, tmp_path):
+        base = self._write(tmp_path / "base.json", doc(row("a", 0.1)))
+        cur = self._write(tmp_path / "cur.json", doc(row("a", 0.9)))
+        assert main([base, cur, "--tolerance", "10"]) == 0
+
+    def test_exit_two_on_missing_file(self, tmp_path, capsys):
+        cur = self._write(tmp_path / "cur.json", doc())
+        assert main([str(tmp_path / "absent.json"), cur]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_exit_two_on_malformed_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        cur = self._write(tmp_path / "cur.json", doc())
+        assert main([str(bad), str(cur)]) == 2

@@ -1,0 +1,212 @@
+"""The bench harness: scenarios, timing document, CLI subcommand."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.perf.harness import (
+    SCHEMA_VERSION,
+    run_benchmarks,
+    summarize,
+    write_benchmarks,
+)
+from repro.perf.scenarios import SCALES, build_scenarios, scenario_names
+
+#: A cheap scenario subset exercised by the timing tests (full smoke
+#: runs live in CI's bench-smoke job, not the unit suite).
+FAST = ["transform_uncached", "msta_stack"]
+
+
+class TestScenarios:
+    def test_scales_exist(self):
+        assert set(SCALES) >= {"smoke", "full"}
+
+    @pytest.mark.parametrize("scale", sorted(SCALES))
+    def test_scenario_suite_shape(self, scale):
+        scenarios = build_scenarios(scale)
+        # The acceptance floor: at least 8 scenarios per scale.
+        assert len(scenarios) >= 8
+        names = [s.name for s in scenarios]
+        assert len(names) == len(set(names)), "duplicate scenario names"
+        by_name = {s.name: s for s in scenarios}
+        for scenario in scenarios:
+            assert scenario.group
+            assert scenario.description
+            if scenario.baseline is not None:
+                assert scenario.baseline in by_name
+
+    def test_speedup_pair_present(self):
+        """The committed >=1.5x claim needs its pair at full scale."""
+        names = scenario_names("full")
+        assert "solve_improved_i2" in names
+        assert "solve_improved_i2_legacy" in names
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            build_scenarios("galactic")
+
+
+class TestHarness:
+    def test_document_schema(self):
+        doc = run_benchmarks("smoke", repeats=1, names=FAST)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["scale"] == "smoke"
+        assert doc["repeats"] == 1
+        assert "python" in doc["platform"]
+        rows = doc["scenarios"]
+        assert {r["name"] for r in rows} == set(FAST)
+        for row in rows:
+            assert row["median_s"] >= 0
+            assert row["min_s"] <= row["median_s"] <= row["max_s"]
+            assert row["repeats"] == 1
+            assert row["peak_alloc_bytes"] > 0
+            assert "n" in row["params"] and "M" in row["params"]
+
+    def test_baseline_pulled_in_and_speedup_computed(self):
+        doc = run_benchmarks("smoke", repeats=1, names=["transform_cached"])
+        names = {r["name"] for r in doc["scenarios"]}
+        # transform_cached's baseline joins the run automatically.
+        assert names == {"transform_cached", "transform_uncached"}
+        cached = next(
+            r for r in doc["scenarios"] if r["name"] == "transform_cached"
+        )
+        assert cached["baseline"] == "transform_uncached"
+        assert cached["speedup"] is not None and cached["speedup"] > 0
+
+    def test_solver_scenario_reports_expansions(self):
+        doc = run_benchmarks("smoke", repeats=1, names=["solve_pruned_i2"])
+        row = next(
+            r for r in doc["scenarios"] if r["name"] == "solve_pruned_i2"
+        )
+        assert row["expansions"] > 0
+        assert row["params"]["i"] == 2
+        assert row["params"]["k"] > 0
+
+    def test_determinism_across_runs(self):
+        """Same scale, same seeds: identical workloads, identical counts."""
+        doc1 = run_benchmarks(
+            "smoke", repeats=1, names=["solve_pruned_i2"], track_alloc=False
+        )
+        doc2 = run_benchmarks(
+            "smoke", repeats=1, names=["solve_pruned_i2"], track_alloc=False
+        )
+        row1 = doc1["scenarios"][-1]
+        row2 = doc2["scenarios"][-1]
+        assert row1["expansions"] == row2["expansions"]
+        assert row1["params"] == row2["params"]
+
+    def test_unknown_scenario_name(self):
+        with pytest.raises(KeyError):
+            run_benchmarks("smoke", repeats=1, names=["nope"])
+
+    def test_bad_repeats(self):
+        with pytest.raises(ValueError):
+            run_benchmarks("smoke", repeats=0)
+
+    def test_write_round_trip(self, tmp_path):
+        doc = run_benchmarks("smoke", repeats=1, names=FAST, track_alloc=False)
+        path = tmp_path / "bench.json"
+        write_benchmarks(doc, str(path))
+        assert json.loads(path.read_text()) == doc
+
+    def test_summarize_renders(self, capsys):
+        doc = run_benchmarks("smoke", repeats=1, names=FAST, track_alloc=False)
+        summarize(doc)
+        out = capsys.readouterr().out
+        for name in FAST:
+            assert name in out
+
+
+class TestBenchCli:
+    def _run(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_list(self, capsys):
+        assert self._run("bench", "--list", "--scale", "smoke") == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "solve_improved_i2" in out
+        assert len(out) >= 8
+
+    def test_run_only_and_out(self, tmp_path, capsys):
+        out_path = tmp_path / "doc.json"
+        code = self._run(
+            "bench",
+            "--repeats",
+            "1",
+            "--only",
+            "msta_stack",
+            "--out",
+            str(out_path),
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema_version"] == SCHEMA_VERSION
+
+    def test_self_compare_is_clean(self, tmp_path):
+        out_path = tmp_path / "doc.json"
+        assert (
+            self._run(
+                "bench",
+                "--repeats",
+                "1",
+                "--only",
+                "msta_stack",
+                "--out",
+                str(out_path),
+            )
+            == 0
+        )
+        # Generous tolerance: this asserts the wiring (schema match,
+        # clean diff, exit code), not micro-timing stability.
+        code = self._run(
+            "bench",
+            "--repeats",
+            "1",
+            "--only",
+            "msta_stack",
+            "--compare",
+            str(out_path),
+            "--tolerance",
+            "100",
+        )
+        assert code == 0
+
+    def test_compare_missing_baseline_file(self, tmp_path, capsys):
+        code = self._run(
+            "bench",
+            "--repeats",
+            "1",
+            "--only",
+            "msta_stack",
+            "--compare",
+            str(tmp_path / "absent.json"),
+        )
+        assert code == 2
+
+    def test_module_entry_point(self, tmp_path):
+        """`python -m repro bench` works as documented in the issue."""
+        out_path = tmp_path / "doc.json"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "bench",
+                "--scale",
+                "smoke",
+                "--repeats",
+                "1",
+                "--only",
+                "msta_stack",
+                "--out",
+                str(out_path),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert out_path.exists()

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-check pybench examples report quickcheck ci lint clean
+.PHONY: install test bench bench-full bench-check pybench examples report quickcheck ci lint typecheck clean
 
 # Bench defaults (override: make bench BENCH_SCALE=full BENCH_REPEATS=9).
 BENCH_SCALE ?= smoke
@@ -51,7 +51,8 @@ quickcheck:
 # What the GitHub Actions workflow runs: the tier-1 suite plus lint.
 # ruff is optional locally (the workflow installs it); a missing ruff
 # falls back to a byte-compile pass so `make ci` still catches syntax
-# errors anywhere.
+# errors anywhere.  The repo's own invariant linter (repro.analysis)
+# needs only the stdlib and always runs.
 ci: test lint
 
 lint:
@@ -60,6 +61,16 @@ lint:
 	else \
 		echo "ruff not installed; running compileall instead"; \
 		$(PYTHON) -m compileall -q src tests; \
+	fi
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src tests
+
+# The strict typing gate over the clean-file list in pyproject.toml.
+# mypy is optional locally (the typecheck CI job installs it).
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (CI runs the typecheck job)"; \
 	fi
 
 clean:

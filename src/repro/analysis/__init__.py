@@ -1,0 +1,46 @@
+"""Codebase-aware static analysis for the temporal-MST reproduction.
+
+PRs 1 and 2 introduced cross-cutting invariants that plain tooling
+cannot see: cooperative budget checkpoints inside solver loops,
+immutability of the cached adjacency/memo structures, determinism of
+everything the benchmark harness times, epsilon-based float comparison
+on weights and times, and validated construction of temporal edges.
+This package enforces them with an AST-based linter whose rules know
+the repository's module layout and APIs.
+
+Entry points
+------------
+* ``python -m repro.analysis [paths...]`` -- the standalone CLI;
+* ``python -m repro lint`` -- the same gate via the main CLI;
+* :func:`analyze_paths` -- the programmatic API used by the tests.
+
+See ``docs/static-analysis.md`` for the rule catalogue and the
+suppression syntax (``# repro: ignore[rule-name]``).
+"""
+
+from repro.analysis.core import (
+    AnalysisError,
+    Finding,
+    ParsedModule,
+    Rule,
+    analyze_paths,
+    iter_python_files,
+    parse_module,
+)
+from repro.analysis.registry import ALL_RULES, default_rules, get_rules
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisError",
+    "Finding",
+    "ParsedModule",
+    "Rule",
+    "analyze_paths",
+    "default_rules",
+    "get_rules",
+    "iter_python_files",
+    "parse_module",
+    "render_json",
+    "render_text",
+]

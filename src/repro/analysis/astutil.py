@@ -1,0 +1,62 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    Calls and subscripts in the chain break it (``f().x`` has no static
+    dotted name), which is exactly the conservatism the rules want.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        prefix = dotted_name(node.value)
+        if prefix is None:
+            return None
+        return f"{prefix}.{node.attr}"
+    return None
+
+
+def call_target(node: ast.Call) -> Optional[str]:
+    """The dotted name a call is made on, or ``None``."""
+    return dotted_name(node.func)
+
+
+def walk_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    """Every statement in ``body``, recursively, in source order."""
+    for statement in body:
+        yield statement
+        for child_body in _statement_bodies(statement):
+            yield from walk_statements(child_body)
+
+
+def _statement_bodies(statement: ast.stmt) -> Iterator[List[ast.stmt]]:
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(statement, attr, None)
+        if block:
+            yield block
+    for handler in getattr(statement, "handlers", ()) or ():
+        yield handler.body
+
+
+def iter_comparisons(tree: ast.AST) -> Iterator[ast.Compare]:
+    """All ``Compare`` nodes under ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            yield node
+
+
+def iter_loop_iters(tree: ast.AST) -> Iterator[ast.expr]:
+    """Every expression something iterates over: ``for`` statements and
+    every generator of every comprehension."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter

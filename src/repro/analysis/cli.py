@@ -1,0 +1,113 @@
+"""The ``repro lint`` / ``python -m repro.analysis`` entry point.
+
+Exit codes
+----------
+* ``0`` -- every rule passed on every scanned file;
+* ``1`` -- at least one finding (including files that fail to parse);
+* ``2`` -- usage error (argparse's convention);
+* ``3`` -- the linter itself failed (a rule crashed): the gate must
+  fail loudly rather than pretend the tree is clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import analyze_paths
+from repro.analysis.registry import ALL_RULES, get_rules
+from repro.analysis.reporters import render_json, render_text
+
+#: Exit statuses (see module docstring).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL_ERROR = 3
+
+#: Path components skipped by default: the test suite's deliberately
+#: violating rule fixtures live under ``tests/fixtures/``.
+DEFAULT_EXCLUDES = ("fixtures",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "repository-specific invariant linter for the temporal-MST "
+            "stack (budget checkpoints, cache immutability, determinism, "
+            "float epsilon discipline, validated edge construction, "
+            "__all__ consistency)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to scan (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="PART",
+        help=(
+            "skip files with this path component "
+            f"(repeatable; default: {', '.join(DEFAULT_EXCLUDES)})"
+        ),
+    )
+    parser.add_argument(
+        "--no-default-excludes",
+        action="store_true",
+        help="scan everything, including the test fixture tree",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_class in ALL_RULES:
+            print(f"{rule_class.code} {rule_class.name}: {rule_class.description}")
+        return EXIT_CLEAN
+
+    try:
+        rules = get_rules(args.rule or [])
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+
+    excludes: List[str] = [] if args.no_default_excludes else list(DEFAULT_EXCLUDES)
+    if args.exclude:
+        excludes.extend(args.exclude)
+
+    findings, errors = analyze_paths(args.paths, rules, excludes=excludes)
+    if args.format == "json":
+        print(render_json(findings, errors))
+    else:
+        print(render_text(findings, errors))
+    if errors:
+        return EXIT_INTERNAL_ERROR
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,266 @@
+"""Linter infrastructure: findings, rules, parsing, suppressions.
+
+The model is deliberately small: a :class:`Rule` consumes one
+:class:`ParsedModule` (path + AST + per-line suppressions) and yields
+:class:`Finding` objects; :func:`analyze_paths` drives every rule over
+every Python file under the requested paths and filters out findings
+the source suppressed with ``# repro: ignore[rule-name]`` comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+#: Comment syntax accepted on (or, for multi-line statements, within)
+#: the offending line: ``# repro: ignore`` silences every rule,
+#: ``# repro: ignore[rule-a, rule-b]`` only the named ones.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[\w\-, ]*)\])?"
+)
+
+#: Pseudo-rule emitted for files the ``ast`` module cannot parse.
+PARSE_ERROR_RULE = "parse-error"
+PARSE_ERROR_CODE = "REP000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    code: str
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` as editors expect it (1-based column)."""
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+@dataclass(frozen=True)
+class AnalysisError:
+    """An internal linter failure (a rule crashed), not a finding."""
+
+    path: str
+    rule: str
+    message: str
+
+
+@dataclass
+class ParsedModule:
+    """A parsed source file plus the metadata rules key off.
+
+    ``module_name`` is the dotted import path when the file belongs to
+    the ``repro`` package (``repro.steiner.charikar``), else ``None`` --
+    rules scoped to library modules skip test files through it.
+    ``suppressions`` maps a 1-based line number to the set of rule
+    names silenced there (``None`` meaning every rule).
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    module_name: Optional[str]
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        if line not in self.suppressions:
+            return False
+        rules = self.suppressions[line]
+        return rules is None or rule in rules
+
+
+class Rule:
+    """Base class every lint rule derives from.
+
+    Subclasses set ``name`` (the kebab-case identifier used in
+    suppression comments and ``--rule`` selections), ``code`` (the
+    stable ``REPnnn`` identifier), and ``description``, and implement
+    :meth:`check`.
+    """
+
+    name: str = ""
+    code: str = ""
+    description: str = ""
+
+    def applies(self, module: ParsedModule) -> bool:
+        """Whether the rule runs on this module at all (default: yes)."""
+        return True
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def finding(
+        self, module: ParsedModule, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            code=self.code,
+            message=message,
+        )
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """The dotted ``repro.*`` module name of ``path``, or ``None``.
+
+    Works for any checkout layout by keying on the last path component
+    named ``repro`` (``src/repro/steiner/charikar.py`` and the test
+    fixture mirrors ``tests/fixtures/analysis/violations/repro/...``
+    both resolve to ``repro.steiner.charikar``).
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    anchors = [i for i, part in enumerate(parts) if part == "repro"]
+    if not anchors:
+        return None
+    tail = parts[anchors[-1]:]
+    tail[-1] = tail[-1][: -len(".py")]
+    if tail[-1] == "__init__":
+        tail = tail[:-1]
+    return ".".join(tail)
+
+
+def _collect_suppressions(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Per-line suppression sets from ``# repro: ignore[...]`` comments."""
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            names = match.group("rules")
+            if names is None:
+                suppressions[token.start[0]] = None
+            else:
+                rules = frozenset(
+                    name.strip() for name in names.split(",") if name.strip()
+                )
+                suppressions[token.start[0]] = rules or None
+    except tokenize.TokenError:  # pragma: no cover - caught earlier by ast
+        pass
+    return suppressions
+
+
+def parse_module(path: str, source: Optional[str] = None) -> ParsedModule:
+    """Parse one file into the structure rules consume.
+
+    Raises
+    ------
+    SyntaxError
+        If the source does not parse; :func:`analyze_paths` converts
+        this into a ``parse-error`` finding.
+    """
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    tree = ast.parse(source, filename=path)
+    return ParsedModule(
+        path=path,
+        source=source,
+        tree=tree,
+        module_name=module_name_for(path),
+        suppressions=_collect_suppressions(source),
+    )
+
+
+def iter_python_files(
+    paths: Sequence[str],
+    excludes: Sequence[str] = (),
+) -> Iterator[str]:
+    """All ``.py`` files under ``paths``, sorted, minus excluded parts.
+
+    ``excludes`` entries are path *components* (``"fixtures"`` skips any
+    file with a ``fixtures`` directory anywhere in its path), keeping
+    the deliberately-violating test fixtures out of the default gate.
+    """
+    seen: Set[str] = set()
+    for root_path in paths:
+        if os.path.isfile(root_path):
+            candidates: Iterable[str] = [root_path]
+        else:
+            candidates = (
+                os.path.join(directory, filename)
+                for directory, _, filenames in sorted(os.walk(root_path))
+                for filename in sorted(filenames)
+            )
+        for candidate in candidates:
+            if not candidate.endswith(".py"):
+                continue
+            parts = os.path.normpath(candidate).split(os.sep)
+            if any(part in excludes for part in parts):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    excludes: Sequence[str] = ("fixtures",),
+) -> Tuple[List[Finding], List[AnalysisError]]:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    Returns the suppression-filtered findings (sorted by location) and
+    any internal rule failures.  A file that fails to parse contributes
+    one ``parse-error`` finding rather than an internal error: a broken
+    file in the gated tree is a problem the gate must report.
+    """
+    findings: List[Finding] = []
+    errors: List[AnalysisError] = []
+    for path in iter_python_files(paths, excludes=excludes):
+        try:
+            module = parse_module(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=0,
+                    rule=PARSE_ERROR_RULE,
+                    code=PARSE_ERROR_CODE,
+                    message=f"file does not parse: {exc}",
+                )
+            )
+            continue
+        for rule in rules:
+            if not rule.applies(module):
+                continue
+            try:
+                for finding in rule.check(module):
+                    if not module.is_suppressed(finding.line, finding.rule):
+                        findings.append(finding)
+            except Exception as exc:  # noqa: BLE001 - reported as internal
+                errors.append(
+                    AnalysisError(path=path, rule=rule.name, message=repr(exc))
+                )
+    findings.sort()
+    return findings, errors

@@ -1,0 +1,52 @@
+"""The rule registry: every shipped rule, instantiable by name."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type
+
+from repro.analysis.core import Rule
+from repro.analysis.rules import (
+    ApiConsistencyRule,
+    BudgetTickRule,
+    CacheMutationRule,
+    DeterminismRule,
+    FloatEqualityRule,
+    TemporalInvariantRule,
+)
+
+#: Every shipped rule class, in catalogue (code) order.
+ALL_RULES: List[Type[Rule]] = [
+    BudgetTickRule,
+    CacheMutationRule,
+    DeterminismRule,
+    FloatEqualityRule,
+    TemporalInvariantRule,
+    ApiConsistencyRule,
+]
+
+_BY_NAME: Dict[str, Type[Rule]] = {rule.name: rule for rule in ALL_RULES}
+
+
+def default_rules() -> List[Rule]:
+    """One instance of every shipped rule."""
+    return [rule_class() for rule_class in ALL_RULES]
+
+
+def get_rules(names: Sequence[str]) -> List[Rule]:
+    """Instances of the named rules (catalogue order), or all if empty.
+
+    Raises
+    ------
+    KeyError
+        For a name not in the catalogue (lists the valid names).
+    """
+    if not names:
+        return default_rules()
+    unknown = [name for name in names if name not in _BY_NAME]
+    if unknown:
+        raise KeyError(
+            f"unknown rule(s) {', '.join(sorted(unknown))}; "
+            f"valid names: {', '.join(sorted(_BY_NAME))}"
+        )
+    wanted = set(names)
+    return [rule_class() for rule_class in ALL_RULES if rule_class.name in wanted]

@@ -1,0 +1,61 @@
+"""Finding reporters: editor-style text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Sequence
+
+from repro.analysis.core import AnalysisError, Finding
+
+#: Schema marker so downstream consumers can detect format changes.
+REPORT_VERSION = 1
+
+
+def render_text(
+    findings: Sequence[Finding], errors: Sequence[AnalysisError] = ()
+) -> str:
+    """``path:line:col CODE [rule] message`` lines plus a summary."""
+    lines = [
+        f"{finding.location()} {finding.code} [{finding.rule}] {finding.message}"
+        for finding in findings
+    ]
+    for error in errors:
+        lines.append(
+            f"{error.path}: internal error in rule '{error.rule}': {error.message}"
+        )
+    total = len(findings)
+    if total == 0 and not errors:
+        lines.append("ok: no findings")
+    else:
+        noun = "finding" if total == 1 else "findings"
+        lines.append(f"{total} {noun}" + (f", {len(errors)} internal error(s)" if errors else ""))
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], errors: Sequence[AnalysisError] = ()
+) -> str:
+    """A stable JSON document (sorted findings, schema-versioned)."""
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    payload = {
+        "version": REPORT_VERSION,
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "code": finding.code,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        "errors": [
+            {"path": error.path, "rule": error.rule, "message": error.message}
+            for error in errors
+        ],
+        "counts": {"total": len(findings), "by_rule": by_rule},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,21 @@
+"""The repository-specific lint rules, one module per rule.
+
+Each module defines one :class:`repro.analysis.core.Rule` subclass;
+``repro.analysis.registry`` assembles them into the default rule set.
+"""
+
+from repro.analysis.rules.api import ApiConsistencyRule
+from repro.analysis.rules.budget import BudgetTickRule
+from repro.analysis.rules.caches import CacheMutationRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.floats import FloatEqualityRule
+from repro.analysis.rules.temporal import TemporalInvariantRule
+
+__all__ = [
+    "ApiConsistencyRule",
+    "BudgetTickRule",
+    "CacheMutationRule",
+    "DeterminismRule",
+    "FloatEqualityRule",
+    "TemporalInvariantRule",
+]

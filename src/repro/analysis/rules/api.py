@@ -1,0 +1,120 @@
+"""Rule: ``__all__`` stays consistent with what a module defines.
+
+The public-API tests import every name a package's ``__all__``
+advertises; a stale entry (renamed function, dropped re-export) breaks
+``from repro import *`` and the documentation that mirrors it.  This
+rule statically checks every literal ``__all__`` against the names the
+module actually binds (defs, classes, assignments, imports) and flags
+missing entries and duplicates.  Modules with a ``*`` import are
+skipped -- their namespace is not statically known.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ParsedModule, Rule
+
+
+def _bound_names(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Top-level bound names, plus whether a ``*`` import was seen."""
+    names: Set[str] = set()
+    star_import = False
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    star_import = True
+                else:
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional definitions (version guards, optional deps).
+            for block in _blocks(node):
+                sub_names, sub_star = _bound_names(
+                    ast.Module(body=block, type_ignores=[])
+                )
+                names.update(sub_names)
+                star_import = star_import or sub_star
+    return names, star_import
+
+
+def _blocks(node: ast.stmt) -> List[List[ast.stmt]]:
+    blocks: List[List[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(node, attr, None)
+        if block:
+            blocks.append(block)
+    for handler in getattr(node, "handlers", ()) or ():
+        blocks.append(handler.body)
+    return blocks
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: Set[str] = set()
+        for element in target.elts:
+            names.update(_target_names(element))
+        return names
+    return set()
+
+
+def _find_all_assignment(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            return node
+    return None
+
+
+class ApiConsistencyRule(Rule):
+    name = "api-consistency"
+    code = "REP106"
+    description = (
+        "__all__ entries must name objects the module actually binds, "
+        "with no duplicates"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        assignment = _find_all_assignment(module.tree)
+        if assignment is None:
+            return
+        value = assignment.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return  # computed __all__: not statically checkable
+        entries: List[Tuple[str, ast.expr]] = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                entries.append((element.value, element))
+            else:
+                yield self.finding(
+                    module, element, "__all__ entries must be string literals"
+                )
+                return
+        bound, star_import = _bound_names(module.tree)
+        seen: Set[str] = set()
+        for name, node in entries:
+            if name in seen:
+                yield self.finding(
+                    module, node, f"duplicate __all__ entry {name!r}"
+                )
+            seen.add(name)
+            if not star_import and name not in bound and name != "__all__":
+                yield self.finding(
+                    module,
+                    node,
+                    f"__all__ exports {name!r} but the module never binds it",
+                )

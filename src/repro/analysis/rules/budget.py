@@ -1,0 +1,80 @@
+"""Rule: unbounded solver loops must stay budget-interruptible.
+
+PR 1 made the MAX-SNP-hard solve paths cooperatively interruptible by
+threading a :class:`repro.resilience.Budget` through every expensive
+loop.  Nothing enforced that afterwards -- a new ``while`` loop in a
+solver silently reopens the "one adversarial instance hangs the run"
+hole.  This rule requires every ``while`` loop in the DST solver and
+baseline modules to either call ``<budget>.checkpoint(...)`` somewhere
+in its body or hand the loop's work to a callee that receives the
+``budget`` (the pruned solver's ``_scan_vertices`` pattern).  ``for``
+loops are bounded by their iterable and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.core import Finding, ParsedModule, Rule
+
+#: Modules whose loops must checkpoint (exact names or package prefixes).
+TARGET_MODULES: Tuple[str, ...] = (
+    "repro.steiner.charikar",
+    "repro.steiner.improved",
+    "repro.steiner.pruned",
+    "repro.baselines",
+)
+
+
+def _mentions_budget(call: ast.Call) -> bool:
+    """Whether a call either checkpoints or forwards a budget."""
+    if isinstance(call.func, ast.Attribute) and call.func.attr == "checkpoint":
+        return True
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id == "budget":
+            return True
+    for keyword in call.keywords:
+        if keyword.arg == "budget":
+            return True
+        if isinstance(keyword.value, ast.Name) and keyword.value.id == "budget":
+            return True
+    return False
+
+
+class BudgetTickRule(Rule):
+    name = "budget-tick"
+    code = "REP101"
+    description = (
+        "while loops in DST solvers/baselines must call budget.checkpoint() "
+        "or delegate to a budget-taking callee"
+    )
+
+    def applies(self, module: ParsedModule) -> bool:
+        name = module.module_name
+        if name is None:
+            return False
+        return any(
+            name == target or name.startswith(target + ".") or (
+                target == "repro.baselines" and name.startswith(target)
+            )
+            for target in TARGET_MODULES
+        )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.While):
+                continue
+            checkpointed = any(
+                isinstance(inner, ast.Call) and _mentions_budget(inner)
+                for statement in node.body
+                for inner in ast.walk(statement)
+            )
+            if not checkpointed:
+                yield self.finding(
+                    module,
+                    node,
+                    "unbounded while loop without a budget checkpoint; call "
+                    "budget.checkpoint() in the loop body (or pass the budget "
+                    "to the callee doing the work)",
+                )

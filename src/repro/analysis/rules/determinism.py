@@ -1,0 +1,125 @@
+"""Rule: benchmarked code must be deterministic.
+
+The perf harness (PR 2) certifies its scenarios bit-identical across
+runs, and the experiment tables are only reproducible if solver output
+never depends on wall-clock time, the process-global RNG, or set
+iteration order (hash-seed dependent for strings).  This rule bans, in
+library modules outside ``repro.perf.harness``:
+
+* wall-clock reads (``time.time``, ``datetime.now`` and friends) --
+  elapsed-time probes via ``time.perf_counter``/``time.monotonic`` are
+  fine, they never feed back into results;
+* calls on the module-global ``random`` RNG (``random.shuffle`` etc.);
+  seeded ``random.Random(seed)`` instances are the supported idiom;
+* direct iteration over freshly-built sets (``for x in set(...)``,
+  set literals/comprehensions) -- wrap in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import call_target, iter_loop_iters
+from repro.analysis.core import Finding, ParsedModule, Rule
+
+#: Dotted call targets that read the wall clock or calendar.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Functions of the process-global ``random`` module (unseeded state).
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "seed",
+    }
+)
+
+#: Modules allowed to touch the wall clock (the timing harness itself).
+ALLOWED_MODULES = frozenset({"repro.perf.harness"})
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    code = "REP103"
+    description = (
+        "no wall-clock reads, global-RNG calls, or set-order iteration "
+        "in library modules (benchmarked code must be deterministic)"
+    )
+
+    def applies(self, module: ParsedModule) -> bool:
+        name = module.module_name
+        if name is None or not (name == "repro" or name.startswith("repro.")):
+            return False
+        return name not in ALLOWED_MODULES
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                target = call_target(node)
+                if target in WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"wall-clock call {target}() in a library module; use "
+                        "time.perf_counter()/time.monotonic() for elapsed "
+                        "time, or pass timestamps in explicitly",
+                    )
+                elif (
+                    target is not None
+                    and target.startswith("random.")
+                    and target[len("random."):] in GLOBAL_RANDOM_FUNCS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"call to the process-global RNG ({target}); build a "
+                        "seeded random.Random(seed) instance instead",
+                    )
+        for iterable in iter_loop_iters(module.tree):
+            if _is_set_expression(iterable):
+                yield self.finding(
+                    module,
+                    iterable,
+                    "iteration over a freshly-built set is hash-order "
+                    "dependent; wrap the expression in sorted(...)",
+                )

@@ -1,0 +1,92 @@
+"""Rule: no exact equality on weights, densities, or times.
+
+Weights, tree costs, densities (cost/terminal ratios), and arrival
+times are floats accumulated through additions and divisions; ``==`` /
+``!=`` on them is representation-dependent and silently diverges
+between otherwise-equivalent solver variants.  The repo's epsilon
+helpers (:mod:`repro.core.numeric`) exist for exactly this; the rule
+flags equality comparisons in library modules where either operand is
+an attribute or variable with a float-quantity name.  The NaN-check
+idiom ``x != x`` is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import iter_comparisons
+from repro.analysis.core import Finding, ParsedModule, Rule
+
+#: Attribute names that always hold float quantities in this codebase
+#: (TemporalEdge/ClosureTree/result-object fields).
+FLOAT_ATTRIBUTES = frozenset(
+    {
+        "weight",
+        "arrival",
+        "start",
+        "duration",
+        "density",
+        "cost",
+        "total_weight",
+        "edge_cost",
+        "realized_weight",
+        "static_weight",
+    }
+)
+
+#: Bare variable names treated as float quantities.
+FLOAT_NAMES = frozenset(
+    {
+        "weight",
+        "density",
+        "best_density",
+        "edge_cost",
+        "incoming_cost",
+        "total_weight",
+    }
+)
+
+
+def _is_float_quantity(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr in FLOAT_ATTRIBUTES
+    if isinstance(node, ast.Name):
+        return node.id in FLOAT_NAMES
+    return False
+
+
+def _same_expression(left: ast.expr, right: ast.expr) -> bool:
+    """Structural equality, used to exempt the ``x != x`` NaN check."""
+    return ast.dump(left) == ast.dump(right)
+
+
+class FloatEqualityRule(Rule):
+    name = "float-equality"
+    code = "REP104"
+    description = (
+        "no ==/!= on weights, densities, costs, or times; use the "
+        "epsilon helpers in repro.core.numeric"
+    )
+
+    def applies(self, module: ParsedModule) -> bool:
+        name = module.module_name
+        return name is not None and (name == "repro" or name.startswith("repro."))
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for compare in iter_comparisons(module.tree):
+            operands = [compare.left, *compare.comparators]
+            for i, op in enumerate(compare.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _same_expression(left, right):
+                    continue  # NaN-check idiom
+                if _is_float_quantity(left) or _is_float_quantity(right):
+                    yield self.finding(
+                        module,
+                        left,
+                        "exact float equality on a weight/density/time "
+                        "quantity; use repro.core.numeric.close() or "
+                        "is_zero() instead",
+                    )

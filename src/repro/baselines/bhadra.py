@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import UnreachableRootError
 from repro.core.spanning_tree import TemporalSpanningTree
+from repro.resilience.budget import NULL_BUDGET, Budget
 from repro.temporal.edge import TemporalEdge, Vertex
 from repro.temporal.graph import TemporalGraph
 from repro.temporal.window import TimeWindow
@@ -54,16 +55,23 @@ def bhadra_msta(
     graph: TemporalGraph,
     root: Vertex,
     window: Optional[TimeWindow] = None,
+    budget: Optional[Budget] = None,
 ) -> TemporalSpanningTree:
     """Compute a ``MST_a`` with the modified Prim-Dijkstra baseline.
 
     Produces the same earliest arrival times as Algorithms 1/2 (tested
     as an executable property); only the running time differs.
+    ``budget`` (optional) is checkpointed once per settled queue entry;
+    see :class:`repro.resilience.Budget`.
     """
     if root not in graph.vertices:
         raise UnreachableRootError(f"root {root!r} is not a vertex of the graph")
     if window is None:
         window = TimeWindow.unbounded()
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
 
     groups: Dict[Vertex, Dict[Vertex, List[TemporalEdge]]] = {}
     for edge in graph.edges:
@@ -82,6 +90,7 @@ def bhadra_msta(
     counter = 1
     inf = float("inf")
     while heap:
+        budget.checkpoint()
         t, _, u = heapq.heappop(heap)
         if u in settled or t > arrival.get(u, inf):
             continue

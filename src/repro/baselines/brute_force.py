@@ -17,6 +17,7 @@ import math
 from typing import Dict, List, Optional
 
 from repro.core.errors import ReproError
+from repro.resilience.budget import NULL_BUDGET, Budget
 from repro.temporal.edge import TemporalEdge, Vertex
 from repro.temporal.graph import TemporalGraph
 from repro.temporal.window import TimeWindow
@@ -29,14 +30,24 @@ def brute_force_earliest_arrival(
     graph: TemporalGraph,
     root: Vertex,
     window: Optional[TimeWindow] = None,
+    budget: Optional[Budget] = None,
 ) -> Dict[Vertex, float]:
-    """Earliest arrival times by relaxation to fixpoint (O(n M) worst case)."""
+    """Earliest arrival times by relaxation to fixpoint (O(n M) worst case).
+
+    ``budget`` (optional) is checkpointed once per relaxation round,
+    weighted by the number of edges scanned.
+    """
     if window is None:
         window = TimeWindow.unbounded()
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
     arrival: Dict[Vertex, float] = {root: window.t_alpha}
     inf = math.inf
     changed = True
     while changed:
+        budget.checkpoint(max(1, graph.num_edges))
         changed = False
         for edge in graph.edges:
             if not edge.within(window.t_alpha, window.t_omega):
@@ -53,16 +64,22 @@ def brute_force_mstw_weight(
     graph: TemporalGraph,
     root: Vertex,
     window: Optional[TimeWindow] = None,
+    budget: Optional[Budget] = None,
 ) -> float:
     """The exact minimum ``MST_w`` weight by exhaustive enumeration.
 
     Only feasible for tiny graphs; raises :class:`ReproError` when the
     assignment space exceeds ``MAX_BRUTE_FORCE_COMBINATIONS``.
+    ``budget`` (optional) is checkpointed once per candidate assignment.
     Returns ``inf`` when no valid spanning tree of ``V_r`` exists
     (cannot happen for reachable ``V_r``, but kept for safety).
     """
     if window is None:
         window = TimeWindow.unbounded()
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
     from repro.temporal.paths import reachable_set
 
     covered = reachable_set(graph, root, window)
@@ -91,10 +108,11 @@ def brute_force_mstw_weight(
 
     best = math.inf
     for assignment in itertools.product(*candidates):
+        budget.checkpoint()
         weight = sum(e.weight for e in assignment)
         if weight >= best:
             continue
-        if _is_valid_tree(root, targets, assignment, window):
+        if _is_valid_tree(root, targets, assignment, window, budget):
             best = weight
     return best
 
@@ -104,6 +122,7 @@ def _is_valid_tree(
     targets: List[Vertex],
     assignment,
     window: TimeWindow,
+    budget: Budget = NULL_BUDGET,
 ) -> bool:
     """Check one in-edge assignment for time-respecting rooted validity."""
     parent_edge = dict(zip(targets, assignment))
@@ -113,6 +132,7 @@ def _is_valid_tree(
         arrival_bound = math.inf
         hops = 0
         while current != root:
+            budget.checkpoint()
             edge = parent_edge.get(current)
             if edge is None or edge.arrival > arrival_bound:
                 return False

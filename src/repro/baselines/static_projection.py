@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.baselines.bhadra import _StaticEdgeGroup
 from repro.core.errors import UnreachableRootError
+from repro.resilience.budget import NULL_BUDGET, Budget
 from repro.static.arborescence import minimum_spanning_arborescence
 from repro.temporal.edge import TemporalEdge, Vertex
 from repro.temporal.graph import TemporalGraph
@@ -57,15 +58,22 @@ class StaticComparison:
 def static_arborescence(
     graph: TemporalGraph,
     root: Vertex,
+    budget: Optional[Budget] = None,
 ) -> List[Tuple[Vertex, Vertex, float]]:
     """Chu-Liu/Edmonds on the static projection restricted to the
     statically reachable component of ``root``.
+
+    ``budget`` (optional) is checkpointed once per visited vertex.
 
     Raises
     ------
     UnreachableRootError
         If the root has no outgoing static edge at all.
     """
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
     static = graph.static_edges()
     adjacency: Dict[Vertex, List[Vertex]] = {}
     for (u, v) in static:
@@ -73,6 +81,7 @@ def static_arborescence(
     reached = {root}
     stack = [root]
     while stack:
+        budget.checkpoint()
         u = stack.pop()
         for v in adjacency.get(u, ()):  # pragma: no branch
             if v not in reached:
@@ -92,6 +101,7 @@ def realize_static_tree(
     graph: TemporalGraph,
     root: Vertex,
     window: Optional[TimeWindow] = None,
+    budget: Optional[Budget] = None,
 ) -> StaticComparison:
     """Build the static MST and greedily realise it with temporal edges.
 
@@ -102,7 +112,11 @@ def realize_static_tree(
     """
     if window is None:
         window = TimeWindow.unbounded()
-    tree = static_arborescence(graph, root)
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
+    tree = static_arborescence(graph, root, budget=budget)
     static_weight = sum(w for _, _, w in tree)
 
     children: Dict[Vertex, List[Vertex]] = {}
@@ -123,12 +137,13 @@ def realize_static_tree(
     infeasible: Set[Vertex] = set()
     stack = [root]
     while stack:
+        budget.checkpoint()
         u = stack.pop()
         for v in children.get(u, ()):  # pragma: no branch
             group = groups.get((u, v))
             edge = group.earliest_from(arrivals[u]) if group is not None else None
             if edge is None:
-                _mark_subtree_infeasible(v, children, infeasible)
+                _mark_subtree_infeasible(v, children, infeasible, budget)
                 continue
             arrivals[v] = edge.arrival
             realized_weight += edge.weight
@@ -146,9 +161,11 @@ def _mark_subtree_infeasible(
     vertex: Vertex,
     children: Dict[Vertex, List[Vertex]],
     infeasible: Set[Vertex],
+    budget: Budget = NULL_BUDGET,
 ) -> None:
     stack = [vertex]
     while stack:
+        budget.checkpoint()
         u = stack.pop()
         infeasible.add(u)
         stack.extend(children.get(u, ()))
@@ -159,6 +176,7 @@ def static_gap_report(
     root: Vertex,
     temporal_weight: float,
     window: Optional[TimeWindow] = None,
+    budget: Optional[Budget] = None,
 ) -> Dict[str, float]:
     """Headline numbers comparing static and temporal solutions.
 
@@ -166,7 +184,7 @@ def static_gap_report(
     same root/window (computed by the caller, typically via
     :func:`repro.core.mstw.minimum_spanning_tree_w`).
     """
-    comparison = realize_static_tree(graph, root, window)
+    comparison = realize_static_tree(graph, root, window, budget=budget)
     return {
         "static_weight": comparison.static_weight,
         "realized_weight": comparison.realized_weight,

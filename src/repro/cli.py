@@ -339,6 +339,12 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="temporal-mst",
@@ -497,10 +503,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.set_defaults(func=_cmd_bench)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="repository-specific invariant linter (repro.analysis)",
+        add_help=False,
+    )
+    p_lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to `python -m repro.analysis`",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forwarded verbatim: argparse.REMAINDER cannot capture leading
+        # options (`lint --list-rules`), so the sub-tool parses its own
+        # argv.  The `lint` subparser below stays for --help discovery.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -15,7 +15,7 @@ from typing import Optional
 
 from repro.core.errors import GraphFormatError
 from repro.core.spanning_tree import TemporalSpanningTree
-from repro.temporal.edge import TemporalEdge
+from repro.temporal.edge import make_edge
 from repro.temporal.window import TimeWindow
 
 _FORMAT_VERSION = 1
@@ -76,7 +76,7 @@ def tree_from_json(document: str) -> TemporalSpanningTree:
         )
         parent_edge = {}
         for item in payload["edges"]:
-            edge = TemporalEdge(
+            edge = make_edge(
                 item["source"],
                 item["target"],
                 float(item["start"]),

@@ -1,0 +1,50 @@
+"""Epsilon-based float comparison helpers.
+
+Weights, tree costs, densities, and arrival times flow through sums
+and divisions, so exact ``==`` on them is representation-dependent:
+two mathematically equal solver outputs can differ in the last ulp.
+Every equality decision on such quantities goes through these helpers
+(the ``float-equality`` lint rule enforces it).
+
+The tolerance is relative above 1.0 and absolute below, matching how
+the paper's quantities behave: edge weights and timestamps are
+small-magnitude reals where an absolute ``1e-9`` is far below any
+meaningful difference, while accumulated tree costs can grow large
+enough that only a relative bound stays sound.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default comparison tolerance (absolute below 1.0, relative above).
+EPSILON = 1e-9
+
+
+def close(a: float, b: float, eps: float = EPSILON) -> bool:
+    """Whether ``a`` and ``b`` are equal up to the tolerance.
+
+    ``inf == inf`` (same sign) counts as close -- unreachable arrival
+    times compare equal to each other; ``nan`` is never close to
+    anything (including itself), mirroring IEEE semantics.
+    """
+    if a == b:  # repro: ignore[float-equality] -- fast path incl. infinities
+        return True
+    if math.isinf(a) or math.isinf(b):
+        return False
+    return abs(a - b) <= eps * max(1.0, abs(a), abs(b))
+
+
+def is_zero(x: float, eps: float = EPSILON) -> bool:
+    """Whether ``x`` is zero up to the absolute tolerance."""
+    return abs(x) <= eps
+
+
+def less(a: float, b: float, eps: float = EPSILON) -> bool:
+    """Strictly less, treating epsilon-equal values as equal."""
+    return a < b and not close(a, b, eps)
+
+
+def leq(a: float, b: float, eps: float = EPSILON) -> bool:
+    """Less-or-epsilon-equal."""
+    return a < b or close(a, b, eps)

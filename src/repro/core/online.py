@@ -21,7 +21,8 @@ from typing import Dict, Iterable, Optional
 
 from repro.core.errors import GraphFormatError
 from repro.core.spanning_tree import TemporalSpanningTree
-from repro.temporal.edge import TemporalEdge, Vertex
+from repro.core.numeric import is_zero
+from repro.temporal.edge import TemporalEdge, Vertex, make_edge
 from repro.temporal.window import TimeWindow
 
 
@@ -63,7 +64,7 @@ class OnlineMSTa:
     def feed(self, edge: TemporalEdge) -> bool:
         """Process one edge; returns True when it improved the tree."""
         if not isinstance(edge, TemporalEdge):
-            edge = TemporalEdge(*edge)
+            edge = make_edge(*edge)
         if self.enforce_order and edge.start < self._last_start:
             raise GraphFormatError(
                 f"edge stream not in chronological order: start {edge.start} "
@@ -71,7 +72,7 @@ class OnlineMSTa:
             )
         self._last_start = max(self._last_start, edge.start)
         self._edges_seen += 1
-        if edge.duration == 0:
+        if is_zero(edge.duration):
             self._saw_zero_duration = True
         if edge.start < self.window.t_alpha or edge.arrival > self.window.t_omega:
             return False

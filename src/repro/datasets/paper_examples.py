@@ -15,7 +15,7 @@ minimal set consistent with every statement the paper makes about it
 
 from __future__ import annotations
 
-from repro.temporal.edge import TemporalEdge
+from repro.temporal.edge import make_edge
 from repro.temporal.graph import TemporalGraph
 
 
@@ -37,16 +37,16 @@ def figure1_graph() -> TemporalGraph:
     """
     edges = [
         # Weights equal durations (Example 1's convention).
-        TemporalEdge(0, 1, 1, 3, 2),   # the red/bold example edge
-        TemporalEdge(0, 2, 1, 5, 4),
-        TemporalEdge(0, 2, 3, 6, 3),
-        TemporalEdge(0, 1, 4, 5, 1),
-        TemporalEdge(1, 3, 4, 6, 2),   # Example 5's solid edge from 1_1
-        TemporalEdge(2, 3, 5, 7, 2),
-        TemporalEdge(2, 4, 6, 8, 2),   # MST_w edge to 4 (weight 2)
-        TemporalEdge(3, 4, 6, 8, 2),   # MST_a edge to 4
-        TemporalEdge(3, 5, 6, 8, 2),
-        TemporalEdge(4, 5, 8, 11, 3),
+        make_edge(0, 1, 1, 3, 2),   # the red/bold example edge
+        make_edge(0, 2, 1, 5, 4),
+        make_edge(0, 2, 3, 6, 3),
+        make_edge(0, 1, 4, 5, 1),
+        make_edge(1, 3, 4, 6, 2),   # Example 5's solid edge from 1_1
+        make_edge(2, 3, 5, 7, 2),
+        make_edge(2, 4, 6, 8, 2),   # MST_w edge to 4 (weight 2)
+        make_edge(3, 4, 6, 8, 2),   # MST_a edge to 4
+        make_edge(3, 5, 6, 8, 2),
+        make_edge(4, 5, 8, 11, 3),
     ]
     return TemporalGraph(edges)
 
@@ -61,11 +61,11 @@ def figure3_graph() -> TemporalGraph:
     algorithm misses vertex 2 entirely.
     """
     edges = [
-        TemporalEdge(0, 1, 1, 1, 0),
-        TemporalEdge(2, 0, 2, 2, 0),
-        TemporalEdge(3, 1, 2, 2, 0),
-        TemporalEdge(1, 4, 3, 3, 0),
-        TemporalEdge(3, 2, 4, 4, 0),
-        TemporalEdge(4, 3, 4, 4, 0),
+        make_edge(0, 1, 1, 1, 0),
+        make_edge(2, 0, 2, 2, 0),
+        make_edge(3, 1, 2, 2, 0),
+        make_edge(1, 4, 3, 3, 0),
+        make_edge(3, 2, 4, 4, 0),
+        make_edge(4, 3, 4, 4, 0),
     ]
     return TemporalGraph(edges)

@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from repro.temporal.edge import TemporalEdge
+from repro.temporal.edge import TemporalEdge, make_edge
 from repro.temporal.graph import TemporalGraph
 from repro.temporal.generators import (
     _rng,
@@ -60,7 +60,7 @@ def epinions_like(scale: float = 1.0, seed: int = 2) -> TemporalGraph:
             continue
         seen.add((u, v))
         start = float(rng.randint(0, 10_000))
-        edges.append(TemporalEdge(u, v, start, start + 1.0, 1.0))
+        edges.append(make_edge(u, v, start, start + 1.0, 1.0))
     return TemporalGraph(edges, vertices=range(n))
 
 
@@ -121,7 +121,7 @@ def dblp_like(scale: float = 1.0, seed: int = 6) -> TemporalGraph:
     )
     years = [float(1990 + y) for y in range(25)]
     edges = [
-        TemporalEdge(
+        make_edge(
             e.source, e.target, years[int(e.start) % 25], years[int(e.start) % 25], 1.0
         )
         for e in base.edges
@@ -147,5 +147,5 @@ def phone_like(scale: float = 1.0, seed: int = 7) -> TemporalGraph:
             v += 1
         start = float(rng.randint(0, 400_000))
         duration = float(rng.randint(10, 600))
-        edges.append(TemporalEdge(u, v, start, start + duration, duration))
+        edges.append(make_edge(u, v, start, start + duration, duration))
     return TemporalGraph(edges, vertices=range(n))

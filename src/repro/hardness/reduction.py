@@ -17,7 +17,7 @@ from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.errors import GraphFormatError
 from repro.core.spanning_tree import TemporalSpanningTree
-from repro.temporal.edge import TemporalEdge, Vertex
+from repro.temporal.edge import TemporalEdge, Vertex, make_edge
 from repro.temporal.graph import TemporalGraph
 
 Label = Hashable
@@ -37,10 +37,10 @@ def max_leaf_to_mstw_graph(edges: Iterable[UndirectedEdge]) -> TemporalGraph:
     temporal: List[TemporalEdge] = []
     for u, v in edge_list:
         for i in range(n):
-            temporal.append(TemporalEdge(u, v, 2 * i, 2 * i + 2, 2.0))
-            temporal.append(TemporalEdge(v, u, 2 * i, 2 * i + 2, 2.0))
-        temporal.append(TemporalEdge(u, v, 2 * n + 1, 2 * n + 2, 1.0))
-        temporal.append(TemporalEdge(v, u, 2 * n + 1, 2 * n + 2, 1.0))
+            temporal.append(make_edge(u, v, 2 * i, 2 * i + 2, 2.0))
+            temporal.append(make_edge(v, u, 2 * i, 2 * i + 2, 2.0))
+        temporal.append(make_edge(u, v, 2 * n + 1, 2 * n + 2, 1.0))
+        temporal.append(make_edge(v, u, 2 * n + 1, 2 * n + 2, 1.0))
     return TemporalGraph(temporal, vertices=vertices)
 
 
@@ -92,8 +92,8 @@ def spanning_tree_from_leaf_tree(
     parent_edge: Dict[Vertex, TemporalEdge] = {}
     for v, u in parent_of.items():
         if children[v] == 0:  # v is a leaf: take the cheap late edge
-            parent_edge[v] = TemporalEdge(u, v, 2 * n + 1, 2 * n + 2, 1.0)
+            parent_edge[v] = make_edge(u, v, 2 * n + 1, 2 * n + 2, 1.0)
         else:
             l_u = level[u]
-            parent_edge[v] = TemporalEdge(u, v, 2 * l_u, 2 * l_u + 2, 2.0)
+            parent_edge[v] = make_edge(u, v, 2 * l_u, 2 * l_u + 2, 2.0)
     return TemporalSpanningTree(root, parent_edge)

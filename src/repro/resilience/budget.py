@@ -19,7 +19,7 @@ so the deadline covers the chain end to end.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.errors import BudgetExceededError
 
@@ -206,7 +206,7 @@ class Budget:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        limits = []
+        limits: List[str] = []
         if self.deadline_seconds is not None:
             limits.append(f"deadline={self.deadline_seconds:g}s")
         if self.max_expansions is not None:

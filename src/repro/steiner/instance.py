@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable, Tuple
+from typing import Dict, Hashable, List, Set, Tuple
 
 from repro.core.errors import GraphFormatError, UnreachableRootError
 from repro.static.closure import MetricClosure, build_metric_closure
@@ -37,7 +37,7 @@ class DSTInstance:
     def __post_init__(self) -> None:
         if not self.graph.has_vertex(self.root):
             raise GraphFormatError(f"root {self.root!r} is not a graph vertex")
-        seen = set()
+        seen: Set[Label] = set()
         for t in self.terminals:
             if not self.graph.has_vertex(t):
                 raise GraphFormatError(f"terminal {t!r} is not a graph vertex")
@@ -85,8 +85,8 @@ class PreparedInstance:
         self.closure = closure
         self.root = root
         self.terminals = terminals
-        self._cost_rows: dict = {}
-        self._terminal_orders: dict = {}
+        self._cost_rows: Dict[int, List[float]] = {}
+        self._terminal_orders: Dict[int, Tuple[int, ...]] = {}
 
     @property
     def num_vertices(self) -> int:
@@ -100,7 +100,7 @@ class PreparedInstance:
         """Closure edge cost (shortest-path distance) ``u -> v``."""
         return self.closure.cost(u, v)
 
-    def cost_row(self, source: int) -> list:
+    def cost_row(self, source: int) -> List[float]:
         """``source``'s closure distances as a plain-float list, memoised.
 
         The greedy solvers read ``cost(r, v)`` for every vertex ``v`` in

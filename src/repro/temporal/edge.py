@@ -8,7 +8,9 @@ carries a non-negative weight (cost) ``w``.
 
 from __future__ import annotations
 
-from typing import Hashable, NamedTuple
+from typing import Hashable, NamedTuple, Tuple
+
+from repro.core.errors import GraphFormatError
 
 Vertex = Hashable
 
@@ -48,7 +50,7 @@ class TemporalEdge(NamedTuple):
         """
         return TemporalEdge(self.target, self.source, self.start, self.arrival, self.weight)
 
-    def static_key(self) -> tuple:
+    def static_key(self) -> Tuple[Vertex, Vertex]:
         """The ``(source, target)`` pair identifying the static projection."""
         return (self.source, self.target)
 
@@ -57,3 +59,42 @@ class TemporalEdge(NamedTuple):
             f"{self.source}->{self.target} "
             f"<{self.start:g},{self.arrival:g}> [{self.weight:g}]"
         )
+
+
+def make_edge(
+    source: Vertex,
+    target: Vertex,
+    start: float,
+    arrival: float,
+    weight: float = 1.0,
+) -> TemporalEdge:
+    """The validated constructor: build an edge or raise.
+
+    :class:`TemporalEdge` itself is a plain ``NamedTuple`` and performs
+    no checks, so code computing times (generators, transforms, the
+    hardness reduction) must build edges through this factory, which
+    enforces the Section 2.1 invariants at the construction site:
+    ``arrival >= start``, ``weight >= 0``, and no NaN fields.  The
+    ``temporal-invariant`` lint rule holds library code to it.
+
+    Raises
+    ------
+    GraphFormatError
+        If the edge would violate an invariant.
+    """
+    if start != start or arrival != arrival or weight != weight:  # NaN check
+        raise GraphFormatError(
+            f"temporal edge {source!r}->{target!r} has a NaN field "
+            f"(start={start!r}, arrival={arrival!r}, weight={weight!r})"
+        )
+    if arrival < start:
+        raise GraphFormatError(
+            f"temporal edge {source!r}->{target!r} arrives before it starts: "
+            f"arrival={arrival!r} < start={start!r}"
+        )
+    if weight < 0:
+        raise GraphFormatError(
+            f"temporal edge {source!r}->{target!r} has negative weight "
+            f"{weight!r}"
+        )
+    return TemporalEdge(source, target, start, arrival, weight)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import List, Sequence, Union
 
-from repro.temporal.edge import TemporalEdge
+from repro.temporal.edge import TemporalEdge, make_edge
 from repro.temporal.graph import TemporalGraph
 
 RandomLike = Union[int, random.Random, None]
@@ -53,7 +53,7 @@ def uniform_temporal_graph(
         start = float(rng.randint(0, int(time_range)))
         duration = 0.0 if zero_duration else float(rng.randint(1, int(max_duration)))
         weight = float(rng.randint(1, int(max_weight)))
-        edges.append(TemporalEdge(u, v, start, start + duration, weight))
+        edges.append(make_edge(u, v, start, start + duration, weight))
     return TemporalGraph(edges, vertices=range(num_vertices))
 
 
@@ -113,7 +113,7 @@ def preferential_temporal_graph(
         for j in range(copies):
             start = float(base + j)
             duration = 0.0 if zero_duration else 1.0
-            edges.append(TemporalEdge(u, v, start, start + duration, 1.0))
+            edges.append(make_edge(u, v, start, start + duration, 1.0))
     return TemporalGraph(edges, vertices=range(num_vertices))
 
 
@@ -148,7 +148,7 @@ def reachable_temporal_graph(
         start = arrival[parent] + rng.random() * slack
         duration = 0.0 if zero_duration else rng.random() * slack + 0.01
         weight = float(rng.randint(1, int(max_weight)))
-        edges.append(TemporalEdge(parent, v, start, start + duration, weight))
+        edges.append(make_edge(parent, v, start, start + duration, weight))
         arrival[v] = start + duration
         reached.append(v)
     for _ in range(extra_edges):
@@ -159,7 +159,7 @@ def reachable_temporal_graph(
         start = rng.random() * time_range
         duration = 0.0 if zero_duration else rng.random() * slack + 0.01
         weight = float(rng.randint(1, int(max_weight)))
-        edges.append(TemporalEdge(u, v, start, start + duration, weight))
+        edges.append(make_edge(u, v, start, start + duration, weight))
     return TemporalGraph(edges, vertices=range(num_vertices))
 
 
@@ -192,5 +192,5 @@ def layered_temporal_graph(
             start = i * layer_gap + rng.random() * (layer_gap * 0.5)
             duration = 0.0 if zero_duration else rng.random() * (layer_gap * 0.4)
             weight = float(rng.randint(1, int(max_weight)))
-            edges.append(TemporalEdge(u, v, start, start + duration, weight))
+            edges.append(make_edge(u, v, start, start + duration, weight))
     return TemporalGraph(edges, vertices=range(total))

@@ -12,9 +12,21 @@ Both are produced lazily and cached; a graph is immutable once built.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.errors import GraphFormatError
+from repro.core.numeric import is_zero
 from repro.temporal.edge import TemporalEdge, Vertex
 
 
@@ -69,7 +81,7 @@ class TemporalGraph:
             vertex_set.add(edge.source)
             vertex_set.add(edge.target)
         self._edges: Tuple[TemporalEdge, ...] = tuple(edge_list)
-        self._vertices: frozenset = frozenset(vertex_set)
+        self._vertices: FrozenSet[Vertex] = frozenset(vertex_set)
         self._chronological: Optional[Tuple[TemporalEdge, ...]] = None
         self._arrival_sorted: Optional[Tuple[TemporalEdge, ...]] = None
         self._adjacency_desc: Optional[Dict[Vertex, List[TemporalEdge]]] = None
@@ -87,7 +99,7 @@ class TemporalGraph:
         return self._edges
 
     @property
-    def vertices(self) -> frozenset:
+    def vertices(self) -> FrozenSet[Vertex]:
         """The vertex set ``V`` (including isolated vertices)."""
         return self._vertices
 
@@ -286,8 +298,8 @@ class TemporalGraph:
         return t_a, t_omega
 
     def has_zero_duration_edge(self) -> bool:
-        """Whether any edge has ``t_s(e) == t_a(e)``."""
-        return any(e.duration == 0 for e in self._edges)
+        """Whether any edge has ``t_s(e) == t_a(e)`` (up to epsilon)."""
+        return any(is_zero(e.duration) for e in self._edges)
 
     def distinct_time_instances(self) -> int:
         """``|Gamma_G|``: the number of distinct timestamps in the graph."""
@@ -299,11 +311,11 @@ class TemporalGraph:
 
 
 def from_quintuples(
-    rows: Sequence[Tuple],
+    rows: Sequence[Tuple[Any, ...]],
     vertices: Optional[Iterable[Vertex]] = None,
 ) -> TemporalGraph:
     """Build a :class:`TemporalGraph` from raw ``(u, v, t_u, t̂_v[, w])`` rows."""
-    edges = []
+    edges: List[TemporalEdge] = []
     for row in rows:
         if len(row) == 4:
             edges.append(TemporalEdge(row[0], row[1], row[2], row[3], 1.0))

@@ -12,7 +12,7 @@ import math
 from typing import Callable
 
 from repro.core.errors import GraphFormatError
-from repro.temporal.edge import TemporalEdge
+from repro.temporal.edge import TemporalEdge, make_edge
 from repro.temporal.graph import TemporalGraph
 
 
@@ -20,7 +20,7 @@ def shift_time(graph: TemporalGraph, offset: float) -> TemporalGraph:
     """Add ``offset`` to every start and arrival time."""
     return TemporalGraph(
         (
-            TemporalEdge(e.source, e.target, e.start + offset, e.arrival + offset, e.weight)
+            make_edge(e.source, e.target, e.start + offset, e.arrival + offset, e.weight)
             for e in graph.edges
         ),
         vertices=graph.vertices,
@@ -45,7 +45,7 @@ def scale_time(graph: TemporalGraph, factor: float) -> TemporalGraph:
         raise GraphFormatError(f"time scale factor must be positive, got {factor}")
     return TemporalGraph(
         (
-            TemporalEdge(e.source, e.target, e.start * factor, e.arrival * factor, e.weight)
+            make_edge(e.source, e.target, e.start * factor, e.arrival * factor, e.weight)
             for e in graph.edges
         ),
         vertices=graph.vertices,
@@ -71,7 +71,7 @@ def quantize_timestamps(graph: TemporalGraph, granularity: float) -> TemporalGra
     for e in graph.edges:
         start = snap(e.start)
         arrival = max(start, snap(e.arrival))
-        edges.append(TemporalEdge(e.source, e.target, start, arrival, e.weight))
+        edges.append(make_edge(e.source, e.target, start, arrival, e.weight))
     return TemporalGraph(edges, vertices=graph.vertices)
 
 
@@ -85,7 +85,7 @@ def map_weights(
         w = fn(e)
         if w < 0:
             raise GraphFormatError(f"mapped weight {w} for {e} is negative")
-        edges.append(TemporalEdge(e.source, e.target, e.start, e.arrival, w))
+        edges.append(make_edge(e.source, e.target, e.start, e.arrival, w))
     return TemporalGraph(edges, vertices=graph.vertices)
 
 
@@ -106,7 +106,7 @@ def relabel_vertices(
         raise GraphFormatError("vertex relabelling is not injective")
     return TemporalGraph(
         (
-            TemporalEdge(mapping[e.source], mapping[e.target], e.start, e.arrival, e.weight)
+            make_edge(mapping[e.source], mapping[e.target], e.start, e.arrival, e.weight)
             for e in graph.edges
         ),
         vertices=mapping.values(),

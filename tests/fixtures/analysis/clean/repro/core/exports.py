@@ -1,0 +1,7 @@
+"""Clean fixture: ``__all__`` matches the module's bindings."""
+
+__all__ = ["thing"]
+
+
+def thing():
+    return 1

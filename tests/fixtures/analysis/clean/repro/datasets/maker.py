@@ -1,0 +1,7 @@
+"""Clean fixture: edges built through the validated factory."""
+
+from repro.temporal.edge import make_edge
+
+
+def good_edge():
+    return make_edge(0, 1, 1.0, 2.0, 1.0)

@@ -1,0 +1,7 @@
+"""Clean fixture: monotonic timing is allowed in benchmarked paths."""
+
+import time
+
+
+def stamp():
+    return time.perf_counter()

@@ -1,0 +1,19 @@
+"""Clean fixture: solver loop that checkpoints its budget."""
+
+
+def drain(queue, budget):
+    total = 0
+    while queue:
+        budget.checkpoint()
+        total += queue.pop()
+    return total
+
+
+def delegated(queue, budget):
+    while queue:
+        _scan(queue, budget=budget)
+
+
+def _scan(queue, budget):
+    budget.checkpoint()
+    queue.pop()

@@ -1,0 +1,6 @@
+"""Clean fixture: reading a cached adjacency without mutating it."""
+
+
+def degree(graph, vertex):
+    adjacency = graph.ascending_adjacency()
+    return len(adjacency[vertex])

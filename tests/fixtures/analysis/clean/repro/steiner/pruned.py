@@ -1,0 +1,6 @@
+"""Clean fixture: an unbounded loop explicitly waived with a suppression."""
+
+
+def spin(queue):
+    while queue:  # repro: ignore[budget-tick] -- bounded by caller contract
+        queue.pop()

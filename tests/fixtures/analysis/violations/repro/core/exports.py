@@ -1,0 +1,7 @@
+"""Violation fixture: duplicate ``__all__`` entry."""
+
+__all__ = ["thing", "thing"]
+
+
+def thing():
+    return 1

@@ -1,0 +1,5 @@
+"""Violation fixture: exact float comparison on edge weights."""
+
+
+def same_weight(a, b):
+    return a.weight == b.weight

@@ -1,0 +1,7 @@
+"""Violation fixture: raw TemporalEdge construction bypassing make_edge."""
+
+from repro.temporal.edge import TemporalEdge
+
+
+def bad_edge():
+    return TemporalEdge(0, 1, 2.0, 1.0, 1.0)

@@ -1,0 +1,7 @@
+"""Violation fixture: wall-clock timing inside a benchmarked path."""
+
+import time
+
+
+def stamp():
+    return time.time()

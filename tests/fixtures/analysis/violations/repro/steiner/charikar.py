@@ -1,0 +1,8 @@
+"""Violation fixture: unbounded solver loop without a budget checkpoint."""
+
+
+def drain(queue):
+    total = 0
+    while queue:
+        total += queue.pop()
+    return total

@@ -1,0 +1,7 @@
+"""Violation fixture: mutating a cached adjacency outside its owning module."""
+
+
+def corrupt(graph, vertex, edge):
+    adjacency = graph.ascending_adjacency()
+    adjacency[vertex].append(edge)
+    return adjacency

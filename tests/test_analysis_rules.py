@@ -1,0 +1,207 @@
+"""Per-rule positive/negative tests for the invariant linter.
+
+Each violation fixture under ``tests/fixtures/analysis/violations``
+triggers exactly one rule at a known line; each counterpart under
+``clean/`` shows the compliant form and must produce no findings.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import analyze_paths, default_rules, parse_module
+from repro.analysis.core import module_name_for
+from repro.analysis.registry import get_rules
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures", "analysis")
+VIOLATIONS = os.path.join(FIXTURES, "violations")
+CLEAN = os.path.join(FIXTURES, "clean")
+
+#: (rule name, code, fixture path relative to violations/ and clean/,
+#:  the source line the finding must anchor to)
+CASES = [
+    (
+        "budget-tick",
+        "REP101",
+        os.path.join("repro", "steiner", "charikar.py"),
+        "while queue:",
+    ),
+    (
+        "cache-mutation",
+        "REP102",
+        os.path.join("repro", "steiner", "mutator.py"),
+        "adjacency[vertex].append(edge)",
+    ),
+    (
+        "determinism",
+        "REP103",
+        os.path.join("repro", "perf", "timing.py"),
+        "time.time()",
+    ),
+    (
+        "float-equality",
+        "REP104",
+        os.path.join("repro", "core", "weights.py"),
+        "a.weight == b.weight",
+    ),
+    (
+        "temporal-invariant",
+        "REP105",
+        os.path.join("repro", "datasets", "maker.py"),
+        "TemporalEdge(0, 1, 2.0, 1.0, 1.0)",
+    ),
+    (
+        "api-consistency",
+        "REP106",
+        os.path.join("repro", "core", "exports.py"),
+        '__all__ = ["thing", "thing"]',
+    ),
+]
+
+IDS = [case[0] for case in CASES]
+
+
+def _line_of(path, needle):
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if needle in line:
+                return number
+    raise AssertionError(f"{needle!r} not found in {path}")
+
+
+@pytest.mark.parametrize("rule,code,rel_path,needle", CASES, ids=IDS)
+def test_rule_fires_exactly_once_on_violation(rule, code, rel_path, needle):
+    path = os.path.join(VIOLATIONS, rel_path)
+    findings, errors = analyze_paths([path], default_rules(), excludes=())
+    assert errors == []
+    assert len(findings) == 1, [f"{f.location()} {f.rule}" for f in findings]
+    finding = findings[0]
+    assert finding.rule == rule
+    assert finding.code == code
+    assert finding.path == path
+    assert finding.line == _line_of(path, needle)
+
+
+@pytest.mark.parametrize("rule,code,rel_path,needle", CASES, ids=IDS)
+def test_clean_counterpart_produces_no_findings(rule, code, rel_path, needle):
+    path = os.path.join(CLEAN, rel_path)
+    findings, errors = analyze_paths([path], default_rules(), excludes=())
+    assert errors == []
+    assert findings == [], [f"{f.location()} {f.rule}" for f in findings]
+
+
+def test_suppression_comment_silences_a_rule():
+    path = os.path.join(CLEAN, "repro", "steiner", "pruned.py")
+    # The fixture is a real budget-tick violation waived with
+    # `# repro: ignore[budget-tick]` on the offending line.
+    findings, errors = analyze_paths([path], default_rules(), excludes=())
+    assert errors == []
+    assert findings == []
+    module = parse_module(path)
+    line = _line_of(path, "while queue:")
+    assert module.is_suppressed(line, "budget-tick")
+    assert not module.is_suppressed(line, "float-equality")
+
+
+def test_fixture_paths_resolve_to_repro_module_names():
+    path = os.path.join(VIOLATIONS, "repro", "steiner", "charikar.py")
+    assert module_name_for(path) == "repro.steiner.charikar"
+    assert module_name_for(os.path.join("src", "repro", "temporal", "edge.py")) == (
+        "repro.temporal.edge"
+    )
+    assert module_name_for(os.path.join("tests", "test_msta.py")) is None
+
+
+def _analyze_snippet(tmp_path, rel_parts, source, rules=None):
+    path = tmp_path.joinpath(*rel_parts)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return analyze_paths([str(path)], rules or default_rules(), excludes=())
+
+
+def test_api_rule_flags_unbound_export(tmp_path):
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "core", "api_mod.py"),
+        '__all__ = ["missing"]\n',
+    )
+    assert errors == []
+    assert [f.rule for f in findings] == ["api-consistency"]
+    assert "missing" in findings[0].message
+
+
+def test_determinism_rule_flags_set_iteration(tmp_path):
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "temporal", "helper.py"),
+        "def order(items):\n"
+        "    out = []\n"
+        "    for item in set(items):\n"
+        "        out.append(item)\n"
+        "    return out\n",
+    )
+    assert errors == []
+    assert [f.rule for f in findings] == ["determinism"]
+    assert findings[0].line == 3
+
+
+def test_determinism_rule_flags_global_random(tmp_path):
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "datasets", "rand_mod.py"),
+        "import random\n\n\ndef draw():\n    return random.random()\n",
+    )
+    assert errors == []
+    assert [f.rule for f in findings] == ["determinism"]
+
+
+def test_determinism_rule_allows_perf_harness(tmp_path):
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "perf", "harness.py"),
+        "import time\n\n\ndef stamp():\n    return time.time()\n",
+    )
+    assert errors == []
+    assert findings == []
+
+
+def test_budget_rule_accepts_delegation_to_budget_callee(tmp_path):
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "steiner", "improved.py"),
+        "def run(queue, budget, scan):\n"
+        "    while queue:\n"
+        "        scan(queue, budget=budget)\n",
+    )
+    assert errors == []
+    assert findings == []
+
+
+def test_parse_error_becomes_a_finding(tmp_path):
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "core", "broken.py"),
+        "def broken(:\n",
+    )
+    assert errors == []
+    assert [f.rule for f in findings] == ["parse-error"]
+    assert findings[0].code == "REP000"
+
+
+def test_rule_selection_limits_findings():
+    rules = get_rules(["budget-tick"])
+    findings, errors = analyze_paths([VIOLATIONS], rules, excludes=())
+    assert errors == []
+    assert {f.rule for f in findings} == {"budget-tick"}
+
+
+def test_violations_tree_triggers_every_rule_once():
+    findings, errors = analyze_paths([VIOLATIONS], default_rules(), excludes=())
+    assert errors == []
+    assert sorted(f.rule for f in findings) == sorted(case[0] for case in CASES)
+
+
+def test_clean_tree_is_quiet():
+    findings, errors = analyze_paths([CLEAN], default_rules(), excludes=())
+    assert errors == []
+    assert findings == []

@@ -1,0 +1,24 @@
+"""The shipped tree must satisfy its own invariant linter.
+
+This is the live gate: any new budget-free solver loop, cached-structure
+mutation, wall-clock call, exact float comparison, raw TemporalEdge
+construction, or stale ``__all__`` entry fails this test (and CI's
+``lint`` job) at the offending file:line.
+"""
+
+import os
+
+from repro.analysis import analyze_paths, default_rules
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_src_and_tests_are_lint_clean():
+    findings, errors = analyze_paths(
+        [os.path.join(REPO_ROOT, "src"), os.path.join(REPO_ROOT, "tests")],
+        default_rules(),
+    )
+    assert errors == []
+    assert findings == [], "\n".join(
+        f"{f.location()} {f.code} [{f.rule}] {f.message}" for f in findings
+    )

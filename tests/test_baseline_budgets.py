@@ -1,0 +1,75 @@
+"""Budget cooperation of the baseline solvers.
+
+The ``budget-tick`` lint rule requires every unbounded loop in
+``repro.baselines`` to checkpoint; these tests pin the behavioural side
+of that contract: a tiny budget interrupts each baseline with
+:class:`BudgetExceededError`, and a generous budget leaves results
+identical to the unbudgeted run.
+"""
+
+import pytest
+
+from repro.baselines.bhadra import bhadra_msta
+from repro.baselines.brute_force import (
+    brute_force_earliest_arrival,
+    brute_force_mstw_weight,
+)
+from repro.baselines.static_projection import (
+    realize_static_tree,
+    static_arborescence,
+)
+from repro.core.errors import BudgetExceededError
+from repro.resilience.budget import Budget
+
+from tests.conftest import random_temporal
+
+
+@pytest.fixture
+def graph():
+    return random_temporal(seed=7, n=8, m=24)
+
+
+def test_bhadra_trips_on_tiny_budget(graph):
+    with pytest.raises(BudgetExceededError):
+        bhadra_msta(graph, 0, budget=Budget(max_expansions=0))
+
+
+def test_bhadra_unaffected_by_generous_budget(graph):
+    free = bhadra_msta(graph, 0)
+    budgeted = bhadra_msta(graph, 0, budget=Budget(max_expansions=10**6))
+    assert budgeted.parent_edge == free.parent_edge
+
+
+def test_brute_force_arrival_trips_on_tiny_budget(graph):
+    with pytest.raises(BudgetExceededError):
+        brute_force_earliest_arrival(graph, 0, budget=Budget(max_expansions=0))
+
+
+def test_brute_force_arrival_unaffected_by_generous_budget(graph):
+    free = brute_force_earliest_arrival(graph, 0)
+    budgeted = brute_force_earliest_arrival(
+        graph, 0, budget=Budget(max_expansions=10**7)
+    )
+    assert budgeted == free
+
+
+def test_brute_force_mstw_trips_on_tiny_budget():
+    graph = random_temporal(seed=3, n=5, m=10)
+    with pytest.raises(BudgetExceededError):
+        brute_force_mstw_weight(graph, 0, budget=Budget(max_expansions=0))
+
+
+def test_static_arborescence_trips_on_tiny_budget(graph):
+    with pytest.raises(BudgetExceededError):
+        static_arborescence(graph, 0, budget=Budget(max_expansions=0))
+
+
+def test_static_arborescence_unaffected_by_generous_budget(graph):
+    free = static_arborescence(graph, 0)
+    budgeted = static_arborescence(graph, 0, budget=Budget(max_expansions=10**6))
+    assert budgeted == free
+
+
+def test_realize_static_tree_trips_on_tiny_budget(graph):
+    with pytest.raises(BudgetExceededError):
+        realize_static_tree(graph, 0, budget=Budget(max_expansions=0))

@@ -1,0 +1,53 @@
+"""The validated ``make_edge`` factory (temporal-invariant rule, REP105).
+
+``TemporalEdge`` itself is an unchecked ``NamedTuple``; ``make_edge``
+is the construction site that enforces the Section 2.1 invariants, and
+the lint rule holds library code to it.
+"""
+
+import math
+
+import pytest
+
+from repro.core.errors import GraphFormatError
+from repro.temporal.edge import TemporalEdge, make_edge
+
+
+def test_make_edge_builds_a_temporal_edge():
+    edge = make_edge("u", "v", 1.0, 3.0, 2.5)
+    assert isinstance(edge, TemporalEdge)
+    assert edge == TemporalEdge("u", "v", 1.0, 3.0, 2.5)
+    assert edge.duration == pytest.approx(2.0)
+
+
+def test_make_edge_default_weight_is_one():
+    assert make_edge(0, 1, 0.0, 1.0).weight == pytest.approx(1.0)
+
+
+def test_make_edge_allows_zero_duration():
+    edge = make_edge(0, 1, 2.0, 2.0)
+    assert edge.duration == pytest.approx(0.0)
+
+
+def test_make_edge_rejects_arrival_before_start():
+    with pytest.raises(GraphFormatError, match="arrives before it starts"):
+        make_edge(0, 1, 2.0, 1.0)
+
+
+def test_make_edge_rejects_negative_weight():
+    with pytest.raises(GraphFormatError, match="negative weight"):
+        make_edge(0, 1, 1.0, 2.0, -0.5)
+
+
+@pytest.mark.parametrize(
+    "start,arrival,weight",
+    [
+        (math.nan, 2.0, 1.0),
+        (1.0, math.nan, 1.0),
+        (1.0, 2.0, math.nan),
+    ],
+    ids=["start", "arrival", "weight"],
+)
+def test_make_edge_rejects_nan_fields(start, arrival, weight):
+    with pytest.raises(GraphFormatError, match="NaN"):
+        make_edge(0, 1, start, arrival, weight)

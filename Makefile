@@ -2,13 +2,15 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-check pybench examples report quickcheck ci lint typecheck clean
+.PHONY: install test bench bench-full bench-parallel bench-check pybench examples report quickcheck ci lint typecheck clean
 
 # Bench defaults (override: make bench BENCH_SCALE=full BENCH_REPEATS=9).
 BENCH_SCALE ?= smoke
 BENCH_REPEATS ?= 5
 BENCH_OUT ?= BENCH_PR2.json
 BENCH_BASELINE ?= benchmarks/baseline_smoke.json
+BENCH_JOBS ?= 4
+BENCH_PARALLEL_OUT ?= BENCH_PR4.json
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -23,6 +25,12 @@ bench:
 
 bench-full:
 	$(MAKE) bench BENCH_SCALE=full
+
+# The parallel_speedup family at full scale: serial reference vs the
+# batch engine at jobs 1/2/4 (the committed BENCH_PR4.json evidence).
+bench-parallel:
+	$(PYTHON) -m repro bench --scale full --repeats $(BENCH_REPEATS) \
+		--jobs $(BENCH_JOBS) --out $(BENCH_PARALLEL_OUT)
 
 # The CI regression gate: run at smoke scale and diff against the
 # committed baseline (exit 1 on regression).

@@ -12,7 +12,13 @@ library modules outside ``repro.perf.harness``:
 * calls on the module-global ``random`` RNG (``random.shuffle`` etc.);
   seeded ``random.Random(seed)`` instances are the supported idiom;
 * direct iteration over freshly-built sets (``for x in set(...)``,
-  set literals/comprehensions) -- wrap in ``sorted(...)``.
+  set literals/comprehensions) -- wrap in ``sorted(...)``;
+* unordered result consumption (``pool.imap_unordered``,
+  ``concurrent.futures.as_completed``) outside the deterministic merge
+  layer in :mod:`repro.parallel.engine` -- completion order varies run
+  to run, so results must flow through ``ParallelExecutor.map`` (or
+  ``unordered``, which tags values with submission indices) where a
+  single audited call site restores submission order.
 """
 
 from __future__ import annotations
@@ -67,6 +73,13 @@ GLOBAL_RANDOM_FUNCS = frozenset(
 #: Modules allowed to touch the wall clock (the timing harness itself).
 ALLOWED_MODULES = frozenset({"repro.perf.harness"})
 
+#: Method names whose call sites consume results in completion order.
+UNORDERED_CALLS = frozenset({"imap_unordered", "as_completed"})
+
+#: Modules allowed to consume unordered results (the deterministic
+#: merge layer, which re-sorts by submission index before yielding).
+UNORDERED_ALLOWED_MODULES = frozenset({"repro.parallel.engine"})
+
 
 def _is_set_expression(node: ast.expr) -> bool:
     if isinstance(node, (ast.Set, ast.SetComp)):
@@ -93,6 +106,7 @@ class DeterminismRule(Rule):
         return name not in ALLOWED_MODULES
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
+        unordered_allowed = module.module_name in UNORDERED_ALLOWED_MODULES
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
                 target = call_target(node)
@@ -114,6 +128,20 @@ class DeterminismRule(Rule):
                         node,
                         f"call to the process-global RNG ({target}); build a "
                         "seeded random.Random(seed) instance instead",
+                    )
+                elif (
+                    not unordered_allowed
+                    and target is not None
+                    and target.rsplit(".", 1)[-1] in UNORDERED_CALLS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"unordered result consumption ({target}) outside "
+                        "repro.parallel.engine; completion order is "
+                        "nondeterministic -- route results through "
+                        "ParallelExecutor.map, whose merge layer restores "
+                        "submission order",
                     )
         for iterable in iter_loop_iters(module.tree):
             if _is_set_expression(iterable):

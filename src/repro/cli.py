@@ -264,12 +264,13 @@ def _cmd_generate(args) -> int:
 
 
 def _experiment_context(args) -> Optional[ExperimentContext]:
-    """An ExperimentContext when any resilience flag is set, else None."""
+    """An ExperimentContext when any resilience/parallel flag is set."""
     if (
         args.budget is None
         and args.checkpoint_dir is None
         and not args.resume
         and args.max_cells is None
+        and args.jobs == 1
     ):
         return None
     checkpoint_dir = args.checkpoint_dir
@@ -280,6 +281,7 @@ def _experiment_context(args) -> Optional[ExperimentContext]:
         checkpoint_dir=checkpoint_dir,
         resume=args.resume,
         interrupt_after=args.max_cells,
+        jobs=args.jobs,
     )
 
 
@@ -312,7 +314,7 @@ def _cmd_bench(args) -> int:
     from repro.perf import compare, harness, scenarios
 
     if args.list:
-        for name in scenarios.scenario_names(args.scale):
+        for name in scenarios.scenario_names(args.scale, jobs=args.jobs):
             print(name)
         return 0
     document = harness.run_benchmarks(
@@ -320,6 +322,7 @@ def _cmd_bench(args) -> int:
         repeats=args.repeats,
         names=args.only or None,
         progress=lambda line: print(line, file=sys.stderr),
+        jobs=args.jobs,
     )
     harness.summarize(document, stream=sys.stderr)
     if args.out:
@@ -454,6 +457,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="stop after N freshly computed cells (checkpoint survives)",
     )
+    p_exp.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the cell grid (output is identical "
+        "to --jobs 1; default 1)",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_bench = sub.add_parser(
@@ -500,6 +511,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--list",
         action="store_true",
         help="list the scale's scenario names and exit",
+    )
+    p_bench.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="unlock parallel_speedup scenarios up to this worker count "
+        "(default 1: serial + jobs=1 engine variants only)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

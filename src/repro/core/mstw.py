@@ -17,9 +17,9 @@ report Table 4-6 style rows without re-running stages.
 
 from __future__ import annotations
 
+import threading
 import time
 import weakref
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -206,11 +206,28 @@ def minimum_spanning_tree_w(
     )
 
 
-#: graph -> (root, window) -> (transformed, prepared); weak graph keys so
-#: the (large) closure matrices die with the graph they describe.
-_PREPARE_MEMO: "weakref.WeakKeyDictionary[TemporalGraph, OrderedDict]" = (
-    weakref.WeakKeyDictionary()
-)
+#: Graphs that currently hold a prepare memo (``graph.prepare_memo()``),
+#: tracked weakly so :func:`clear_prepare_memo` can reach them without
+#: extending their lifetime.
+#:
+#: The memo itself lives *on each graph* -- ``(root, window) ->
+#: (transformed, prepared)`` -- not in a module-level weak-keyed map.
+#: The memoised ``TransformedGraph`` strongly references its source
+#: graph, so a ``WeakKeyDictionary`` value would pin its own key alive
+#: forever (every batch of fresh window subgraphs leaked its closure
+#: matrices); a graph->memo->graph cycle, by contrast, is ordinary
+#: garbage the cycle collector reclaims once the graph is dropped.
+#:
+#: Memos are strictly **per-process**: parallel workers each warm their
+#: own deserialized graph objects, and no state is ever shared or
+#: synchronised across workers (see ``docs/performance.md``).  Within a
+#: process, access is guarded by ``_PREPARE_LOCK`` so threaded callers
+#: cannot corrupt the LRU.
+_MEMO_GRAPHS: "weakref.WeakSet[TemporalGraph]" = weakref.WeakSet()
+
+_PREPARE_LOCK = threading.Lock()
+
+_PREPARE_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
 
 #: Per-graph LRU bound for :func:`prepare_mstw_instance` results.  The
 #: closure is the dominant preprocessing cost and repeated queries (the
@@ -219,9 +236,26 @@ _PREPARE_MEMO: "weakref.WeakKeyDictionary[TemporalGraph, OrderedDict]" = (
 PREPARE_MEMO_SIZE = 4
 
 
+def prepare_cache_info() -> Dict[str, int]:
+    """This process's ``prepare_mstw_instance`` memo counters.
+
+    Returns a ``{"hits", "misses"}`` *copy* (mutating it does not touch
+    the live counters).  Counters are per-process, like the memo itself:
+    aggregate across workers at the call site if a batch-wide view is
+    needed.
+    """
+    with _PREPARE_LOCK:
+        return dict(_PREPARE_STATS)
+
+
 def clear_prepare_memo() -> None:
-    """Drop every memoised ``prepare_mstw_instance`` result."""
-    _PREPARE_MEMO.clear()
+    """Drop every memoised ``prepare_mstw_instance`` result (and stats)."""
+    with _PREPARE_LOCK:
+        for graph in list(_MEMO_GRAPHS):
+            graph.prepare_memo().clear()
+        _MEMO_GRAPHS.clear()
+        _PREPARE_STATS["hits"] = 0
+        _PREPARE_STATS["misses"] = 0
 
 
 def prepare_mstw_instance(
@@ -241,18 +275,24 @@ def prepare_mstw_instance(
     ladder, window replays, bench repeats -- then skip the reachability
     sweep, the transformation, and the closure build entirely.  The
     graph is immutable, so a memoised result is exact, not stale.
+
+    The memo is per-process and lock-guarded: safe under threads, never
+    shared across worker processes (each worker warms its own), and
+    introspected via :func:`prepare_cache_info` -- callers must not
+    reach into the internals.
     """
     if window is None:
         window = TimeWindow.unbounded()
     key = (root, window)
-    per_graph: Optional[OrderedDict] = None
     if use_cache:
-        per_graph = _PREPARE_MEMO.get(graph)
-        if per_graph is not None:
+        with _PREPARE_LOCK:
+            per_graph = graph.prepare_memo()
             hit = per_graph.get(key)
             if hit is not None:
                 per_graph.move_to_end(key)
+                _PREPARE_STATS["hits"] += 1
                 return hit
+            _PREPARE_STATS["misses"] += 1
     reachable = reachable_set(graph, root, window)
     terminals = sorted((v for v in reachable if v != root), key=repr)
     if not terminals:
@@ -263,10 +303,10 @@ def prepare_mstw_instance(
     instance = transformed.dst_instance(terminals=terminals)
     prepared = prepare_instance(instance)
     if use_cache:
-        if per_graph is None:
-            per_graph = OrderedDict()
-            _PREPARE_MEMO[graph] = per_graph
-        per_graph[key] = (transformed, prepared)
-        if len(per_graph) > PREPARE_MEMO_SIZE:
-            per_graph.popitem(last=False)
+        with _PREPARE_LOCK:
+            per_graph = graph.prepare_memo()
+            _MEMO_GRAPHS.add(graph)
+            per_graph[key] = (transformed, prepared)
+            if len(per_graph) > PREPARE_MEMO_SIZE:
+                per_graph.popitem(last=False)
     return transformed, prepared

@@ -140,9 +140,27 @@ class _WindowIndex:
     __slots__ = ("in_window", "arrivals_by_target")
 
     def __init__(self, graph: TemporalGraph, window: TimeWindow) -> None:
-        self.in_window: Tuple[TemporalEdge, ...] = tuple(
-            e for e in graph.edges if e.within(window.t_alpha, window.t_omega)
+        self._build(
+            tuple(
+                e for e in graph.edges if e.within(window.t_alpha, window.t_omega)
+            )
         )
+
+    @classmethod
+    def from_edges(cls, in_window: Tuple[TemporalEdge, ...]) -> "_WindowIndex":
+        """An index over an already-filtered in-window edge tuple.
+
+        Used by containment derivation: for ``W`` contained in a cached
+        ``W'``, filtering ``W'``'s (already reduced) tuple by
+        ``within(W)`` yields exactly the tuple a full-graph scan would,
+        in the same order, so the resulting index is identical.
+        """
+        index = cls.__new__(cls)
+        index._build(in_window)
+        return index
+
+    def _build(self, in_window: Tuple[TemporalEdge, ...]) -> None:
+        self.in_window = in_window
         # Insertion order matches the first occurrence of each target in
         # the in-window scan, so per-root views preserve the exact
         # vertex-numbering order of an uncached construction.
@@ -161,8 +179,31 @@ _WINDOW_INDEX_CACHE: "weakref.WeakKeyDictionary[TemporalGraph, Dict[TimeWindow, 
     weakref.WeakKeyDictionary()
 )
 
-#: Per-process hit/miss counters, exposed for tests and the perf harness.
-_CACHE_STATS = {"hits": 0, "misses": 0}
+#: Per-process hit/miss/containment counters, exposed for tests and the
+#: perf harness.  ``containment`` counts window indices *derived* from a
+#: cached containing window instead of scanned from the full graph.
+_CACHE_STATS = {"hits": 0, "misses": 0, "containment": 0}
+
+
+def _containing_index(
+    per_graph: Dict[TimeWindow, _WindowIndex], window: TimeWindow
+) -> Optional[_WindowIndex]:
+    """The tightest cached index whose window contains ``window``.
+
+    Ties break on ``(length, t_alpha, t_omega)``, making the choice a
+    pure function of the cache contents rather than insertion order
+    (which derivation path is taken never affects the result -- both
+    are exact -- but determinism keeps the counters reproducible).
+    """
+    best: Optional[_WindowIndex] = None
+    best_key: Optional[Tuple[float, float, float]] = None
+    for cached, index in per_graph.items():
+        if cached.t_alpha <= window.t_alpha and window.t_omega <= cached.t_omega:
+            key = (cached.length, cached.t_alpha, cached.t_omega)
+            if best_key is None or key < best_key:
+                best = index
+                best_key = key
+    return best
 
 
 def _window_index(graph: TemporalGraph, window: TimeWindow) -> _WindowIndex:
@@ -171,17 +212,36 @@ def _window_index(graph: TemporalGraph, window: TimeWindow) -> _WindowIndex:
         per_graph = {}
         _WINDOW_INDEX_CACHE[graph] = per_graph
     index = per_graph.get(window)
-    if index is None:
+    if index is not None:
+        _CACHE_STATS["hits"] += 1
+        return index
+    container = _containing_index(per_graph, window)
+    if container is not None:
+        # Sweep shapes nest windows: derive the contained index by
+        # filtering the container's edge tuple (exact; see from_edges)
+        # instead of rescanning the full graph.
+        _CACHE_STATS["containment"] += 1
+        index = _WindowIndex.from_edges(
+            tuple(
+                e
+                for e in container.in_window
+                if e.within(window.t_alpha, window.t_omega)
+            )
+        )
+    else:
         _CACHE_STATS["misses"] += 1
         index = _WindowIndex(graph, window)
-        per_graph[window] = index
-    else:
-        _CACHE_STATS["hits"] += 1
+    per_graph[window] = index
     return index
 
 
 def transformation_cache_info() -> Dict[str, int]:
-    """Hit/miss counters of the window-index cache (process lifetime)."""
+    """Counters of the window-index cache (process lifetime).
+
+    ``hits`` are exact-window reuses, ``misses`` full-graph scans, and
+    ``containment`` indices derived by filtering a cached containing
+    window.  Returns a copy; the counters are per-process.
+    """
     return dict(_CACHE_STATS)
 
 
@@ -190,6 +250,7 @@ def clear_transformation_cache() -> None:
     _WINDOW_INDEX_CACHE.clear()
     _CACHE_STATS["hits"] = 0
     _CACHE_STATS["misses"] = 0
+    _CACHE_STATS["containment"] = 0
 
 
 def transform_temporal_graph(

@@ -80,17 +80,27 @@ class ExperimentContext:
         many *freshly computed* cells (the checkpoint is already on
         disk).  Useful for incremental runs and exercised by the
         resume tests.
+    jobs:
+        Worker-process count for :meth:`prefetch`.  ``1`` (default)
+        keeps everything serial; the checkpoint format is identical
+        either way, so a run may be interrupted at one ``jobs`` value
+        and resumed at another.
     """
 
     cell_budget_seconds: Optional[float] = None
     checkpoint_dir: Optional[str] = None
     resume: bool = False
     interrupt_after: Optional[int] = None
+    jobs: int = 1
 
     fresh_cells: int = field(default=0, init=False)
     _experiment: Optional[str] = field(default=None, init=False, repr=False)
     _quick: bool = field(default=False, init=False, repr=False)
     _cells: Dict[str, Any] = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
 
     # ------------------------------------------------------------------
     # Lifecycle (driven by the registry)
@@ -164,6 +174,58 @@ class ExperimentContext:
                 f"(checkpoint saved; rerun with resume to continue)"
             )
         return value
+
+    # ------------------------------------------------------------------
+    # Parallel prefetch (used by the registry when jobs > 1)
+    # ------------------------------------------------------------------
+    def prefetch(self, tasks: Any) -> None:
+        """Fill pending cells out-of-order across worker processes.
+
+        ``tasks`` is the ``(cell_key, task)`` list produced by
+        :func:`repro.parallel.tasks.experiment_tasks`.  Cells already
+        answered by a loaded checkpoint are skipped; the rest are fanned
+        out and stored as workers complete them -- in *completion*
+        order, which is fine because the cell cache is a keyed dict and
+        the checkpoint serializes with sorted keys, so the resulting
+        file (and the table the serial assembly loop later renders from
+        the cache) is identical to a serial run's for deterministic
+        cells.  Each completed cell round-trips through the same
+        ``encode_cell``/``decode_cell`` encoding the checkpoint uses, so
+        ``OverBudgetCell``/``DegradedCell`` markers survive the process
+        boundary losslessly.
+
+        Honors ``interrupt_after`` like :meth:`cell` does: the run stops
+        (checkpoint saved) after that many fresh cells, and can be
+        resumed later -- at any ``jobs`` value.
+        """
+        if self.jobs <= 1:
+            return
+        pending = [(key, task) for key, task in tasks if key not in self._cells]
+        if not pending:
+            return
+        from functools import partial
+
+        from repro.parallel.engine import ParallelExecutor
+        from repro.parallel.tasks import run_cell_task
+
+        fn = partial(run_cell_task, budget_seconds=self.cell_budget_seconds)
+        interrupted = False
+        with ParallelExecutor(self.jobs) as executor:
+            for _index, (key, encoded) in executor.unordered(fn, pending):
+                self._cells[key] = decode_cell(encoded)
+                self.fresh_cells += 1
+                self._save()
+                if (
+                    self.interrupt_after is not None
+                    and self.fresh_cells >= self.interrupt_after
+                ):
+                    interrupted = True
+                    break
+        if interrupted:
+            raise ExperimentInterruptedError(
+                f"stopped after {self.fresh_cells} cells "
+                f"(checkpoint saved; rerun with resume to continue)"
+            )
 
     # ------------------------------------------------------------------
     # Checkpoint I/O

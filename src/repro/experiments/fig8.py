@@ -1,26 +1,72 @@
-"""Experiment: Figure 8 -- runtime scaling sweeps."""
+"""Experiment: Figure 8 -- runtime scaling sweeps.
+
+Like the table modules, the sweep cells run through the
+:class:`ExperimentContext` cell protocol (budgeted, checkpointed,
+resumable), and their values come from module-level functions so the
+parallel prefetch path (:mod:`repro.parallel.tasks`) computes the exact
+same cells inside worker processes.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import List, Optional, Tuple
 
+from repro.experiments.checkpoint import ExperimentContext
 from repro.experiments.runner import TableResult, timed
+from repro.resilience.budget import Budget
 from repro.steiner.improved import improved_dst
 from repro.steiner.instance import prepare_instance
 from repro.steiner.pruned import pruned_dst
 from repro.steiner.steinlib import generate_b_instance
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.experiments.checkpoint import ExperimentContext
+FIG8B_SOLVERS = {"Alg4": improved_dst, "Alg6": pruned_dst}
+
+
+def fig8a_params(quick: bool) -> Tuple[int, int, int, List[int]]:
+    """``(n, k, level, densities)`` of the 8(a) sweep (quick-aware)."""
+    n, k = (40, 6) if quick else (60, 8)
+    level = 2 if quick else 3
+    return n, k, level, [2, 4, 6, 8]
+
+
+def fig8b_params(quick: bool) -> Tuple[int, List[int]]:
+    """``(level, sizes)`` of the 8(b) sweep (quick-aware).
+
+    The quick sweep spans a 4x size range so the growth shape remains
+    visible above timing noise even at millisecond runtimes.
+    """
+    sizes = [15, 30, 60] if quick else [30, 45, 60, 75]
+    level = 2 if quick else 3
+    return level, sizes
+
+
+def fig8a_cell_value(
+    ratio: int, n: int, k: int, level: int, budget: Optional[Budget] = None
+) -> float:
+    """Alg6 wall time at one density ratio (seeded, reproducible)."""
+    problem = generate_b_instance(n, n * ratio, k, seed=500 + ratio)
+    prepared = prepare_instance(problem.to_dst_instance())
+    elapsed, _ = timed(pruned_dst, prepared, level, budget=budget)
+    return elapsed
+
+
+def fig8b_cell_value(
+    solver_name: str, n: int, level: int, budget: Optional[Budget] = None
+) -> float:
+    """One solver's wall time at one instance size (seeded)."""
+    k = max(3, int(round(n * 0.13)))
+    problem = generate_b_instance(n, 3 * n, k, seed=700 + n)
+    prepared = prepare_instance(problem.to_dst_instance())
+    elapsed, _ = timed(FIG8B_SOLVERS[solver_name], prepared, level, budget=budget)
+    return elapsed
 
 
 def run_fig8a(
-    quick: bool = False, context: Optional["ExperimentContext"] = None
+    quick: bool = False, context: Optional[ExperimentContext] = None
 ) -> TableResult:
     """Figure 8(a): Alg6 runtime vs density at fixed |V| (flat)."""
-    n, k = (40, 6) if quick else (60, 8)
-    level = 2 if quick else 3
-    densities = [2, 4, 6, 8]
+    ctx = context if context is not None else ExperimentContext()
+    n, k, level, densities = fig8a_params(quick)
     result = TableResult(
         name="fig8a",
         title=f"Figure 8(a): Alg6-{level} runtime (s) vs |E|/|V| at |V|={n}, k={k}",
@@ -28,10 +74,13 @@ def run_fig8a(
     )
     row = ["time"]
     for ratio in densities:
-        problem = generate_b_instance(n, n * ratio, k, seed=500 + ratio)
-        prepared = prepare_instance(problem.to_dst_instance())
-        elapsed, _ = timed(pruned_dst, prepared, level)
-        row.append(elapsed)
+
+        def density_cell(
+            budget: Optional[Budget], ratio=ratio, n=n, k=k, level=level
+        ) -> float:
+            return fig8a_cell_value(ratio, n, k, level, budget)
+
+        row.append(ctx.cell(f"density:{ratio}", density_cell))
     result.rows.append(row)
     result.notes.append(
         "flat by design: the solver's input is the transitive closure, so the "
@@ -41,13 +90,11 @@ def run_fig8a(
 
 
 def run_fig8b(
-    quick: bool = False, context: Optional["ExperimentContext"] = None
+    quick: bool = False, context: Optional[ExperimentContext] = None
 ) -> TableResult:
     """Figure 8(b): Alg4/Alg6 runtime vs |V| at fixed ratios (growing)."""
-    # the quick sweep spans a 4x size range so the growth shape remains
-    # visible above timing noise even at millisecond runtimes
-    sizes = [15, 30, 60] if quick else [30, 45, 60, 75]
-    level = 2 if quick else 3
+    ctx = context if context is not None else ExperimentContext()
+    level, sizes = fig8b_params(quick)
     result = TableResult(
         name="fig8b",
         title=(
@@ -55,14 +102,19 @@ def run_fig8b(
         ),
         header=["alg"] + [str(n) for n in sizes],
     )
-    for solver_name, solver in (("Alg4", improved_dst), ("Alg6", pruned_dst)):
+    for solver_name in FIG8B_SOLVERS:
         row = [solver_name]
         for n in sizes:
-            k = max(3, int(round(n * 0.13)))
-            problem = generate_b_instance(n, 3 * n, k, seed=700 + n)
-            prepared = prepare_instance(problem.to_dst_instance())
-            elapsed, _ = timed(solver, prepared, level)
-            row.append(elapsed)
+
+            def size_cell(
+                budget: Optional[Budget],
+                solver_name=solver_name,
+                n=n,
+                level=level,
+            ) -> float:
+                return fig8b_cell_value(solver_name, n, level, budget)
+
+            row.append(ctx.cell(f"{solver_name}:{n}", size_cell))
         result.rows.append(row)
     result.notes.append("polynomial growth reflecting the O(|V|^i k^i) bound")
     return result

@@ -4,11 +4,17 @@ All expensive cells run through the :class:`ExperimentContext` cell
 protocol, so these tables are budgeted (a hung DST solve degrades to a
 structured over-budget cell), checkpointed after every completed cell,
 and resumable after a kill.
+
+Cell *values* are computed by module-level functions keyed on plain
+config names and levels (``prep_cell_value`` and friends): the serial
+table loops call them through closures, and the parallel prefetch path
+(:mod:`repro.parallel.tasks`) calls the same functions inside worker
+processes, so both paths produce identical cells by construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.postprocess import closure_tree_to_temporal
 from repro.experiments.checkpoint import ExperimentContext
@@ -16,6 +22,7 @@ from repro.experiments.runner import DegradedCell, TableResult, timed
 from repro.experiments.workloads import (
     MSTW_WORKLOADS,
     QUICK_MSTW_WORKLOADS,
+    WorkloadConfig,
     mstw_workload,
 )
 from repro.resilience.budget import Budget
@@ -33,6 +40,65 @@ SOLVERS = {
 
 def _configs(quick: bool):
     return QUICK_MSTW_WORKLOADS if quick else MSTW_WORKLOADS
+
+
+def config_named(name: str, quick: bool) -> WorkloadConfig:
+    """The workload config of one dataset name (quick-aware).
+
+    The parallel task layer ships only the name + quick flag across the
+    process boundary and resolves the config in the worker, so both
+    sides always agree on scales and level caps.
+    """
+    for config in _configs(quick):
+        if config.name == name:
+            return config
+    raise KeyError(f"unknown workload config {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Cell values (shared verbatim by the serial loops and parallel workers)
+# ----------------------------------------------------------------------
+def prep_cell_value(
+    config: WorkloadConfig, budget: Optional[Budget] = None
+) -> List:
+    """Table 4 row body: sizes + Tprep for one dataset (unbudgeted)."""
+    workload = mstw_workload(config)
+    return [
+        workload.graph.num_vertices,
+        workload.graph.num_edges,
+        workload.prepared.num_terminals,
+        workload.transformed.num_vertices,
+        workload.transformed.num_edges,
+        workload.preprocessing_seconds,
+    ]
+
+
+def runtime_cell_value(
+    solver_name: str,
+    config: WorkloadConfig,
+    level: int,
+    budget: Optional[Budget] = None,
+) -> float:
+    """Table 5 cell: one solver's wall time at one level."""
+    solver, _ = SOLVERS[solver_name]
+    workload = mstw_workload(config)
+    elapsed, _tree = timed(solver, workload.prepared, level, budget=budget)
+    return elapsed
+
+
+def weight_cell_value(
+    config: WorkloadConfig, level: int, budget: Optional[Budget] = None
+):
+    """Table 6 cell: MST_w weight through the fallback chain."""
+    workload = mstw_workload(config)
+    outcome = run_with_fallback(workload.prepared, budget=budget, level=level)
+    tree = closure_tree_to_temporal(
+        workload.transformed, workload.prepared, outcome.tree
+    )
+    weight = round(tree.total_weight, 2)
+    if outcome.degraded:
+        return DegradedCell(weight, outcome.rung)
+    return weight
 
 
 def run_table4(
@@ -60,16 +126,8 @@ def run_table4(
     )
     for config in sorted(_configs(quick), key=lambda c: c.name):
 
-        def prep_cell(budget: Optional[Budget], config=config) -> list:
-            workload = mstw_workload(config)
-            return [
-                workload.graph.num_vertices,
-                workload.graph.num_edges,
-                workload.prepared.num_terminals,
-                workload.transformed.num_vertices,
-                workload.transformed.num_edges,
-                workload.preprocessing_seconds,
-            ]
+        def prep_cell(budget: Optional[Budget], config=config) -> List:
+            return prep_cell_value(config, budget)
 
         result.add_row(config.name, *ctx.cell(f"prep:{config.name}", prep_cell))
     result.notes.append("Tprep is dominated by the transitive closure (Lemma 2 sizes)")
@@ -99,15 +157,11 @@ def run_table5(
 
                 def runtime_cell(
                     budget: Optional[Budget],
-                    solver=solver,
+                    solver_name=solver_name,
                     config=config,
                     level=level,
                 ) -> float:
-                    workload = mstw_workload(config)
-                    elapsed, _ = timed(
-                        solver, workload.prepared, level, budget=budget
-                    )
-                    return elapsed
+                    return runtime_cell_value(solver_name, config, level, budget)
 
                 value = ctx.cell(
                     f"runtime:{solver_name}:{config.name}:{level}", runtime_cell
@@ -157,17 +211,7 @@ def run_table6(
             def weight_cell(
                 budget: Optional[Budget], config=config, level=level
             ):
-                workload = mstw_workload(config)
-                outcome = run_with_fallback(
-                    workload.prepared, budget=budget, level=level
-                )
-                tree = closure_tree_to_temporal(
-                    workload.transformed, workload.prepared, outcome.tree
-                )
-                weight = round(tree.total_weight, 2)
-                if outcome.degraded:
-                    return DegradedCell(weight, outcome.rung)
-                return weight
+                return weight_cell_value(config, level, budget)
 
             row.append(ctx.cell(f"weight:{config.name}:{level}", weight_cell))
         result.rows.append(row)

@@ -62,6 +62,17 @@ def run_experiment(
     if context is None:
         return fn(quick=quick)
     context.begin(key, quick)
+    if context.jobs > 1:
+        # Fan the cell grid out across worker processes first; the
+        # serial assembly loop below then reads every cell from the
+        # context cache, so the rendered table is identical to a
+        # jobs=1 run.  Experiments without a task enumeration simply
+        # run serially.
+        from repro.parallel.tasks import experiment_tasks
+
+        tasks = experiment_tasks(key, quick)
+        if tasks is not None:
+            context.prefetch(tasks)
     result = fn(quick=quick, context=context)
     context.complete(key)
     return result

@@ -15,6 +15,12 @@ class OverBudgetCell:
     attempt ran before tripping, and (when a fallback chain was in
     play) the last rung that was attempted.  Renders as
     ``-[>1.25s]`` or ``-[pruned-2 1.25s]``.
+
+    Round-trips losslessly through the checkpoint encoding
+    (``encode_cell``/``decode_cell``), which is also how parallel
+    workers report it across the process boundary -- a cell that went
+    over budget in a worker is indistinguishable from one that did so
+    serially.
     """
 
     elapsed: float
@@ -32,7 +38,9 @@ class DegradedCell:
 
     ``value`` is the (approximate) answer; ``rung`` names the ladder
     rung that produced it (see :func:`repro.resilience.run_with_fallback`).
-    Renders as ``12.34~shortest-paths``.
+    Renders as ``12.34~shortest-paths``.  Like :class:`OverBudgetCell`,
+    round-trips losslessly through the checkpoint encoding and therefore
+    across parallel-worker process boundaries.
     """
 
     value: Any

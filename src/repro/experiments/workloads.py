@@ -86,7 +86,31 @@ class MSTwWorkload:
     preprocessing_seconds: float
 
 
+#: Per-process build cache.  Parallel experiment workers each warm
+#: their own copy from the (deterministic) dataset registry -- workloads
+#: are never pickled or shared across processes, so the cache needs no
+#: cross-process coherence.
 _WORKLOAD_CACHE: Dict[Tuple[str, float], MSTwWorkload] = {}
+
+
+def nested_sweep_windows(
+    graph: TemporalGraph, fractions: Tuple[float, ...]
+) -> Tuple[TimeWindow, ...]:
+    """Centered windows for the given fractions, widest first.
+
+    ``middle_tenth_window`` centers every window on the graph's time
+    range, so decreasing fractions produce strictly *nested* windows --
+    the sweep shape under which the batch engine's containment reuse
+    fires for every window after the first.
+    """
+    ordered = sorted(fractions, reverse=True)
+    if ordered != list(fractions):
+        raise ValueError(
+            f"sweep fractions must be in decreasing order, got {fractions}"
+        )
+    return tuple(
+        middle_tenth_window(graph, fraction=fraction) for fraction in ordered
+    )
 
 
 def mstw_workload(config: WorkloadConfig) -> MSTwWorkload:

@@ -1,0 +1,213 @@
+"""The process-pool execution core of the batch-query engine.
+
+:class:`ParallelExecutor` owns a lazily created ``multiprocessing``
+pool and runs picklable task functions over item lists with three
+guarantees the rest of :mod:`repro.parallel` builds on:
+
+* **one initializer call per worker** -- the per-worker ``initializer``
+  receives its ``initargs`` exactly once, when the worker starts; heavy
+  state (a deserialized :class:`~repro.temporal.graph.TemporalGraph`)
+  is paid per *worker*, never per task;
+* **deterministic chunking** -- :func:`chunk_size_for` is a pure
+  function of the item count, the job count, and an optional caller
+  override, so the grouping of tasks into pool chunks never depends on
+  scheduling (only *which worker* gets a chunk does);
+* **a deterministic merge layer** -- workers may finish out of order
+  (the pool is consumed via ``imap_unordered``, which is faster than an
+  ordered ``imap`` when task durations vary), but :meth:`map` always
+  reassembles results in submission order, so callers observe output
+  byte-identical to a serial run at any ``jobs`` value.
+
+``jobs=1`` runs everything inline in the current process -- same
+initializer, same task functions, no pool -- which is both the serial
+reference implementation and the degenerate case the determinism tests
+compare against.
+
+This module is the only place in the repository allowed to consume
+unordered pool results; the ``determinism`` lint rule (REP103) flags
+``imap_unordered``/``as_completed`` anywhere else.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ParallelExecutor",
+    "chunk_size_for",
+    "cpu_count",
+    "default_start_method",
+]
+
+#: Upper bound on chunks handed out per worker; smaller chunks balance
+#: load better, larger chunks keep related tasks on one worker so its
+#: per-worker caches (prepared instances, window indices) get reuse.
+_CHUNKS_PER_WORKER = 2
+
+
+def cpu_count() -> int:
+    """The usable CPU count (affinity-aware where the OS exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def default_start_method() -> str:
+    """The multiprocessing start method the engine will use by default."""
+    import multiprocessing
+
+    return multiprocessing.get_start_method()
+
+
+def chunk_size_for(num_items: int, jobs: int, override: Optional[int] = None) -> int:
+    """Deterministic pool chunk size for ``num_items`` over ``jobs`` workers.
+
+    A pure function -- the same inputs always produce the same chunking,
+    so the assignment of tasks to chunks (and therefore which tasks
+    share a worker's caches) is reproducible.  ``override`` pins an
+    exact size (callers use this to keep all cells of one window on one
+    worker).
+    """
+    if override is not None:
+        if override < 1:
+            raise ValueError(f"chunk size must be >= 1, got {override}")
+        return override
+    if num_items <= 0:
+        return 1
+    chunks = max(1, jobs * _CHUNKS_PER_WORKER)
+    return max(1, -(-num_items // chunks))
+
+
+def _invoke(payload: Tuple[Callable[[Any], Any], int, Any]) -> Tuple[int, Any]:
+    """Top-level task trampoline (must be picklable): tag results with
+    their submission index so the merge layer can restore order."""
+    fn, index, item = payload
+    return index, fn(item)
+
+
+class ParallelExecutor:
+    """A reusable process pool with a deterministic result-merge layer.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` executes inline (no pool, no
+        pickling) -- the serial reference path.
+    initializer / initargs:
+        Run once in each worker as it starts (and once, lazily, in the
+        current process when ``jobs == 1``).  ``initargs`` are pickled
+        once per worker, which is how the batch engine ships a
+        serialized graph to every worker without per-task pickling.
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; ``None`` uses the
+        platform default (recorded by the perf harness in its output).
+    chunk_size:
+        Optional fixed pool chunk size; ``None`` derives one via
+        :func:`chunk_size_for`.
+
+    The pool is created lazily on first use and reused across calls
+    (warm workers keep their per-process caches); call :meth:`close` or
+    use the executor as a context manager to reap it.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+        start_method: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self._initializer = initializer
+        self._initargs = initargs
+        self._start_method = start_method
+        self._pool: Optional[Any] = None
+        self._inline_initialized = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def start_method(self) -> str:
+        """The effective start method (resolved even before first use)."""
+        return self._start_method or default_start_method()
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            context = multiprocessing.get_context(self._start_method)
+            self._pool = context.Pool(
+                processes=self.jobs,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._pool
+
+    def _ensure_inline(self) -> None:
+        if not self._inline_initialized:
+            if self._initializer is not None:
+                self._initializer(*self._initargs)
+            self._inline_initialized = True
+
+    def close(self) -> None:
+        """Terminate the pool (if one was started).  Idempotent."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Run ``fn`` over ``items``; results in submission order.
+
+        The deterministic merge layer: whatever order workers complete
+        in, the returned list is ordered like ``items``, so output is
+        identical to ``[fn(x) for x in items]`` for deterministic
+        ``fn``.
+        """
+        merged: List[Any] = [None] * len(items)
+        for index, value in self.unordered(fn, items):
+            merged[index] = value
+        return merged
+
+    def unordered(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(submission_index, result)`` pairs in completion order.
+
+        Completion order is scheduling-dependent and therefore *not*
+        deterministic for ``jobs > 1``; callers must either merge by
+        index (what :meth:`map` does) or be order-insensitive (the
+        checkpoint layer, which stores cells in a keyed dict).  Inline
+        mode (``jobs == 1``) completes in submission order by
+        construction.
+        """
+        if self.jobs == 1:
+            self._ensure_inline()
+            for index, item in enumerate(items):
+                yield _invoke((fn, index, item))
+            return
+        pool = self._ensure_pool()
+        payloads = [(fn, index, item) for index, item in enumerate(items)]
+        chunk = chunk_size_for(len(payloads), self.jobs, self.chunk_size)
+        for index, value in pool.imap_unordered(_invoke, payloads, chunksize=chunk):
+            yield index, value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "live" if self._pool is not None else "idle"
+        return f"ParallelExecutor(jobs={self.jobs}, {state})"

@@ -1,0 +1,182 @@
+"""Cross-window work sharing: the window-containment reuse index.
+
+The paper's evaluation sweeps many ``(root, window)`` cells whose
+windows overlap heavily -- the Table 4-6 protocol extracts nested
+slices of one time range, and the Figure 8 sweeps replay the same
+window under growing workloads.  Extracting a window and rebuilding its
+in-window edge list from the full graph is an ``O(M)`` scan per cell;
+when one sweep window *contains* another, the contained cell's artifacts
+are a pure filter of the containing cell's.
+
+:class:`WindowReuseIndex` caches, per batch and per graph identity:
+
+* the **extracted subgraph** ``G[t_alpha, t_omega]`` -- a contained
+  window's extraction filters the (much smaller) containing extraction
+  instead of the full edge list, and the result is *identical* to a
+  direct extraction because ``TemporalGraph.restricted`` preserves edge
+  order and recomputes vertices from the surviving edges;
+* the **in-window edge tuple** feeding the Section 4.2 transformation
+  -- same containment filter, same exactness argument.
+
+Hit/miss/containment counters are exposed via :meth:`stats`; the batch
+engine aggregates them across workers.  Counters are *diagnostic*: with
+``jobs > 1`` the counts depend on which cells land on which worker, but
+the derived artifacts are exact either way, so cell outputs never do.
+
+The index is per-process (workers never share one) and bounded: the
+least recently used window's artifacts are dropped beyond
+``max_windows``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+__all__ = ["WindowReuseIndex", "ReuseStats"]
+
+ReuseStats = Dict[str, int]
+
+
+class _WindowArtifacts:
+    """Cached per-window products derived once and shared read-only."""
+
+    __slots__ = ("window", "in_window", "extracted")
+
+    def __init__(self, window: TimeWindow, in_window: Tuple[TemporalEdge, ...]) -> None:
+        self.window = window
+        self.in_window = in_window
+        self.extracted: Optional[TemporalGraph] = None
+
+
+class WindowReuseIndex:
+    """Per-process cache deriving contained-window artifacts by filtering.
+
+    Parameters
+    ----------
+    max_windows:
+        LRU bound on cached windows per graph (each entry holds an edge
+        tuple and optionally an extracted subgraph).
+    """
+
+    __slots__ = ("max_windows", "_per_graph", "_hits", "_misses", "_derived")
+
+    def __init__(self, max_windows: int = 8) -> None:
+        if max_windows < 1:
+            raise ValueError(f"max_windows must be >= 1, got {max_windows}")
+        self.max_windows = max_windows
+        # Keyed by graph identity: graphs are immutable, and a batch
+        # runs over one (or few) graph objects whose lifetime encloses
+        # the index's, so id() keys are stable for our usage.  Entries
+        # are "window -> artifacts" LRUs.
+        self._per_graph: Dict[int, "OrderedDict[TimeWindow, _WindowArtifacts]"] = {}
+        self._hits = 0
+        self._misses = 0
+        self._derived = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ReuseStats:
+        """``{"hits", "misses", "containment_derived"}`` counters.
+
+        ``hits`` counts exact-window cache hits *plus* containment
+        derivations (both avoid the full-graph scan); the derivations
+        are also broken out separately.
+        """
+        return {
+            "hits": self._hits + self._derived,
+            "misses": self._misses,
+            "containment_derived": self._derived,
+        }
+
+    def clear(self) -> None:
+        """Drop all cached artifacts and reset the counters."""
+        self._per_graph.clear()
+        self._hits = 0
+        self._misses = 0
+        self._derived = 0
+
+    # ------------------------------------------------------------------
+    # The reuse protocol
+    # ------------------------------------------------------------------
+    def _artifacts(self, graph: TemporalGraph, window: TimeWindow) -> _WindowArtifacts:
+        per_graph = self._per_graph.get(id(graph))
+        if per_graph is None:
+            per_graph = OrderedDict()
+            self._per_graph[id(graph)] = per_graph
+        entry = per_graph.get(window)
+        if entry is not None:
+            per_graph.move_to_end(window)
+            self._hits += 1
+            return entry
+        container = self._smallest_container(per_graph, window)
+        if container is not None:
+            # Contained window: filter the container's (already reduced)
+            # edge tuple.  Exact because within(W) implies within(W')
+            # for W <= W' and the filter preserves relative order.
+            edges = tuple(
+                e
+                for e in container.in_window
+                if e.within(window.t_alpha, window.t_omega)
+            )
+            self._derived += 1
+        else:
+            edges = tuple(
+                e
+                for e in graph.edges
+                if e.within(window.t_alpha, window.t_omega)
+            )
+            self._misses += 1
+        entry = _WindowArtifacts(window, edges)
+        per_graph[window] = entry
+        if len(per_graph) > self.max_windows:
+            per_graph.popitem(last=False)
+        return entry
+
+    @staticmethod
+    def _smallest_container(
+        per_graph: "OrderedDict[TimeWindow, _WindowArtifacts]",
+        window: TimeWindow,
+    ) -> Optional[_WindowArtifacts]:
+        """The tightest cached window containing ``window``, if any.
+
+        Ties break on ``(length, t_alpha, t_omega)`` so the choice is a
+        pure function of the cache contents, not of insertion order.
+        """
+        best: Optional[_WindowArtifacts] = None
+        best_key: Optional[Tuple[float, float, float]] = None
+        for cached, entry in per_graph.items():
+            if cached.t_alpha <= window.t_alpha and window.t_omega <= cached.t_omega:
+                key = (cached.length, cached.t_alpha, cached.t_omega)
+                if best_key is None or key < best_key:
+                    best = entry
+                    best_key = key
+        return best
+
+    def in_window_edges(
+        self, graph: TemporalGraph, window: TimeWindow
+    ) -> Tuple[TemporalEdge, ...]:
+        """The window's edge tuple, derived from a container when possible.
+
+        Identical to ``tuple(e for e in graph.edges if e.within(...))``
+        -- the transformation's Step 1(a) scan -- at any cache state.
+        """
+        return self._artifacts(graph, window).in_window
+
+    def extract(self, graph: TemporalGraph, window: TimeWindow) -> TemporalGraph:
+        """The extracted subgraph ``G[t_alpha, t_omega]``, shared per window.
+
+        Identical to :meth:`TemporalGraph.restricted` on the full graph;
+        repeated calls for one window return the *same* object, so
+        downstream per-graph caches (window indices, prepare memos) key
+        on it consistently within a batch.
+        """
+        entry = self._artifacts(graph, window)
+        if entry.extracted is None:
+            entry.extracted = TemporalGraph(entry.in_window)
+        return entry.extracted

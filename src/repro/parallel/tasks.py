@@ -1,0 +1,183 @@
+"""Experiment cells as picklable tasks for the parallel prefetch path.
+
+The experiment tables compute their cells through module-level value
+functions (``prep_cell_value`` and friends in
+:mod:`repro.experiments.mstw_tables` / :mod:`repro.experiments.fig8`)
+keyed on plain data -- dataset names, solver names, levels.  This module
+wraps those keys as :class:`ExperimentCellTask` descriptors:
+
+* :func:`experiment_tasks` enumerates ``(cell_key, task)`` pairs for one
+  experiment, with keys *exactly* matching the keys the serial table
+  loop would use -- that equality is what makes the parallel prefetch
+  transparent (the loop later finds every cell already cached);
+* :func:`run_cell_task` executes one task inside a worker under its own
+  per-task :class:`~repro.resilience.budget.Budget` and returns the
+  :func:`~repro.experiments.checkpoint.encode_cell`-encoded value, so
+  over-budget and degraded outcomes round-trip losslessly.
+
+Workloads are *rebuilt per worker* from the dataset registry (configs
+are deterministic), warmed by each worker's own ``mstw_workload`` cache
+-- nothing heavyweight ever crosses the process boundary for experiment
+cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import BudgetExceededError
+from repro.experiments import fig8, mstw_tables
+from repro.experiments.checkpoint import encode_cell
+from repro.experiments.runner import OverBudgetCell
+from repro.resilience.budget import Budget
+
+__all__ = ["ExperimentCellTask", "run_cell_task", "experiment_tasks"]
+
+
+@dataclass(frozen=True)
+class ExperimentCellTask:
+    """One experiment cell as plain picklable data: a kind + its args."""
+
+    kind: str
+    args: Tuple[Any, ...]
+
+
+def _run_mstw_prep(args: Tuple[Any, ...], budget: Optional[Budget]) -> Any:
+    config_name, quick = args
+    config = mstw_tables.config_named(config_name, quick)
+    return mstw_tables.prep_cell_value(config, budget)
+
+
+def _run_mstw_runtime(args: Tuple[Any, ...], budget: Optional[Budget]) -> Any:
+    solver_name, config_name, quick, level = args
+    config = mstw_tables.config_named(config_name, quick)
+    return mstw_tables.runtime_cell_value(solver_name, config, level, budget)
+
+
+def _run_mstw_weight(args: Tuple[Any, ...], budget: Optional[Budget]) -> Any:
+    config_name, quick, level = args
+    config = mstw_tables.config_named(config_name, quick)
+    return mstw_tables.weight_cell_value(config, level, budget)
+
+
+def _run_fig8a(args: Tuple[Any, ...], budget: Optional[Budget]) -> Any:
+    ratio, n, k, level = args
+    return fig8.fig8a_cell_value(ratio, n, k, level, budget)
+
+
+def _run_fig8b(args: Tuple[Any, ...], budget: Optional[Budget]) -> Any:
+    solver_name, n, level = args
+    return fig8.fig8b_cell_value(solver_name, n, level, budget)
+
+
+_RUNNERS: Dict[str, Callable[[Tuple[Any, ...], Optional[Budget]], Any]] = {
+    "mstw_prep": _run_mstw_prep,
+    "mstw_runtime": _run_mstw_runtime,
+    "mstw_weight": _run_mstw_weight,
+    "fig8a": _run_fig8a,
+    "fig8b": _run_fig8b,
+}
+
+
+def run_cell_task(
+    payload: Tuple[str, ExperimentCellTask],
+    budget_seconds: Optional[float] = None,
+) -> Tuple[str, Any]:
+    """Execute one ``(key, task)`` pair; return ``(key, encoded value)``.
+
+    The per-task budget is created *inside* the worker
+    (:meth:`Budget.per_task`); a ``BudgetExceededError`` becomes an
+    encoded ``OverBudgetCell``, mirroring ``ExperimentContext.cell``'s
+    serial conversion exactly.
+    """
+    key, task = payload
+    runner = _RUNNERS.get(task.kind)
+    if runner is None:
+        raise ValueError(
+            f"unknown cell task kind {task.kind!r}; expected one of "
+            f"{sorted(_RUNNERS)}"
+        )
+    budget = Budget.per_task(budget_seconds)
+    try:
+        value = runner(task.args, budget)
+    except BudgetExceededError as exc:
+        value = OverBudgetCell(elapsed=exc.elapsed_seconds)
+    return key, encode_cell(value)
+
+
+def experiment_tasks(
+    name: str, quick: bool
+) -> Optional[List[Tuple[str, ExperimentCellTask]]]:
+    """Every ``(cell_key, task)`` of one experiment, in serial-loop order.
+
+    Keys match the serial table loops character for character (skipping
+    the same level-capped combinations), so a prefetch fills exactly the
+    cells the loop will ask for.  Returns ``None`` for experiments with
+    no parallelizable cell grid (they run serially regardless of
+    ``--jobs``).
+    """
+    if name == "table4":
+        return [
+            (
+                f"prep:{config.name}",
+                ExperimentCellTask("mstw_prep", (config.name, quick)),
+            )
+            for config in sorted(mstw_tables._configs(quick), key=lambda c: c.name)
+        ]
+    if name == "table5":
+        configs = sorted(mstw_tables._configs(quick), key=lambda c: c.name)
+        levels = (1, 2) if quick else (1, 2, 3)
+        tasks: List[Tuple[str, ExperimentCellTask]] = []
+        for solver_name, (_, cap_attr) in mstw_tables.SOLVERS.items():
+            for level in levels:
+                for config in configs:
+                    if level > getattr(config, cap_attr):
+                        continue
+                    tasks.append(
+                        (
+                            f"runtime:{solver_name}:{config.name}:{level}",
+                            ExperimentCellTask(
+                                "mstw_runtime",
+                                (solver_name, config.name, quick, level),
+                            ),
+                        )
+                    )
+        return tasks
+    if name == "table6":
+        configs = sorted(mstw_tables._configs(quick), key=lambda c: c.name)
+        levels = (1, 2) if quick else (1, 2, 3)
+        tasks = []
+        for level in levels:
+            for config in configs:
+                if level > config.pruned_max_level:
+                    continue
+                tasks.append(
+                    (
+                        f"weight:{config.name}:{level}",
+                        ExperimentCellTask(
+                            "mstw_weight", (config.name, quick, level)
+                        ),
+                    )
+                )
+        return tasks
+    if name == "fig8a":
+        n, k, level, densities = fig8.fig8a_params(quick)
+        return [
+            (
+                f"density:{ratio}",
+                ExperimentCellTask("fig8a", (ratio, n, k, level)),
+            )
+            for ratio in densities
+        ]
+    if name == "fig8b":
+        level, sizes = fig8.fig8b_params(quick)
+        return [
+            (
+                f"{solver_name}:{n}",
+                ExperimentCellTask("fig8b", (solver_name, n, level)),
+            )
+            for solver_name in fig8.FIG8B_SOLVERS
+            for n in sizes
+        ]
+    return None

@@ -31,6 +31,12 @@ from typing import Any, Dict, List, Optional
 
 from repro.perf.harness import SCHEMA_VERSION
 
+#: Schema versions this comparator can diff against each other.  v2
+#: only *adds* fields to v1 (top-level ``jobs``, platform CPU info,
+#: per-scenario ``reuse_hits``), so v1 baselines remain comparable and
+#: the committed PR-2 baseline keeps gating CI.
+COMPATIBLE_VERSIONS = frozenset({1, SCHEMA_VERSION})
+
 #: Both medians under this many seconds -> too fast to gate on.
 NOISE_FLOOR_S = 0.002
 
@@ -115,10 +121,10 @@ def compare_benchmarks(
         raise ValueError(f"tolerance must be > 0, got {tolerance}")
     for label, document in (("baseline", baseline), ("current", current)):
         version = document.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in COMPATIBLE_VERSIONS:
             raise ValueError(
                 f"{label} document has schema_version {version!r}, "
-                f"expected {SCHEMA_VERSION}"
+                f"expected one of {sorted(COMPATIBLE_VERSIONS)}"
             )
 
     baseline_rows = _index(baseline)

@@ -8,9 +8,17 @@ declaring a ``baseline`` get a ``speedup`` field --
 ``baseline_median / median`` -- computed after the whole suite has run.
 
 The output document is versioned (:data:`SCHEMA_VERSION`); the
-comparator (:mod:`repro.perf.compare`) refuses to diff documents with
-mismatched schema versions, so CI fails loudly instead of comparing
-apples to oranges when the schema evolves.
+comparator (:mod:`repro.perf.compare`) refuses to diff documents whose
+schema versions it does not know to be comparable, so CI fails loudly
+instead of comparing apples to oranges when the schema evolves.
+
+Schema history:
+
+* v1 -- the PR-2 shape: scale/repeats/platform + scenario rows.
+* v2 -- adds a top-level ``jobs`` field, ``cpu_count`` and
+  ``start_method`` to ``platform``, and an optional ``reuse_hits``
+  per-scenario field (the batch engine's reuse-index hit count).  All
+  v1 fields are unchanged, so the comparator accepts v1 baselines.
 """
 
 from __future__ import annotations
@@ -24,9 +32,10 @@ import tracemalloc
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.parallel.engine import cpu_count, default_start_method
 from repro.perf.scenarios import Scenario, build_scenarios
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -46,6 +55,7 @@ class ScenarioResult:
     baseline: Optional[str] = None
     tolerance: Optional[float] = None
     speedup: Optional[float] = None
+    reuse_hits: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -56,6 +66,7 @@ class _Timing:
     samples: List[float] = field(default_factory=list)
     expansions: Optional[int] = None
     peak_alloc_bytes: Optional[int] = None
+    reuse_hits: Optional[int] = None
     params: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -87,10 +98,17 @@ def _measure(scenario: Scenario, repeats: int, track_alloc: bool) -> _Timing:
     timing = _Timing()
     for _ in range(repeats):
         start = time.perf_counter()
-        expansions = scenario.run(state)
+        outcome = scenario.run(state)
         timing.samples.append(time.perf_counter() - start)
-        if expansions is not None:
-            timing.expansions = expansions
+        # run() returns None, a bare expansion count, or a dict of
+        # counters ({"expansions", "reuse_hits"}).
+        if isinstance(outcome, dict):
+            if outcome.get("expansions") is not None:
+                timing.expansions = outcome["expansions"]
+            if outcome.get("reuse_hits") is not None:
+                timing.reuse_hits = outcome["reuse_hits"]
+        elif outcome is not None:
+            timing.expansions = outcome
     if track_alloc:
         tracemalloc.start()
         try:
@@ -109,17 +127,20 @@ def run_benchmarks(
     names: Optional[Iterable[str]] = None,
     track_alloc: bool = True,
     progress: Optional[Any] = None,
+    jobs: int = 1,
 ) -> Dict[str, Any]:
     """Run the scenario suite and return the bench document (a dict).
 
     ``names`` restricts the run to a subset of scenario names (baseline
     scenarios referenced by a selected scenario are pulled in
     automatically so speedups stay computable).  ``progress`` is an
-    optional ``callable(str)`` for per-scenario status lines.
+    optional ``callable(str)`` for per-scenario status lines.  ``jobs``
+    unlocks the pool-backed ``parallel_speedup`` variants up to that
+    worker count and is recorded in the document.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    scenarios = build_scenarios(scale)
+    scenarios = build_scenarios(scale, jobs)
     if names is not None:
         wanted = set(names)
         known = {s.name for s in scenarios}
@@ -156,6 +177,7 @@ def run_benchmarks(
                 peak_alloc_bytes=timing.peak_alloc_bytes,
                 baseline=scenario.baseline,
                 tolerance=scenario.tolerance,
+                reuse_hits=timing.reuse_hits,
             )
         )
 
@@ -170,11 +192,14 @@ def run_benchmarks(
         "schema_version": SCHEMA_VERSION,
         "scale": scale,
         "repeats": repeats,
+        "jobs": jobs,
         "platform": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "system": platform.system(),
             "machine": platform.machine(),
+            "cpu_count": cpu_count(),
+            "start_method": default_start_method(),
         },
         "scenarios": [r.to_dict() for r in results],
     }

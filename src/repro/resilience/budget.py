@@ -106,6 +106,22 @@ class Budget:
         """Shorthand for a pure wall-clock budget."""
         return cls(deadline_seconds=seconds)
 
+    @classmethod
+    def per_task(cls, deadline_seconds: Optional[float]) -> Optional["Budget"]:
+        """A started per-task deadline budget, or ``None`` without one.
+
+        The shared constructor of every per-cell/per-task budget in the
+        serial *and* parallel execution paths.  Budgets anchor to a
+        process-local monotonic clock and are shared mutable state, so
+        they must never cross a process boundary: a parallel worker
+        calls this *inside* the task to start its own budget, and only
+        the structured outcome (elapsed seconds, expansions, the
+        tripped-rung record) travels back to the parent.
+        """
+        if deadline_seconds is None:
+            return None
+        return cls(deadline_seconds=deadline_seconds).start()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

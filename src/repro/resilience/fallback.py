@@ -22,7 +22,7 @@ answer is instead of a bare ``"-"``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import BudgetExceededError
 from repro.resilience.budget import Budget
@@ -96,6 +96,31 @@ class FallbackResult:
     @property
     def cost(self) -> float:
         return self.tree.cost
+
+    def summary(self) -> Dict[str, Any]:
+        """A JSON-encodable record of the ladder outcome (no tree).
+
+        Everything about *how* the answer was produced -- the answering
+        rung, the degradation flag, the caveat, and every attempt's
+        status -- in plain JSON types, so parallel workers can report
+        their degradation ladder across the process boundary losslessly.
+        """
+        return {
+            "rung": self.rung,
+            "level": self.level,
+            "degraded": self.degraded,
+            "caveat": self.caveat,
+            "elapsed_seconds": self.elapsed_seconds,
+            "attempts": [
+                {
+                    "rung": attempt.rung,
+                    "status": attempt.status,
+                    "elapsed_seconds": attempt.elapsed_seconds,
+                    "detail": attempt.detail,
+                }
+                for attempt in self.attempts
+            ],
+        }
 
 
 def _edges_to_closure_tree(

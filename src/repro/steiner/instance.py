@@ -88,6 +88,29 @@ class PreparedInstance:
         self._cost_rows: Dict[int, List[float]] = {}
         self._terminal_orders: Dict[int, Tuple[int, ...]] = {}
 
+    def __getstate__(
+        self,
+    ) -> Tuple[DSTInstance, MetricClosure, int, Tuple[int, ...]]:
+        """Pickle only the problem data, never the memo dictionaries.
+
+        The ``cost_row`` / ``sorted_terminals_from`` memos are cheap,
+        per-process acceleration state; shipping them across a process
+        boundary would bloat the payload without changing any result
+        (workers rebuild them lazily on first use).
+        """
+        return (self.instance, self.closure, self.root, self.terminals)
+
+    def __setstate__(
+        self, state: Tuple[DSTInstance, MetricClosure, int, Tuple[int, ...]]
+    ) -> None:
+        instance, closure, root, terminals = state
+        self.instance = instance
+        self.closure = closure
+        self.root = root
+        self.terminals = terminals
+        self._cost_rows = {}
+        self._terminal_orders = {}
+
     @property
     def num_vertices(self) -> int:
         return self.closure.num_vertices

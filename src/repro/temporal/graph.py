@@ -12,6 +12,7 @@ Both are produced lazily and cached; a graph is immutable once built.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import (
     Any,
     Dict,
@@ -59,6 +60,7 @@ class TemporalGraph:
         "_starts_asc",
         "_in_edges",
         "_out_edges",
+        "_prepare_memo",
         "__weakref__",
     )
 
@@ -89,6 +91,45 @@ class TemporalGraph:
         self._starts_asc: Optional[Dict[Vertex, List[float]]] = None
         self._in_edges: Optional[Dict[Vertex, List[TemporalEdge]]] = None
         self._out_edges: Optional[Dict[Vertex, List[TemporalEdge]]] = None
+        self._prepare_memo: Optional[OrderedDict[Any, Any]] = None
+
+    # ------------------------------------------------------------------
+    # Derived-state lifetime
+    # ------------------------------------------------------------------
+    def prepare_memo(self) -> OrderedDict[Any, Any]:
+        """The per-graph memo slot used by ``prepare_mstw_instance``.
+
+        The memo lives *on* the graph rather than in a module-level
+        weak-keyed map because memoised results (transformed graphs,
+        prepared DST instances) reference the graph they describe: a
+        value->key reference inside a ``WeakKeyDictionary`` pins the
+        entry forever, while a graph->memo->graph cycle is ordinary
+        garbage the collector reclaims once the graph is dropped.
+        :mod:`repro.core.mstw` owns the contents and the locking.
+        """
+        if self._prepare_memo is None:
+            self._prepare_memo = OrderedDict()
+        return self._prepare_memo
+
+    def __getstate__(self) -> Tuple[Tuple[TemporalEdge, ...], FrozenSet[Vertex]]:
+        # Pickle only the defining state.  The lazy layout caches and
+        # the prepare memo are per-process derived state; shipping them
+        # (e.g. in a worker initializer payload) would multiply the
+        # payload by the size of the closure matrices.
+        return (self._edges, self._vertices)
+
+    def __setstate__(
+        self, state: Tuple[Tuple[TemporalEdge, ...], FrozenSet[Vertex]]
+    ) -> None:
+        self._edges, self._vertices = state
+        self._chronological = None
+        self._arrival_sorted = None
+        self._adjacency_desc = None
+        self._adjacency_asc = None
+        self._starts_asc = None
+        self._in_edges = None
+        self._out_edges = None
+        self._prepare_memo = None
 
     # ------------------------------------------------------------------
     # Basic accessors

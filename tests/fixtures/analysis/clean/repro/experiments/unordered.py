@@ -1,0 +1,8 @@
+"""Clean counterpart: ordered pool iteration preserves determinism."""
+
+
+def collect(pool, items):
+    results = []
+    for value in pool.imap(str, items):
+        results.append(value)
+    return results

@@ -1,0 +1,18 @@
+"""Clean fixture: the merge layer itself may consume unordered results.
+
+``repro.parallel.engine`` is the one audited module allowed to call
+``imap_unordered`` -- it tags every payload with its submission index
+and restores order before results leave the module.
+"""
+
+
+def drain(pool, payloads):
+    indexed = []
+    for index, value in pool.imap_unordered(_invoke, payloads):
+        indexed.append((index, value))
+    return [value for _index, value in sorted(indexed)]
+
+
+def _invoke(payload):
+    index, fn, item = payload
+    return index, fn(item)

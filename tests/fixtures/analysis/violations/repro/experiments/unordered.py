@@ -1,0 +1,12 @@
+"""Violation fixture: unordered pool-result consumption (REP103).
+
+Consuming ``imap_unordered`` outside the deterministic merge layer in
+``repro.parallel.engine`` makes output depend on worker scheduling.
+"""
+
+
+def collect(pool, items):
+    results = []
+    for value in pool.imap_unordered(str, items):
+        results.append(value)
+    return results

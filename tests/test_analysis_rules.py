@@ -39,6 +39,12 @@ CASES = [
         "time.time()",
     ),
     (
+        "determinism",
+        "REP103",
+        os.path.join("repro", "experiments", "unordered.py"),
+        "pool.imap_unordered(str, items)",
+    ),
+    (
         "float-equality",
         "REP104",
         os.path.join("repro", "core", "weights.py"),
@@ -163,6 +169,30 @@ def test_determinism_rule_allows_perf_harness(tmp_path):
     )
     assert errors == []
     assert findings == []
+
+
+def test_determinism_rule_allows_unordered_in_engine(tmp_path):
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "parallel", "engine.py"),
+        "def drain(pool, payloads):\n"
+        "    return sorted(pool.imap_unordered(tuple, payloads))\n",
+    )
+    assert errors == []
+    assert findings == []
+
+
+def test_determinism_rule_flags_as_completed(tmp_path):
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "experiments", "futures_mod.py"),
+        "from concurrent.futures import as_completed\n\n\n"
+        "def drain(futures):\n"
+        "    return [f.result() for f in as_completed(futures)]\n",
+    )
+    assert errors == []
+    assert [f.rule for f in findings] == ["determinism"]
+    assert "as_completed" in findings[0].message
 
 
 def test_budget_rule_accepts_delegation_to_budget_callee(tmp_path):

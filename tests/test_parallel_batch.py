@@ -1,0 +1,215 @@
+"""The batch sweep engine and its window-containment reuse index.
+
+Headline property (the engine's reason to exist): ``run_batch`` output
+equals the pre-engine serial reference loop ``run_sweep_serial`` on the
+same cells at any ``jobs`` value -- including cells that go over budget
+or answer through the fallback ladder -- while the reuse index derives
+nested-window artifacts exactly.
+"""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.parallel.batch import (
+    BatchResult,
+    SweepCell,
+    run_batch,
+    run_sweep_serial,
+)
+from repro.parallel.reuse import WindowReuseIndex
+from repro.experiments.runner import OverBudgetCell
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow, extract_window
+
+
+def _sweep_graph(n=14, extra=30, seed=11):
+    """A deterministic temporal graph with activity spread over [0, 20].
+
+    Vertex 0 reaches a growing prefix of the chain as the window widens,
+    so nested sweep windows give distinct but always-solvable cells.
+    """
+    rng = random.Random(seed)
+    edges = []
+    for v in range(1, n):
+        start = 4 + (v - 1)
+        edges.append(TemporalEdge(v - 1, v, start, start, rng.randint(1, 9)))
+    for _ in range(extra):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        start = rng.randint(0, 18)
+        edges.append(
+            TemporalEdge(u, v, start, start + rng.randint(0, 2), rng.randint(1, 9))
+        )
+    return TemporalGraph(edges, vertices=range(n))
+
+
+#: Nested sweep windows, widest first (mirrors the bench scenarios).
+WINDOWS = (TimeWindow(0, 20), TimeWindow(2, 16), TimeWindow(4, 12))
+
+VARIANTS = (("pruned", 1), ("pruned", 2), ("improved", 1), ("improved", 2))
+
+
+def _cells(windows=WINDOWS, fallback=False):
+    return [
+        SweepCell(0, window, level=level, algorithm=algorithm, fallback=fallback)
+        for window in windows
+        for algorithm, level in VARIANTS
+    ]
+
+
+class TestWindowReuseIndex:
+    def test_contained_extraction_is_exact(self):
+        graph = _sweep_graph()
+        index = WindowReuseIndex()
+        for window in WINDOWS:  # widest first: narrower ones derive
+            derived = index.extract(graph, window)
+            direct = extract_window(graph, window)
+            assert derived.edges == direct.edges
+            assert derived.vertices == direct.vertices
+
+    def test_in_window_edges_match_direct_filter(self):
+        graph = _sweep_graph()
+        index = WindowReuseIndex()
+        for window in WINDOWS:
+            expected = tuple(
+                e for e in graph.edges if e.within(window.t_alpha, window.t_omega)
+            )
+            assert index.in_window_edges(graph, window) == expected
+
+    def test_stats_count_hits_misses_and_derivations(self):
+        graph = _sweep_graph()
+        index = WindowReuseIndex()
+        assert index.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "containment_derived": 0,
+        }
+        index.extract(graph, WINDOWS[0])  # full-graph scan
+        index.extract(graph, WINDOWS[0])  # exact hit
+        index.extract(graph, WINDOWS[1])  # derived from the container
+        stats = index.stats()
+        assert stats["misses"] == 1
+        assert stats["containment_derived"] == 1
+        # hits aggregates exact hits and derivations (both skip the scan)
+        assert stats["hits"] == 2
+        index.clear()
+        assert index.stats()["hits"] == 0
+
+    def test_extract_returns_same_object_per_window(self):
+        graph = _sweep_graph()
+        index = WindowReuseIndex()
+        first = index.extract(graph, WINDOWS[1])
+        assert index.extract(graph, WINDOWS[1]) is first
+
+    def test_lru_bound_evicts_oldest(self):
+        graph = _sweep_graph()
+        index = WindowReuseIndex(max_windows=1)
+        index.extract(graph, WINDOWS[2])
+        index.extract(graph, TimeWindow(0, 3))  # disjoint; evicts WINDOWS[2]
+        index.extract(graph, WINDOWS[2])  # full scan again
+        assert index.stats()["misses"] == 3
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            WindowReuseIndex(max_windows=0)
+
+
+class TestBatchEqualsSerial:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_values_identical_to_reference_loop(self, jobs):
+        graph = _sweep_graph()
+        cells = _cells()
+        expected = run_sweep_serial(graph, cells)
+        result = run_batch(graph, cells, jobs=jobs)
+        assert isinstance(result, BatchResult)
+        assert result.values == expected
+        assert result.jobs == jobs
+        # Same-window variants + nested windows => the engine shared
+        # work the reference loop repeated.
+        assert result.reuse["hits"] >= 1
+        assert result.fallback_summaries == [None] * len(cells)
+
+    def test_containment_derivation_fires_at_jobs1(self):
+        graph = _sweep_graph()
+        result = run_batch(graph, _cells(), jobs=1)
+        # One worker sees all three nested windows: the two narrower
+        # ones derive from the widest instead of rescanning the graph.
+        assert result.reuse["containment_derived"] >= 2
+        assert result.reuse["misses"] == 1
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_fallback_cells_round_trip(self, jobs):
+        graph = _sweep_graph()
+        cells = _cells(windows=WINDOWS[:2], fallback=True)
+        expected = run_sweep_serial(graph, cells)
+        result = run_batch(graph, cells, jobs=jobs)
+        assert result.values == expected
+        # The ladder answered at its first rung (no budget pressure),
+        # and its summary survived the process boundary.
+        for summary in result.fallback_summaries:
+            assert summary is not None
+            assert summary["degraded"] is False
+            assert summary["attempts"][0]["status"] == "ok"
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_over_budget_cells_survive_the_boundary(self, jobs):
+        graph = _sweep_graph()
+        cells = _cells(windows=WINDOWS[:1])
+        serial = run_sweep_serial(graph, cells, budget_seconds=1e-9)
+        result = run_batch(graph, cells, jobs=jobs, budget_seconds=1e-9)
+        assert all(isinstance(v, OverBudgetCell) for v in serial)
+        assert all(isinstance(v, OverBudgetCell) for v in result.values)
+        assert len(result.values) == len(serial)
+        for value in result.values:
+            assert value.elapsed > 0
+
+    def test_chunk_override_does_not_change_output(self):
+        graph = _sweep_graph()
+        cells = _cells()
+        expected = run_sweep_serial(graph, cells)
+        pinned = run_batch(graph, cells, jobs=2, chunk_size=len(VARIANTS))
+        assert pinned.values == expected
+
+
+@st.composite
+def small_graphs(draw, max_vertices=6):
+    """Reachable random graphs (mirrors the perf-cache strategy)."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    edges = []
+    arrival = {0: 0}
+    for v in range(1, n):
+        parent = draw(st.sampled_from(sorted(arrival)))
+        start = arrival[parent] + draw(st.integers(min_value=0, max_value=3))
+        duration = draw(st.integers(min_value=0, max_value=2))
+        edges.append(
+            TemporalEdge(
+                parent, v, start, start + duration,
+                draw(st.integers(min_value=1, max_value=9)),
+            )
+        )
+        arrival[v] = start + duration
+    return TemporalGraph(edges, vertices=range(n))
+
+
+class TestBatchProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        graph=small_graphs(),
+        level=st.integers(min_value=1, max_value=2),
+    )
+    def test_inline_batch_equals_serial_on_random_graphs(self, graph, level):
+        windows = (TimeWindow(0, float("inf")), TimeWindow(0, 8))
+        cells = [
+            SweepCell(0, window, level=level, algorithm=algorithm)
+            for window in windows
+            for algorithm in ("pruned", "improved")
+        ]
+        assert run_batch(graph, cells, jobs=1).values == run_sweep_serial(
+            graph, cells
+        )

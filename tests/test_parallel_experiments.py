@@ -1,0 +1,158 @@
+"""Parallel experiment grids: identical tables and checkpoints at any jobs.
+
+Satellite properties of the batch-query engine PR:
+
+* a table run at ``--jobs N`` renders byte-identically to ``--jobs 1``
+  (the prefetch layer fills the same keyed cell cache the serial
+  assembly loop reads), and the checkpoint files are byte-identical;
+* that identity holds when cells go over budget (the structured
+  markers round-trip losslessly across the process boundary);
+* a parallel run killed mid-grid resumes at a *different* ``--jobs``
+  value and still converges to the uninterrupted output.
+
+``table6`` is the workload: its 14 quick cells are deterministic
+weights (no timings), so byte-identity is meaningful.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import ExperimentInterruptedError
+from repro.experiments import ExperimentContext, run_experiment
+from repro.experiments.mstw_tables import run_table6
+from repro.experiments.runner import DegradedCell, OverBudgetCell
+from repro.parallel.tasks import experiment_tasks
+
+EXPERIMENT = "table6"
+
+
+def _run_with_checkpoint(tmp_path, jobs, budget=None):
+    """One full table run, keeping the final checkpoint for comparison.
+
+    Drives the context directly (prefetch + serial assembly, the same
+    steps ``run_experiment`` performs) but skips ``complete()`` so the
+    checkpoint file survives for byte comparison.
+    """
+    directory = tmp_path / f"jobs{jobs}"
+    context = ExperimentContext(
+        checkpoint_dir=str(directory), jobs=jobs, cell_budget_seconds=budget
+    )
+    context.begin(EXPERIMENT, True)
+    if jobs > 1:
+        context.prefetch(experiment_tasks(EXPERIMENT, True))
+    result = run_table6(quick=True, context=context)
+    checkpoint = (directory / f"{EXPERIMENT}.json").read_text()
+    return result, checkpoint
+
+
+class TestParallelIdentity:
+    def test_tables_and_checkpoints_identical_across_jobs(self, tmp_path):
+        baseline, base_checkpoint = _run_with_checkpoint(tmp_path, jobs=1)
+        for jobs in (2, 4):
+            result, checkpoint = _run_with_checkpoint(tmp_path, jobs=jobs)
+            assert result.render() == baseline.render()
+            assert result.rows == baseline.rows
+            assert checkpoint == base_checkpoint
+
+    def test_identity_holds_with_degraded_cells(self, tmp_path):
+        """An impossible budget degrades every cell down the ladder;
+        the DegradedCell markers are deterministic, so byte-identity
+        still holds across jobs."""
+        baseline, base_checkpoint = _run_with_checkpoint(
+            tmp_path, jobs=1, budget=1e-9
+        )
+        cells = [c for row in baseline.rows for c in row]
+        assert any(isinstance(c, DegradedCell) for c in cells)
+        for jobs in (2, 4):
+            result, checkpoint = _run_with_checkpoint(
+                tmp_path, jobs=jobs, budget=1e-9
+            )
+            assert result.render() == baseline.render()
+            assert checkpoint == base_checkpoint
+
+    def test_over_budget_cells_survive_parallel_runs(self, tmp_path):
+        """fig8a has no fallback ladder: an impossible budget turns
+        every cell into an OverBudgetCell.  The measured elapsed is
+        inherently nondeterministic, so the parallel run must agree
+        with the serial one cell-for-cell *structurally*."""
+        baseline = run_experiment(
+            "fig8a",
+            quick=True,
+            context=ExperimentContext(
+                checkpoint_dir=str(tmp_path / "a1"),
+                jobs=1,
+                cell_budget_seconds=1e-9,
+            ),
+        )
+        cells = [c for row in baseline.rows for c in row]
+        assert any(isinstance(c, OverBudgetCell) for c in cells)
+        parallel = run_experiment(
+            "fig8a",
+            quick=True,
+            context=ExperimentContext(
+                checkpoint_dir=str(tmp_path / "a2"),
+                jobs=2,
+                cell_budget_seconds=1e-9,
+            ),
+        )
+        assert parallel.header == baseline.header
+        assert len(parallel.rows) == len(baseline.rows)
+        for parallel_row, baseline_row in zip(parallel.rows, baseline.rows):
+            for parallel_cell, baseline_cell in zip(parallel_row, baseline_row):
+                assert type(parallel_cell) is type(baseline_cell)
+                if not isinstance(parallel_cell, OverBudgetCell):
+                    assert parallel_cell == baseline_cell
+
+    def test_run_experiment_dispatches_prefetch(self, tmp_path):
+        serial = run_experiment(EXPERIMENT, quick=True)
+        parallel = run_experiment(
+            EXPERIMENT,
+            quick=True,
+            context=ExperimentContext(checkpoint_dir=str(tmp_path), jobs=2),
+        )
+        assert parallel.render() == serial.render()
+        # completed runs delete their checkpoint, parallel or not
+        assert not (tmp_path / f"{EXPERIMENT}.json").exists()
+
+
+class TestInterruptResumeAcrossJobs:
+    def test_parallel_interrupt_resumes_at_different_jobs(self, tmp_path):
+        baseline = run_experiment(EXPERIMENT, quick=True)
+
+        interrupted = ExperimentContext(
+            checkpoint_dir=str(tmp_path), jobs=2, interrupt_after=5
+        )
+        with pytest.raises(ExperimentInterruptedError):
+            run_experiment(EXPERIMENT, quick=True, context=interrupted)
+        path = tmp_path / f"{EXPERIMENT}.json"
+        assert path.exists()
+        saved = json.loads(path.read_text())
+        assert len(saved["cells"]) == 5
+
+        # Resume with a different worker count than the killed run.
+        for resume_jobs in (4, 1):
+            resumed_context = ExperimentContext(
+                checkpoint_dir=str(tmp_path), jobs=resume_jobs, resume=True
+            )
+            resumed = run_experiment(
+                EXPERIMENT, quick=True, context=resumed_context
+            )
+            assert resumed.rows == baseline.rows
+            assert resumed.render() == baseline.render()
+            # the first resume completes and deletes the checkpoint;
+            # later iterations recompute from scratch, which is fine
+            if resume_jobs == 4:
+                assert resumed_context.fresh_cells == 14 - 5
+                assert not path.exists()
+
+    def test_prefetch_honors_interrupt_after(self, tmp_path):
+        context = ExperimentContext(
+            checkpoint_dir=str(tmp_path), jobs=2, interrupt_after=3
+        )
+        context.begin(EXPERIMENT, True)
+        with pytest.raises(ExperimentInterruptedError):
+            context.prefetch(experiment_tasks(EXPERIMENT, True))
+        assert context.fresh_cells == 3
+        saved = json.loads((tmp_path / f"{EXPERIMENT}.json").read_text())
+        assert len(saved["cells"]) == 3

@@ -123,15 +123,23 @@ class TestTransformationCache:
         graph = TemporalGraph(
             [TemporalEdge(0, 1, 1, 2, 1)], vertices=range(2)
         )
-        assert transformation_cache_info() == {"hits": 0, "misses": 0}
+        assert transformation_cache_info() == {
+            "hits": 0,
+            "misses": 0,
+            "containment": 0,
+        }
         transform_temporal_graph(graph, 0)
         transform_temporal_graph(graph, 0)
         info = transformation_cache_info()
         assert info["misses"] == 1
         assert info["hits"] == 1
-        # Different window -> its own index (a miss, not a stale hit).
+        # A narrower window nested inside the cached unbounded one is
+        # derived by filtering the container's index (not a full scan,
+        # not a stale hit).
         transform_temporal_graph(graph, 0, TimeWindow(0, 1.5))
-        assert transformation_cache_info()["misses"] == 2
+        info = transformation_cache_info()
+        assert info["misses"] == 1
+        assert info["containment"] == 1
 
 
 class TestPipelineCacheIdentity:

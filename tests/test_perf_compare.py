@@ -105,6 +105,13 @@ class TestCompare:
         statuses = {d.name: d.status for d in report.deltas}
         assert statuses["brand-new"] == "new"
 
+    def test_v1_baseline_accepted(self):
+        """v2 only adds fields, so committed PR-2 baselines keep gating."""
+        old = doc(row("a", 0.1))
+        old["schema_version"] = 1
+        report = compare_benchmarks(old, doc(row("a", 0.1)))
+        assert report.ok
+
     def test_schema_mismatch_rejected(self):
         bad = doc(row("a", 0.1))
         bad["schema_version"] = SCHEMA_VERSION + 1

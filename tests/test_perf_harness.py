@@ -47,6 +47,20 @@ class TestScenarios:
         with pytest.raises(KeyError):
             build_scenarios("galactic")
 
+    def test_parallel_scenarios_gated_by_jobs(self):
+        """Pool-backed variants only join the suite at their jobs level."""
+        at_one = scenario_names("smoke", jobs=1)
+        assert "parallel_sweep_serial" in at_one
+        assert "parallel_sweep_jobs1" in at_one
+        assert "parallel_sweep_jobs2" not in at_one
+        at_four = scenario_names("smoke", jobs=4)
+        assert "parallel_sweep_jobs2" in at_four
+        assert "parallel_sweep_jobs4" in at_four
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenarios("smoke", jobs=0)
+
 
 class TestHarness:
     def test_document_schema(self):
@@ -97,7 +111,29 @@ class TestHarness:
         assert row1["expansions"] == row2["expansions"]
         assert row1["params"] == row2["params"]
 
-    def test_unknown_scenario_name(self):
+    def test_document_records_execution_environment(self):
+        """Schema v2: jobs + CPU/start-method provenance in the doc."""
+        doc = run_benchmarks("smoke", repeats=1, names=FAST, track_alloc=False)
+        assert doc["jobs"] == 1
+        assert doc["platform"]["cpu_count"] >= 1
+        assert doc["platform"]["start_method"] in (
+            "fork",
+            "spawn",
+            "forkserver",
+        )
+
+    def test_parallel_scenario_reports_reuse_hits(self):
+        doc = run_benchmarks(
+            "smoke",
+            repeats=1,
+            names=["parallel_sweep_jobs1"],
+            track_alloc=False,
+        )
+        rows = {r["name"]: r for r in doc["scenarios"]}
+        # the serial baseline joins the run automatically
+        assert set(rows) == {"parallel_sweep_serial", "parallel_sweep_jobs1"}
+        assert rows["parallel_sweep_jobs1"]["reuse_hits"] >= 1
+        assert rows["parallel_sweep_serial"]["reuse_hits"] is None
         with pytest.raises(KeyError):
             run_benchmarks("smoke", repeats=1, names=["nope"])
 

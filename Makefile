@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-parallel bench-check pybench examples report quickcheck ci lint typecheck clean
+.PHONY: install test bench bench-full bench-parallel bench-sliding bench-check pybench examples report quickcheck ci lint typecheck clean
 
 # Bench defaults (override: make bench BENCH_SCALE=full BENCH_REPEATS=9).
 BENCH_SCALE ?= smoke
@@ -11,6 +11,7 @@ BENCH_OUT ?= BENCH_PR2.json
 BENCH_BASELINE ?= benchmarks/baseline_smoke.json
 BENCH_JOBS ?= 4
 BENCH_PARALLEL_OUT ?= BENCH_PR4.json
+BENCH_SLIDING_OUT ?= BENCH_PR5.json
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -31,6 +32,13 @@ bench-full:
 bench-parallel:
 	$(PYTHON) -m repro bench --scale full --repeats $(BENCH_REPEATS) \
 		--jobs $(BENCH_JOBS) --out $(BENCH_PARALLEL_OUT)
+
+# The sliding_sweep family at full scale: cold vs incremental sweeps
+# for MST_a and MST_w (the committed BENCH_PR5.json evidence).
+bench-sliding:
+	$(PYTHON) -m repro bench --scale full --repeats $(BENCH_REPEATS) \
+		--only sliding_msta_incremental --only sliding_mstw_incremental \
+		--out $(BENCH_SLIDING_OUT)
 
 # The CI regression gate: run at smoke scale and diff against the
 # committed baseline (exit 1 on regression).

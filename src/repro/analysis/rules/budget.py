@@ -24,6 +24,7 @@ TARGET_MODULES: Tuple[str, ...] = (
     "repro.steiner.improved",
     "repro.steiner.pruned",
     "repro.baselines",
+    "repro.incremental",
 )
 
 

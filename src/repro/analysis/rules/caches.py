@@ -10,6 +10,12 @@ assignment, ``del``, in-place ``+=``, and mutating method calls) on
 expressions derived from the cache accessors, tracking simple local
 aliases like ``adj = graph.ascending_adjacency()`` /
 ``adj[v].append(...)`` within each function scope.
+
+PR 5 extends the protected surface to the incremental sliding-window
+caches: :class:`repro.temporal.index.TemporalEdgeIndex` window slices
+and deltas, and the patched closure's cost rows, are shared read-only
+views too -- mutating one outside :mod:`repro.incremental` corrupts
+every later slide.
 """
 
 from __future__ import annotations
@@ -31,6 +37,15 @@ CACHE_ACCESSORS = frozenset(
         "in_edges",
         "cost_row",
         "sorted_terminals_from",
+        # TemporalEdgeIndex / incremental-engine views (PR 5): window
+        # slices, deltas, and the patched closure's hop matrix are all
+        # handed out uncopied.
+        "edges_in",
+        "edges_in_graph_order",
+        "iter_edges_in",
+        "in_edges_up_to",
+        "delta",
+        "costs_from",
     }
 )
 
@@ -55,7 +70,18 @@ MUTATING_METHODS = frozenset(
 _VIEW_METHODS = frozenset({"get", "items", "values", "keys"})
 
 #: The modules that own (and may legally fill) the caches.
-OWNING_MODULES = frozenset({"repro.temporal.graph", "repro.steiner.instance"})
+OWNING_MODULES = frozenset(
+    {
+        "repro.temporal.graph",
+        "repro.steiner.instance",
+        "repro.temporal.index",
+        # The incremental engine legally patches the structures it owns
+        # (closure rows, maintained arrival/parent maps).
+        "repro.incremental.msta",
+        "repro.incremental.prepare",
+        "repro.incremental.engine",
+    }
+)
 
 
 def _is_derived(expr: ast.AST, tainted: Set[str]) -> bool:

@@ -20,7 +20,13 @@ from repro.core.clustering import cluster_by_delay, cluster_by_weight
 from repro.core.export import tree_from_json, tree_to_dot, tree_to_json
 from repro.core.msta import minimum_spanning_tree_a, msta_chronological, msta_stack
 from repro.core.online import OnlineMSTa
-from repro.core.sliding import sliding_msta, sliding_mstw
+from repro.core.sliding import (
+    SweepResult,
+    WindowMeasurement,
+    sliding_msta,
+    sliding_mstw,
+    sweep,
+)
 from repro.core.mstw import MSTwResult, minimum_spanning_tree_w
 from repro.core.spanning_tree import TemporalSpanningTree
 from repro.core.steiner_temporal import TemporalSteinerResult, minimum_steiner_tree_w
@@ -32,10 +38,12 @@ __all__ = [
     "MSTwResult",
     "OnlineMSTa",
     "ReproError",
+    "SweepResult",
     "TemporalSpanningTree",
     "TemporalSteinerResult",
     "TransformedGraph",
     "UnreachableRootError",
+    "WindowMeasurement",
     "ZeroDurationError",
     "cluster_by_delay",
     "cluster_by_weight",
@@ -46,6 +54,7 @@ __all__ = [
     "msta_stack",
     "sliding_msta",
     "sliding_mstw",
+    "sweep",
     "transform_temporal_graph",
     "tree_from_json",
     "tree_to_dot",

@@ -227,7 +227,7 @@ _MEMO_GRAPHS: "weakref.WeakSet[TemporalGraph]" = weakref.WeakSet()
 
 _PREPARE_LOCK = threading.Lock()
 
-_PREPARE_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+_PREPARE_STATS: Dict[str, int] = {"hits": 0, "misses": 0, "delta_derived": 0}
 
 #: Per-graph LRU bound for :func:`prepare_mstw_instance` results.  The
 #: closure is the dominant preprocessing cost and repeated queries (the
@@ -239,8 +239,11 @@ PREPARE_MEMO_SIZE = 4
 def prepare_cache_info() -> Dict[str, int]:
     """This process's ``prepare_mstw_instance`` memo counters.
 
-    Returns a ``{"hits", "misses"}`` *copy* (mutating it does not touch
-    the live counters).  Counters are per-process, like the memo itself:
+    Returns a ``{"hits", "misses", "delta_derived"}`` *copy* (mutating
+    it does not touch the live counters); ``delta_derived`` counts
+    misses answered by patching a memoised neighbouring window's
+    closure (:func:`repro.incremental.patch_prepared_instance`) instead
+    of a cold rebuild.  Counters are per-process, like the memo itself:
     aggregate across workers at the call site if a batch-wide view is
     needed.
     """
@@ -256,6 +259,7 @@ def clear_prepare_memo() -> None:
         _MEMO_GRAPHS.clear()
         _PREPARE_STATS["hits"] = 0
         _PREPARE_STATS["misses"] = 0
+        _PREPARE_STATS["delta_derived"] = 0
 
 
 def prepare_mstw_instance(
@@ -284,6 +288,7 @@ def prepare_mstw_instance(
     if window is None:
         window = TimeWindow.unbounded()
     key = (root, window)
+    donor = None
     if use_cache:
         with _PREPARE_LOCK:
             per_graph = graph.prepare_memo()
@@ -293,6 +298,15 @@ def prepare_mstw_instance(
                 _PREPARE_STATS["hits"] += 1
                 return hit
             _PREPARE_STATS["misses"] += 1
+            # Delta derivation (the windowed sibling of PR 4's
+            # containment derivation): a memoised entry for the *same
+            # root* over a *different window* can donate its closure --
+            # most rows survive a window slide unchanged.  Pick the
+            # most recently used such entry.
+            for (memo_root, memo_window), value in reversed(per_graph.items()):
+                if memo_root == root and memo_window != window:
+                    donor = (memo_window, value)
+                    break
     reachable = reachable_set(graph, root, window)
     terminals = sorted((v for v in reachable if v != root), key=repr)
     if not terminals:
@@ -300,8 +314,25 @@ def prepare_mstw_instance(
             f"root {root!r} reaches no other vertex within {window}"
         )
     transformed = transform_temporal_graph(graph, root, window)
-    instance = transformed.dst_instance(terminals=terminals)
-    prepared = prepare_instance(instance)
+    prepared = None
+    if donor is not None:
+        from repro.incremental.prepare import patch_prepared_instance
+        from repro.temporal.index import edge_index_for
+
+        donor_window, (donor_transformed, donor_prepared) = donor
+        index = edge_index_for(graph)
+        added, removed = index.delta(donor_window, window)
+        changed = {v for e in added for v in (e.source, e.target)}
+        changed.update(v for e in removed for v in (e.source, e.target))
+        prepared = patch_prepared_instance(
+            donor_transformed, donor_prepared, transformed, terminals, changed
+        )
+        if prepared is not None:
+            with _PREPARE_LOCK:
+                _PREPARE_STATS["delta_derived"] += 1
+    if prepared is None:
+        instance = transformed.dst_instance(terminals=terminals)
+        prepared = prepare_instance(instance)
     if use_cache:
         with _PREPARE_LOCK:
             per_graph = graph.prepare_memo()

@@ -28,11 +28,19 @@ class WindowMeasurement:
 
     ``tree`` is None when the root reaches nothing inside the window;
     ``coverage``, ``cost``, and ``makespan`` are then 0/0/NaN-free
-    (0, 0.0, None) so the series stays plottable.
+    (0, 0.0, None) so the series stays plottable.  The same contract
+    holds in every downstream rendering (:meth:`SweepResult.rows`, the
+    experiment tables): an empty window exports ``None`` -- never NaN --
+    for makespan and zero for cost and coverage.
+
+    ``caveat`` is set by the incremental engine when a window degraded
+    to a cold recomputation (budget exhaustion); cold sweeps leave it
+    None.
     """
 
     window: TimeWindow
     tree: Optional[TemporalSpanningTree]
+    caveat: Optional[str] = None
 
     @property
     def coverage(self) -> int:
@@ -46,10 +54,18 @@ class WindowMeasurement:
 
     @property
     def makespan(self) -> Optional[float]:
-        """Latest arrival time, or None when nothing is reached."""
+        """Latest arrival time, or None when nothing is reached.
+
+        The NaN-free guarantee: a measurement never exposes NaN even if
+        a tree's arrival data were empty or non-finite -- callers can
+        test ``is None`` instead of ``math.isnan``.
+        """
         if self.tree is None or self.tree.num_edges == 0:
             return None
-        return self.tree.max_arrival_time
+        value = self.tree.max_arrival_time
+        if value != value:  # NaN guard: never leak NaN into a series
+            return None
+        return value
 
 
 def iter_windows(
@@ -87,8 +103,22 @@ def sliding_msta(
     root: Vertex,
     window_length: float,
     step: Optional[float] = None,
+    engine: str = "cold",
 ) -> List[WindowMeasurement]:
-    """Earliest-arrival tree per sliding window (epidemic-style sweep)."""
+    """Earliest-arrival tree per sliding window (epidemic-style sweep).
+
+    ``engine="incremental"`` routes the sweep through
+    :class:`repro.incremental.SlidingEngine`: each slide patches the
+    previous window's tree instead of recomputing it.  The output is
+    identical window-for-window (property-tested); only the work per
+    slide changes.
+    """
+    if engine == "incremental":
+        from repro.incremental import sliding_msta_incremental
+
+        return sliding_msta_incremental(graph, root, window_length, step)
+    if engine != "cold":
+        raise ReproError(f"unknown engine {engine!r}; expected 'cold' or 'incremental'")
     index = TemporalEdgeIndex(graph)
     results = []
     for window in iter_windows(graph, window_length, step):
@@ -108,8 +138,22 @@ def sliding_mstw(
     step: Optional[float] = None,
     level: int = 2,
     algorithm: str = "pruned",
+    engine: str = "cold",
 ) -> List[WindowMeasurement]:
-    """Minimum-cost tree per sliding window (the paper's cost forecast)."""
+    """Minimum-cost tree per sliding window (the paper's cost forecast).
+
+    ``engine="incremental"`` patches the DST preparation and warm-starts
+    the pruned solve from the previous window; output-identical to the
+    cold sweep (see :mod:`repro.incremental`).
+    """
+    if engine == "incremental":
+        from repro.incremental import sliding_mstw_incremental
+
+        return sliding_mstw_incremental(
+            graph, root, window_length, step, level=level, algorithm=algorithm
+        )
+    if engine != "cold":
+        raise ReproError(f"unknown engine {engine!r}; expected 'cold' or 'incremental'")
     index = TemporalEdgeIndex(graph)
     results = []
     for window in iter_windows(graph, window_length, step):
@@ -126,3 +170,65 @@ def sliding_mstw(
             continue
         results.append(WindowMeasurement(window, result.tree))
     return results
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full sliding sweep plus its export helpers.
+
+    ``rows()`` flattens the sweep into plottable / tabulable records
+    with the empty-window contract applied uniformly: ``makespan`` is
+    ``None`` (never NaN) and ``cost`` / ``coverage`` are zero when a
+    window reached nothing.
+    """
+
+    kind: str  #: ``"msta"`` or ``"mstw"``
+    root: Vertex
+    engine: str
+    measurements: List[WindowMeasurement]
+
+    def rows(self) -> List[dict]:
+        """One dict per window: boundaries, coverage, cost, makespan."""
+        return [
+            {
+                "t_alpha": m.window.t_alpha,
+                "t_omega": m.window.t_omega,
+                "coverage": m.coverage,
+                "cost": m.cost,
+                "makespan": m.makespan,
+                "caveat": m.caveat,
+            }
+            for m in self.measurements
+        ]
+
+    def series(self, field: str) -> List:
+        """One column of :meth:`rows` (e.g. ``series("cost")``)."""
+        return [row[field] for row in self.rows()]
+
+
+def sweep(
+    graph: TemporalGraph,
+    root: Vertex,
+    window_length: float,
+    step: Optional[float] = None,
+    kind: str = "msta",
+    level: int = 2,
+    algorithm: str = "pruned",
+    engine: str = "incremental",
+) -> SweepResult:
+    """The packaged sliding-window protocol (incremental by default).
+
+    A thin front door over :func:`sliding_msta` / :func:`sliding_mstw`
+    returning a :class:`SweepResult`; examples, the experiment runner,
+    and the bench scenarios all enter here.
+    """
+    if kind == "msta":
+        measurements = sliding_msta(graph, root, window_length, step, engine=engine)
+    elif kind == "mstw":
+        measurements = sliding_mstw(
+            graph, root, window_length, step,
+            level=level, algorithm=algorithm, engine=engine,
+        )
+    else:
+        raise ReproError(f"unknown sweep kind {kind!r}; expected 'msta' or 'mstw'")
+    return SweepResult(kind=kind, root=root, engine=engine, measurements=measurements)

@@ -8,6 +8,7 @@ from the root (Section 2.2's spanning-tree conditions).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Set
 
 from repro.core.errors import InvalidTreeError
@@ -104,8 +105,15 @@ class TemporalSpanningTree:
     # ------------------------------------------------------------------
     @property
     def total_weight(self) -> float:
-        """``ζ(ST(r))``: the sum of the tree's edge weights."""
-        return sum(edge.weight for edge in self.parent_edge.values())
+        """``ζ(ST(r))``: the sum of the tree's edge weights.
+
+        Computed with :func:`math.fsum` so the result is the correctly
+        rounded sum *independent of edge order* -- a tree repaired
+        incrementally stores its parent edges in a different dict order
+        than the cold chronological scan, and a naive left-to-right sum
+        would differ in the last ulp between the two.
+        """
+        return math.fsum(edge.weight for edge in self.parent_edge.values())
 
     @property
     def arrival_times(self) -> Dict[Vertex, float]:

@@ -9,6 +9,7 @@ from repro.experiments.fig8 import run_fig8a, run_fig8b
 from repro.experiments.msta_tables import run_table2, run_table3
 from repro.experiments.mstw_tables import run_table4, run_table5, run_table6
 from repro.experiments.runner import TableResult
+from repro.experiments.sliding_tables import run_sweep
 from repro.experiments.steinlib_tables import run_table7, run_table8
 from repro.experiments.table1 import run as run_table1
 
@@ -23,6 +24,7 @@ EXPERIMENTS: Dict[str, Callable[..., TableResult]] = {
     "table8": run_table8,
     "fig8a": run_fig8a,
     "fig8b": run_fig8b,
+    "sweep": run_sweep,
 }
 
 

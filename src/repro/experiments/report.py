@@ -44,6 +44,11 @@ PAPER_CLAIMS = {
     ),
     "fig8a": "Runtime is flat in |E|/|V| at fixed |V| (closure input).",
     "fig8b": "Runtime grows polynomially in |V| (the O(|V|^i k^i) law).",
+    "sweep": (
+        "As the time window slides forward, we can predict the minimum "
+        "cost for the future (Section 2.3); each slide is answered "
+        "incrementally from the previous window where certifiable."
+    ),
 }
 
 

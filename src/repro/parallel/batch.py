@@ -194,26 +194,47 @@ def run_sweep_cell(
     }
 
 
-def _window_aligned_chunk_size(cells: Sequence[SweepCell]) -> Optional[int]:
+def _window_aligned_chunk_size(
+    cells: Sequence[SweepCell], jobs: int = 1
+) -> Optional[int]:
     """Chunk size aligning pool chunks with consecutive same-window runs.
 
     A pure function of the cell list: when the cells form uniform
     consecutive window groups (the sweep shape -- every window queried
     by the same variant list), chunking by the group size puts each
     window's cells in exactly one chunk, so one worker pays that
-    window's extraction + preparation and every variant shares it.  Any
-    other shape returns ``None`` (engine default); alignment is a
-    work-sharing optimisation, never a correctness requirement.
+    window's extraction + preparation and every variant shares it.
+
+    When the groups additionally *slide forward* (both window
+    boundaries non-decreasing group to group), the chunk grows to
+    ``group_size * ceil(groups / jobs)``: each worker then receives one
+    contiguous **slide-ordered chain** of windows, the shape under
+    which its reuse index and prepare memo see consecutive windows in
+    slide order (the incremental engine's sweet spot) instead of an
+    arbitrary interleaving.  Outputs are unaffected either way -- the
+    merge layer restores submission order; alignment is a work-sharing
+    optimisation, never a correctness requirement.
+
+    Any other shape returns ``None`` (engine default).
     """
     sizes: List[int] = []
+    group_windows: List[TimeWindow] = []
     previous: Optional[TimeWindow] = None
     for cell in cells:
         if previous is not None and cell.window == previous:
             sizes[-1] += 1
         else:
             sizes.append(1)
+            group_windows.append(cell.window)
         previous = cell.window
     if len(sizes) > 1 and len(set(sizes)) == 1 and sizes[0] > 1:
+        forward = all(
+            b.t_alpha >= a.t_alpha and b.t_omega >= a.t_omega
+            for a, b in zip(group_windows, group_windows[1:])
+        )
+        if forward and jobs > 1:
+            chains = -(-len(sizes) // jobs)  # ceil
+            return sizes[0] * chains
         return sizes[0]
     return None
 
@@ -239,7 +260,7 @@ def run_batch(
     variants query it.
     """
     if chunk_size is None:
-        chunk_size = _window_aligned_chunk_size(cells)
+        chunk_size = _window_aligned_chunk_size(cells, jobs)
     payload = pickle.dumps(graph)
     token = next(_BATCH_TOKENS)
     task = partial(run_sweep_cell, budget_seconds=budget_seconds)
@@ -252,7 +273,12 @@ def run_batch(
     )
     with executor:
         raw = executor.map(task, list(cells))
-    reuse = {"hits": 0, "misses": 0, "containment_derived": 0}
+    reuse = {
+        "hits": 0,
+        "misses": 0,
+        "containment_derived": 0,
+        "index_served_misses": 0,
+    }
     for entry in raw:
         for key, delta in entry["reuse"].items():
             reuse[key] = reuse.get(key, 0) + delta

@@ -35,6 +35,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.temporal.edge import TemporalEdge
 from repro.temporal.graph import TemporalGraph
+from repro.temporal.index import edge_index_for
 from repro.temporal.window import TimeWindow
 
 __all__ = ["WindowReuseIndex", "ReuseStats"]
@@ -63,7 +64,14 @@ class WindowReuseIndex:
         tuple and optionally an extracted subgraph).
     """
 
-    __slots__ = ("max_windows", "_per_graph", "_hits", "_misses", "_derived")
+    __slots__ = (
+        "max_windows",
+        "_per_graph",
+        "_hits",
+        "_misses",
+        "_derived",
+        "_index_misses",
+    )
 
     def __init__(self, max_windows: int = 8) -> None:
         if max_windows < 1:
@@ -77,21 +85,26 @@ class WindowReuseIndex:
         self._hits = 0
         self._misses = 0
         self._derived = 0
+        self._index_misses = 0
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> ReuseStats:
-        """``{"hits", "misses", "containment_derived"}`` counters.
+        """``{"hits", "misses", "containment_derived", "index_served_misses"}``.
 
         ``hits`` counts exact-window cache hits *plus* containment
         derivations (both avoid the full-graph scan); the derivations
-        are also broken out separately.
+        are also broken out separately.  ``index_served_misses`` counts
+        the misses (already included in ``misses``) that were answered
+        by the graph's shared sorted-edge index in ``O(log M + output)``
+        instead of the full ``O(M)`` scan.
         """
         return {
             "hits": self._hits + self._derived,
             "misses": self._misses,
             "containment_derived": self._derived,
+            "index_served_misses": self._index_misses,
         }
 
     def clear(self) -> None:
@@ -100,6 +113,7 @@ class WindowReuseIndex:
         self._hits = 0
         self._misses = 0
         self._derived = 0
+        self._index_misses = 0
 
     # ------------------------------------------------------------------
     # The reuse protocol
@@ -126,12 +140,12 @@ class WindowReuseIndex:
             )
             self._derived += 1
         else:
-            edges = tuple(
-                e
-                for e in graph.edges
-                if e.within(window.t_alpha, window.t_omega)
-            )
+            # True miss: serve it from the graph's shared sorted-edge
+            # index -- bisection over the start array yields the exact
+            # same tuple, in graph order, in O(log M + output).
+            edges = edge_index_for(graph).edges_in_graph_order(window)
             self._misses += 1
+            self._index_misses += 1
         entry = _WindowArtifacts(window, edges)
         per_graph[window] = entry
         if len(per_graph) > self.max_windows:

@@ -11,7 +11,10 @@ not signal.
 
 A scenario present in the baseline but missing from the current run is
 a failure (a silently dropped benchmark would otherwise look like a
-pass); new scenarios in the current run are reported but never fail.
+pass); new scenarios in the current run never fail but are rendered as
+``WARN`` and counted in the verdict line -- an ungated scenario that
+silently passed would defeat the gate, so the warning nags until the
+baseline is regenerated.
 
 Module usage::
 
@@ -71,6 +74,18 @@ class ComparisonReport:
         return [d for d in self.deltas if d.failed]
 
     @property
+    def warnings(self) -> List[ScenarioDelta]:
+        """Current scenarios with no baseline entry (status ``new``).
+
+        These never fail the gate, but they are surfaced loudly: an
+        ungated scenario silently passing would hide exactly the
+        regressions the comparator exists to catch, so the render marks
+        them ``WARN`` and the verdict line counts them until the
+        baseline is regenerated.
+        """
+        return [d for d in self.deltas if d.status == "new"]
+
+    @property
     def ok(self) -> bool:
         return not self.failures
 
@@ -91,7 +106,12 @@ class ComparisonReport:
             ratio = (
                 f"{delta.ratio:5.2f}x" if delta.ratio is not None else "    --"
             )
-            marker = "FAIL" if delta.failed else "  ok"
+            if delta.failed:
+                marker = "FAIL"
+            elif delta.status == "new":
+                marker = "WARN"
+            else:
+                marker = "  ok"
             lines.append(
                 f"{marker}  {delta.name:<{name_width}}  "
                 f"{base} -> {cur}  {ratio}  "
@@ -102,6 +122,13 @@ class ComparisonReport:
             if self.ok
             else f"REGRESSION: {len(self.failures)} scenario(s) failed"
         )
+        if self.warnings:
+            names = ", ".join(d.name for d in self.warnings)
+            verdict += (
+                f"; WARNING: {len(self.warnings)} scenario(s) have no "
+                f"baseline entry and are ungated ({names}) -- "
+                "regenerate the baseline to gate them"
+            )
         lines.append(verdict)
         return "\n".join(lines)
 

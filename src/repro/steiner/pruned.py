@@ -14,7 +14,7 @@ the gap).
 from __future__ import annotations
 
 import math
-from typing import FrozenSet, List, Optional, Set
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.resilience.budget import NULL_BUDGET, Budget
 from repro.steiner.improved import _base_greedy
@@ -22,16 +22,36 @@ from repro.steiner.instance import PreparedInstance
 from repro.steiner.tree import ClosureTree
 
 
+class _WarmMiss(Exception):
+    """Internal: the warm-start bound failed to certify an iteration."""
+
+
 def pruned_dst(
     prepared: PreparedInstance,
     level: int,
     k: Optional[int] = None,
     budget: Optional[Budget] = None,
+    warm_bound: Optional[float] = None,
+    density_log: Optional[List[float]] = None,
 ) -> ClosureTree:
     """Run ``FinalA^level(k, root, X)`` (Algorithm 6) on a prepared instance.
 
     ``budget`` (optional) is checkpointed once per scanned candidate
     vertex; see :class:`repro.resilience.Budget`.
+
+    ``warm_bound`` (optional) is an *a priori* density bound ``B``: in
+    every top-level w-iteration, candidates whose root-row cost alone
+    forces a branch density ``>= B`` are skipped without evaluating
+    their subtree.  The winner's density is certified against ``B``
+    after each scan; if certification ever fails the whole solve is
+    re-run cold, so the returned tree is **always identical** to the
+    unwarmed run -- the bound can only save time, never change the
+    answer.  The sliding engine supplies ``B`` from the previous
+    window's iteration densities (see ``repro.incremental.engine``).
+
+    ``density_log`` (optional) is cleared and filled with the winning
+    density of each top-level w-iteration; the engine feeds it back as
+    the next window's warm bound.
     """
     if level < 1:
         raise ValueError(f"level must be >= 1, got {level}")
@@ -42,7 +62,21 @@ def pruned_dst(
         budget = NULL_BUDGET
     elif budget.is_limited:
         budget.start()
-    return _final_a(prepared, level, k, prepared.root, terminals, budget)
+    if density_log is not None:
+        density_log.clear()
+    if warm_bound is not None:
+        try:
+            return _final_a(
+                prepared, level, k, prepared.root, terminals, budget,
+                bound=warm_bound, density_log=density_log,
+            )
+        except _WarmMiss:
+            if density_log is not None:
+                density_log.clear()
+    return _final_a(
+        prepared, level, k, prepared.root, terminals, budget,
+        density_log=density_log,
+    )
 
 
 def _scan_vertices(
@@ -54,21 +88,36 @@ def _scan_vertices(
     tau: List[float],
     order: List[int],
     budget: Budget,
-) -> ClosureTree:
+    bound: Optional[float] = None,
+) -> "Tuple[ClosureTree, float]":
     """One pruned w-iteration: the best candidate branch ``T' ∪ (r, v)``.
 
     ``tau`` holds each vertex's branch density from the previous
     w-iteration (``-inf`` initially); ``order`` is re-sorted by ``tau``
     before the scan so the early-break prunes all remaining vertices.
     Both are updated in place.
+
+    ``bound`` (warm start) skips any candidate ``v`` with
+    ``root_row[v] >= bound * k``: a branch covers at most ``k``
+    terminals, so its density is at least ``root_row[v] / k >= bound``
+    and it can neither win nor tie a winner whose density certifies
+    below ``bound``.  A skipped vertex keeps ``tau = -inf`` (it sorts
+    first and is re-skipped in O(1); ``k`` only shrinks across
+    w-iterations, so once skippable always skippable).  If the scan
+    cannot certify ``best_density < bound`` the bound was too tight --
+    a skipped vertex might have won -- and :class:`_WarmMiss` asks the
+    caller to re-run cold.
     """
     order.sort(key=tau.__getitem__)
     root_row = prepared.cost_row(r)
+    bound_cost = None if bound is None else bound * k
     best: Optional[ClosureTree] = None
     best_density = math.inf
     for v in order:
         if best is not None and tau[v] >= best_density:
             break
+        if bound_cost is not None and root_row[v] >= bound_cost:
+            continue
         budget.checkpoint()
         edge_cost = root_row[v]
         subtree = _final_b(prepared, i - 1, k, v, remaining, edge_cost, budget)
@@ -78,8 +127,10 @@ def _scan_vertices(
         if best is None or density < best_density:
             best = subtree.with_edge(r, v, edge_cost)
             best_density = density
+    if bound is not None and (best is None or best_density >= bound):
+        raise _WarmMiss
     assert best is not None
-    return best
+    return best, best_density
 
 
 def _final_a(
@@ -89,6 +140,8 @@ def _final_a(
     r: int,
     terminals: FrozenSet[int],
     budget: Budget,
+    bound: Optional[float] = None,
+    density_log: Optional[List[float]] = None,
 ) -> ClosureTree:
     """Algorithm 6's top level (Algorithm 4 with pruned vertex scans)."""
     remaining: Set[int] = set(terminals)
@@ -102,9 +155,12 @@ def _final_a(
     tau = [-math.inf] * num_vertices
     order = list(range(num_vertices))
     while k > 0:
-        best = _scan_vertices(
-            prepared, i, k, r, frozenset(remaining), tau, order, budget
+        best, best_density = _scan_vertices(
+            prepared, i, k, r, frozenset(remaining), tau, order, budget,
+            bound=bound,
         )
+        if density_log is not None:
+            density_log.append(best_density)
         newly_covered = best.covered & remaining
         if not newly_covered:  # pragma: no cover - defensive
             break
@@ -163,7 +219,9 @@ def _final_b(
     tau = [-math.inf] * num_vertices
     order = list(range(num_vertices))
     while k > 0:
-        sub_best = _scan_vertices(
+        # Recursive scans never take the warm bound: it is derived from
+        # the *top-level* iteration densities only.
+        sub_best, _ = _scan_vertices(
             prepared, i, k, r, frozenset(remaining), tau, order, budget
         )
         newly_covered = sub_best.covered & remaining

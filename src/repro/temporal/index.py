@@ -7,14 +7,21 @@ windows.  :class:`TemporalEdgeIndex` sorts the edges once by start time
 and answers each window query in ``O(log M + output)`` using binary
 search on the start times plus an arrival filter that exploits a
 precomputed prefix maximum of durations.
+
+For *sliding* workloads the index additionally answers the symmetric
+difference between two windows (:meth:`TemporalEdgeIndex.delta`) in
+``O(log M + |Δ|)``: a slide of a long window by a small step touches
+only the edges near the two moving boundaries, never the shared bulk.
+That delta is the entry point of the :mod:`repro.incremental` engine.
 """
 
 from __future__ import annotations
 
+import weakref
 from bisect import bisect_left, bisect_right
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.temporal.edge import TemporalEdge
+from repro.temporal.edge import TemporalEdge, Vertex
 from repro.temporal.graph import TemporalGraph
 from repro.temporal.window import TimeWindow
 
@@ -29,12 +36,26 @@ class TemporalEdgeIndex:
         copy of the edge tuple; the graph itself is not retained.
     """
 
-    __slots__ = ("_edges", "_starts", "_max_duration_prefix", "_vertices")
+    __slots__ = (
+        "_edges",
+        "_starts",
+        "_positions",
+        "_max_duration_prefix",
+        "_vertices",
+        "_arrival_order",
+        "_arrivals_sorted",
+        "_out_by_source",
+        "_in_by_target",
+    )
 
     def __init__(self, graph: TemporalGraph) -> None:
-        self._edges: List[TemporalEdge] = sorted(
-            graph.edges, key=lambda e: (e.start, e.arrival)
-        )
+        # Stable sort keeps graph insertion order among (start, arrival)
+        # ties, so _edges matches graph.chronological_edges() exactly and
+        # _positions recovers the original graph.edges position of each
+        # indexed edge (needed to reproduce insertion-order outputs).
+        order = sorted(enumerate(graph.edges), key=lambda p: (p[1].start, p[1].arrival))
+        self._edges: List[TemporalEdge] = [e for _, e in order]
+        self._positions: List[int] = [i for i, _ in order]
         self._starts = [e.start for e in self._edges]
         # prefix maximum of durations: if no edge in edges[lo:] can have
         # duration beyond this, the arrival filter can stop early.
@@ -44,6 +65,17 @@ class TemporalEdgeIndex:
             longest = max(longest, e.duration)
             self._max_duration_prefix.append(longest)
         self._vertices = graph.vertices
+        # Arrival-sorted view: indices into _edges ordered by
+        # (arrival, start, graph position); drives the right-boundary
+        # side of delta() and the per-target in-edge lists.
+        self._arrival_order: List[int] = sorted(
+            range(len(self._edges)),
+            key=lambda j: (self._edges[j].arrival, self._edges[j].start, self._positions[j]),
+        )
+        self._arrivals_sorted = [self._edges[j].arrival for j in self._arrival_order]
+        # Lazy per-vertex adjacency used by the incremental repair loop.
+        self._out_by_source: Optional[Dict[Vertex, Tuple[List[float], List[TemporalEdge]]]] = None
+        self._in_by_target: Optional[Dict[Vertex, Tuple[List[float], List[TemporalEdge]]]] = None
 
     @property
     def num_edges(self) -> int:
@@ -62,6 +94,24 @@ class TemporalEdgeIndex:
         for i in range(lo, hi):
             if self._edges[i].arrival <= window.t_omega:
                 yield self._edges[i]
+
+    def edges_in_graph_order(self, window: TimeWindow) -> Tuple[TemporalEdge, ...]:
+        """The window's edges in *graph insertion* order.
+
+        Identical to ``tuple(e for e in graph.edges if e.within(...))``
+        -- the full-scan extraction every transformation / reuse path
+        performs -- but in ``O(log M + k log k)`` for ``k`` output edges
+        instead of ``O(M)``.
+        """
+        lo = bisect_left(self._starts, window.t_alpha)
+        hi = bisect_right(self._starts, window.t_omega)
+        picked = [
+            (self._positions[i], self._edges[i])
+            for i in range(lo, hi)
+            if self._edges[i].arrival <= window.t_omega
+        ]
+        picked.sort(key=lambda p: p[0])
+        return tuple(e for _, e in picked)
 
     def count_in(self, window: TimeWindow) -> int:
         """Number of edges inside the window (no list materialised)."""
@@ -91,5 +141,194 @@ class TemporalEdgeIndex:
             return None
         return self._starts[i]
 
+    # ------------------------------------------------------------------
+    # Sliding-window deltas
+    # ------------------------------------------------------------------
+    def delta(
+        self, old_window: TimeWindow, new_window: TimeWindow
+    ) -> Tuple[List[TemporalEdge], List[TemporalEdge]]:
+        """``(added, removed)`` between two windows, ``O(log M + |Δ|)``.
+
+        ``added`` are the edges inside ``new_window`` but not
+        ``old_window``; ``removed`` the reverse.  Window membership is
+        ``start >= t_alpha and arrival <= t_omega``, so an edge changes
+        sides only through one of the two moving boundaries:
+
+        * the **start boundary**: edges with ``t_alpha`` of one window
+          ``<= start <`` the other's, found by bisecting the
+          start-sorted array;
+        * the **arrival boundary**: edges with ``t_omega`` of one window
+          ``< arrival <=`` the other's, found by bisecting the
+          arrival-sorted view.
+
+        The two slices are disjoint and complete (an edge admitted by
+        the start boundary is counted there only), and each is a
+        contiguous sorted-array range, so the cost is proportional to
+        the slide, not the window.  Both lists come back ordered by
+        ``(start, arrival, graph position)`` -- chronological order.
+        """
+        return (
+            self._one_sided(old_window, new_window),
+            self._one_sided(new_window, old_window),
+        )
+
+    def _one_sided(self, frm: TimeWindow, to: TimeWindow) -> List[TemporalEdge]:
+        """Edges inside ``to`` but outside ``frm``."""
+        a1, o1 = frm.t_alpha, frm.t_omega
+        a2, o2 = to.t_alpha, to.t_omega
+        picked: List[int] = []
+        # Start boundary: a2 <= start < a1 admits the edge into `to`
+        # (and start < a1 excludes it from `frm`); arrival <= o2 keeps
+        # it inside `to` on the right.
+        if a2 < a1:
+            lo = bisect_left(self._starts, a2)
+            # Edges starting after o2 cannot arrive by o2; capping the
+            # slice keeps the scan proportional to the boundary region.
+            hi = min(bisect_left(self._starts, a1), bisect_right(self._starts, o2))
+            for i in range(lo, hi):
+                if self._edges[i].arrival <= o2:
+                    picked.append(i)
+        # Arrival boundary: o1 < arrival <= o2 admits the edge into
+        # `to`; start >= max(a1, a2) keeps the two regions disjoint
+        # (edges with start < a1 were counted by the start boundary).
+        if o2 > o1:
+            left = max(a1, a2)
+            lo = bisect_right(self._arrivals_sorted, o1)
+            hi = bisect_right(self._arrivals_sorted, o2)
+            for k in range(lo, hi):
+                j = self._arrival_order[k]
+                if self._edges[j].start >= left:
+                    picked.append(j)
+        picked.sort(
+            key=lambda j: (self._edges[j].start, self._edges[j].arrival, self._positions[j])
+        )
+        return [self._edges[j] for j in picked]
+
+    # ------------------------------------------------------------------
+    # Per-vertex views (the incremental repair loop's scan structures)
+    # ------------------------------------------------------------------
+    def _source_adjacency(self) -> Dict[Vertex, Tuple[List[float], List[TemporalEdge]]]:
+        if self._out_by_source is None:
+            grouped: Dict[Vertex, List[TemporalEdge]] = {}
+            # _edges is already (start, arrival, position)-sorted, so the
+            # per-source sublists inherit ascending-start order.
+            for e in self._edges:
+                grouped.setdefault(e.source, []).append(e)
+            self._out_by_source = {
+                v: ([e.start for e in edges], edges) for v, edges in grouped.items()
+            }
+        return self._out_by_source
+
+    def _target_adjacency(self) -> Dict[Vertex, Tuple[List[float], List[TemporalEdge]]]:
+        if self._in_by_target is None:
+            grouped: Dict[Vertex, List[TemporalEdge]] = {}
+            # Walk the arrival-sorted view so the per-target sublists
+            # are ordered by (arrival, start, graph position) -- the
+            # exact tie-break order of Algorithm 1's parent choice.
+            for j in self._arrival_order:
+                e = self._edges[j]
+                grouped.setdefault(e.target, []).append(e)
+            self._in_by_target = {
+                v: ([e.arrival for e in edges], edges) for v, edges in grouped.items()
+            }
+        return self._in_by_target
+
+    def out_edges_enabled(
+        self, vertex: Vertex, t: float, t_omega: float
+    ) -> Iterator[TemporalEdge]:
+        """Out-edges of ``vertex`` with ``start >= t`` and ``arrival <= t_omega``.
+
+        Bisects the per-source ascending-start array and stops at the
+        first start past ``t_omega`` -- the repair loop's out-scan.
+        """
+        entry = self._source_adjacency().get(vertex)
+        if entry is None:
+            return
+        starts, edges = entry
+        i = bisect_left(starts, t)
+        while i < len(starts) and starts[i] <= t_omega:
+            e = edges[i]
+            if e.arrival <= t_omega:
+                yield e
+            i += 1
+
+    def in_edges_at_arrival(
+        self, vertex: Vertex, arrival: float
+    ) -> Iterator[TemporalEdge]:
+        """In-edges of ``vertex`` arriving exactly at ``arrival``.
+
+        Yielded in ``(start, graph position)`` order -- the run feeding
+        the canonical parent-edge choice after an incremental repair.
+        """
+        entry = self._target_adjacency().get(vertex)
+        if entry is None:
+            return
+        arrivals, edges = entry
+        i = bisect_left(arrivals, arrival)
+        while i < len(arrivals) and arrivals[i] == arrival:
+            yield edges[i]
+            i += 1
+
+    def in_edges_up_to(
+        self, vertex: Vertex, t_omega: float
+    ) -> Iterator[TemporalEdge]:
+        """In-edges of ``vertex`` with ``arrival <= t_omega`` (arrival order)."""
+        entry = self._target_adjacency().get(vertex)
+        if entry is None:
+            return
+        arrivals, edges = entry
+        hi = bisect_right(arrivals, t_omega)
+        for i in range(hi):
+            yield edges[i]
+
+    def has_incident_in(self, window: TimeWindow, vertex: Vertex) -> bool:
+        """Whether ``vertex`` has any incident edge inside ``window``.
+
+        Equivalent to ``vertex in index.subgraph(window).vertices``
+        without materialising the subgraph.
+        """
+        entry = self._source_adjacency().get(vertex)
+        if entry is not None:
+            starts, edges = entry
+            i = bisect_left(starts, window.t_alpha)
+            while i < len(starts) and starts[i] <= window.t_omega:
+                if edges[i].arrival <= window.t_omega:
+                    return True
+                i += 1
+        entry = self._target_adjacency().get(vertex)
+        if entry is not None:
+            arrivals, edges = entry
+            hi = bisect_right(arrivals, window.t_omega)
+            for i in range(hi):
+                if edges[i].start >= window.t_alpha:
+                    return True
+        return False
+
     def __len__(self) -> int:
         return len(self._edges)
+
+
+#: graph -> shared index; weak keys, and the index itself holds no
+#: reference back to the graph, so entries die with their graph.
+_SHARED_INDICES: "weakref.WeakKeyDictionary[TemporalGraph, TemporalEdgeIndex]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def edge_index_for(
+    graph: TemporalGraph, create: bool = True
+) -> Optional[TemporalEdgeIndex]:
+    """The process-wide shared :class:`TemporalEdgeIndex` of ``graph``.
+
+    Sliding sweeps, the window-reuse index, and the transformation
+    cache's delta-derivation path all consult the same index so the
+    ``O(M log M)`` build is paid once per graph.  With ``create=False``
+    the call only reports an existing index (``None`` otherwise) --
+    used by paths that should stay ``O(M)`` when nothing sliding-shaped
+    has touched the graph yet.
+    """
+    index = _SHARED_INDICES.get(graph)
+    if index is None and create:
+        index = TemporalEdgeIndex(graph)
+        _SHARED_INDICES[graph] = index
+    return index

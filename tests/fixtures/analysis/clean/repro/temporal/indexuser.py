@@ -1,0 +1,7 @@
+"""Clean counterpart: copy the window slice before extending it."""
+
+
+def widen(index, window, extra_edge):
+    edges = list(index.edges_in(window))
+    edges.append(extra_edge)
+    return edges

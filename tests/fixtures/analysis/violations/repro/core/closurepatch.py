@@ -1,0 +1,11 @@
+"""Fixture: writing into a patched closure's shared cost row.
+
+``costs_from`` returns a row of the closure's distance matrix -- the
+same array the incremental patcher copies forward between windows.
+"""
+
+
+def zero_out(closure, source):
+    row = closure.costs_from(source)
+    row[0] = 0.0
+    return row

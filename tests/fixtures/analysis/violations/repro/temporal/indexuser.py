@@ -1,0 +1,11 @@
+"""Fixture: mutating a shared TemporalEdgeIndex window slice.
+
+``edges_in`` hands out the index's derived view; appending to it
+corrupts every later window query and delta.
+"""
+
+
+def widen(index, window, extra_edge):
+    edges = index.edges_in(window)
+    edges.append(extra_edge)
+    return edges

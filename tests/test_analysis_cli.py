@@ -33,7 +33,7 @@ def test_violations_exit_one(capsys):
     assert code == EXIT_FINDINGS
     for rule_code in ("REP101", "REP102", "REP103", "REP104", "REP105", "REP106"):
         assert rule_code in out
-    assert "7 findings" in out
+    assert "9 findings" in out
 
 
 def test_default_excludes_skip_fixture_tree(capsys):
@@ -51,10 +51,10 @@ def test_json_report(capsys):
     assert code == EXIT_FINDINGS
     payload = json.loads(out)
     assert payload["version"] == 1
-    assert payload["counts"]["total"] == 7
+    assert payload["counts"]["total"] == 9
     assert payload["counts"]["by_rule"] == {
         "budget-tick": 1,
-        "cache-mutation": 1,
+        "cache-mutation": 3,
         "determinism": 2,
         "float-equality": 1,
         "temporal-invariant": 1,

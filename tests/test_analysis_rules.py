@@ -33,6 +33,18 @@ CASES = [
         "adjacency[vertex].append(edge)",
     ),
     (
+        "cache-mutation",
+        "REP102",
+        os.path.join("repro", "temporal", "indexuser.py"),
+        "edges.append(extra_edge)",
+    ),
+    (
+        "cache-mutation",
+        "REP102",
+        os.path.join("repro", "core", "closurepatch.py"),
+        "row[0] = 0.0",
+    ),
+    (
         "determinism",
         "REP103",
         os.path.join("repro", "perf", "timing.py"),
@@ -202,6 +214,35 @@ def test_budget_rule_accepts_delegation_to_budget_callee(tmp_path):
         "def run(queue, budget, scan):\n"
         "    while queue:\n"
         "        scan(queue, budget=budget)\n",
+    )
+    assert errors == []
+    assert findings == []
+
+
+def test_budget_rule_covers_incremental_package(tmp_path):
+    # repro.incremental is a REP101 target: an uncheckpointed while loop
+    # in any of its modules must be flagged.
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "incremental", "walker.py"),
+        "def drain(stack):\n"
+        "    while stack:\n"
+        "        stack.pop()\n",
+    )
+    assert errors == []
+    assert [f.rule for f in findings] == ["budget-tick"]
+
+
+def test_cache_rule_allows_incremental_owners(tmp_path):
+    # The engine modules legally patch the structures they own; the
+    # same write outside them is the indexuser.py violation fixture.
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "incremental", "msta.py"),
+        "def fill(index, window, extra):\n"
+        "    edges = index.edges_in(window)\n"
+        "    edges.append(extra)\n"
+        "    return edges\n",
     )
     assert errors == []
     assert findings == []

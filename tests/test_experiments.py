@@ -31,6 +31,7 @@ class TestRegistry:
             "table8",
             "fig8a",
             "fig8b",
+            "sweep",
         }
 
     def test_unknown_name(self):
@@ -127,3 +128,61 @@ class TestPaperShapes:
             times = row[1:]
             assert times[-1] > times[0]
             assert not any(math.isnan(t) for t in times)
+
+class TestSweep:
+    """The Section 2.3 sliding-window forecast table."""
+
+    def test_shape_and_incremental_engagement(self, results):
+        table = results["sweep"]
+        assert table.header == [
+            "t_alpha", "t_omega", "reached", "makespan", "mstw cost",
+        ]
+        for row in table.rows:
+            reached, makespan, cost = row[2], row[3], row[4]
+            if reached == 0:
+                assert makespan == "-"
+                assert cost == 0.0
+            else:
+                assert not math.isnan(makespan)
+                assert not math.isnan(cost)
+        # The quick sweep is tuned so the repair path actually engages.
+        repair_note = next(n for n in table.notes if "dirty-cone" in n)
+        assert not repair_note.startswith("MST_a sweep: 0 slides")
+        assert any("never NaN" in n for n in table.notes)
+
+    def test_empty_window_exports_dash_not_nan(self):
+        """Table export of an empty window: '-', 0, 0.0 -- never NaN."""
+        from repro.experiments.checkpoint import ExperimentContext
+        from repro.experiments.sliding_tables import run_sweep
+
+        empty = {
+            "t_alpha": 0.0, "t_omega": 5.0,
+            "coverage": 0, "cost": 0.0, "makespan": None, "caveat": None,
+        }
+        full = {
+            "t_alpha": 5.0, "t_omega": 10.0,
+            "coverage": 3, "cost": 7.0, "makespan": 4.0, "caveat": None,
+        }
+        ctx = ExperimentContext()
+        ctx._cells = {
+            "sweep:msta": {
+                "rows": [empty, full],
+                "stats": {"incremental_slides": 1, "cold_solves": 1},
+            },
+            "sweep:mstw": {
+                "rows": [empty, full],
+                "stats": {
+                    "incremental_slides": 1, "cold_solves": 1,
+                    "patched_prepares": 0, "cold_prepares": 1,
+                    "warm_solves": 1,
+                },
+            },
+        }
+        table = run_sweep(quick=True, context=ctx)
+        assert table.rows[0][2:] == [0, "-", 0.0]
+        assert table.rows[1][2:] == [3, 4.0, 7.0]
+        cells = "\n".join(
+            str(cell) for row in table.rows for cell in row
+        )
+        assert "nan" not in cells.lower()
+        assert "None" not in cells

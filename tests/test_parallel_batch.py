@@ -89,12 +89,14 @@ class TestWindowReuseIndex:
             "hits": 0,
             "misses": 0,
             "containment_derived": 0,
+            "index_served_misses": 0,
         }
-        index.extract(graph, WINDOWS[0])  # full-graph scan
+        index.extract(graph, WINDOWS[0])  # miss, served by the edge index
         index.extract(graph, WINDOWS[0])  # exact hit
         index.extract(graph, WINDOWS[1])  # derived from the container
         stats = index.stats()
         assert stats["misses"] == 1
+        assert stats["index_served_misses"] == 1
         assert stats["containment_derived"] == 1
         # hits aggregates exact hits and derivations (both skip the scan)
         assert stats["hits"] == 2

@@ -127,6 +127,7 @@ class TestTransformationCache:
             "hits": 0,
             "misses": 0,
             "containment": 0,
+            "delta_derived": 0,
         }
         transform_temporal_graph(graph, 0)
         transform_temporal_graph(graph, 0)

@@ -105,6 +105,21 @@ class TestCompare:
         statuses = {d.name: d.status for d in report.deltas}
         assert statuses["brand-new"] == "new"
 
+    def test_new_scenario_warns_loudly(self):
+        """Ungated scenarios are surfaced, not silently passed."""
+        report = compare_benchmarks(
+            doc(row("a", 0.1)), doc(row("a", 0.1), row("brand-new", 9.9))
+        )
+        assert [d.name for d in report.warnings] == ["brand-new"]
+        text = report.render()
+        assert "WARN" in text
+        assert "brand-new" in text.splitlines()[-1]
+        assert "no baseline entry" in text
+        # A fully gated run renders no warning.
+        clean = compare_benchmarks(doc(row("a", 0.1)), doc(row("a", 0.1)))
+        assert clean.warnings == []
+        assert "WARN" not in clean.render()
+
     def test_v1_baseline_accepted(self):
         """v2 only adds fields, so committed PR-2 baselines keep gating."""
         old = doc(row("a", 0.1))

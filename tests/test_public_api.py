@@ -50,7 +50,12 @@ def test_top_level_exports():
                            "exact_dst_cost", "exact_dst_cost_labeling",
                            "prepare_instance", "combined_lower_bound"]),
         ("repro.core", ["OnlineMSTa", "sliding_msta", "cluster_by_weight",
+                        "sweep", "SweepResult", "WindowMeasurement",
                         "tree_to_json", "tree_from_json"]),
+        ("repro.incremental", ["IncrementalMSTa", "SlidingEngine",
+                               "patch_prepared_instance",
+                               "sliding_msta_incremental",
+                               "sliding_mstw_incremental"]),
         ("repro.baselines", ["bhadra_msta", "brute_force_mstw_weight",
                              "realize_static_tree"]),
         ("repro.hardness", ["max_leaf_spanning_tree", "max_leaf_to_mstw_graph"]),
@@ -75,6 +80,7 @@ def test_all_lists_are_sorted_ish_and_resolvable():
         "repro.static",
         "repro.steiner",
         "repro.core",
+        "repro.incremental",
         "repro.baselines",
         "repro.hardness",
         "repro.datasets",

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-parallel bench-sliding bench-check pybench examples report quickcheck ci lint typecheck clean
+.PHONY: install test chaos bench bench-full bench-parallel bench-sliding bench-check pybench examples report quickcheck ci lint typecheck clean
 
 # Bench defaults (override: make bench BENCH_SCALE=full BENCH_REPEATS=9).
 BENCH_SCALE ?= smoke
@@ -18,6 +18,11 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# The fault-injection suite alone: seeded chaos schedules asserting
+# byte-identical output and populated recovery counters.
+chaos:
+	$(PYTHON) -m pytest tests/ -m chaos
 
 # The deterministic perf suite (repro.perf): median-of-N timings to a
 # schema-versioned JSON document.

@@ -11,6 +11,7 @@ from repro.analysis.rules import (
     CacheMutationRule,
     DeterminismRule,
     FloatEqualityRule,
+    SwallowedExceptionRule,
     TemporalInvariantRule,
 )
 
@@ -22,6 +23,7 @@ ALL_RULES: List[Type[Rule]] = [
     FloatEqualityRule,
     TemporalInvariantRule,
     ApiConsistencyRule,
+    SwallowedExceptionRule,
 ]
 
 _BY_NAME: Dict[str, Type[Rule]] = {rule.name: rule for rule in ALL_RULES}

@@ -8,6 +8,7 @@ from repro.analysis.rules.api import ApiConsistencyRule
 from repro.analysis.rules.budget import BudgetTickRule
 from repro.analysis.rules.caches import CacheMutationRule
 from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.exceptions import SwallowedExceptionRule
 from repro.analysis.rules.floats import FloatEqualityRule
 from repro.analysis.rules.temporal import TemporalInvariantRule
 
@@ -17,5 +18,6 @@ __all__ = [
     "CacheMutationRule",
     "DeterminismRule",
     "FloatEqualityRule",
+    "SwallowedExceptionRule",
     "TemporalInvariantRule",
 ]

@@ -1,0 +1,100 @@
+"""Rule: no bare ``except:`` or silently swallowed broad exceptions.
+
+The robustness layer (PR 6) makes failure handling *structured*: every
+recovery path either retries, converts to a typed cell
+(``OverBudgetCell``/``DegradedCell``), records a stats counter, or
+re-raises.  A bare ``except:`` (which also traps ``KeyboardInterrupt``
+and ``SystemExit``) or an ``except Exception: pass`` silently discards
+failures that machinery was built to account for -- data loss with no
+evidence, the exact opposite of the "never silent data loss" chaos
+contract.
+
+This rule flags, in library modules:
+
+* bare ``except:`` handlers, always;
+* handlers catching ``Exception``/``BaseException`` whose body does
+  nothing (only ``pass``/``...``) -- catching broadly is fine when the
+  handler *acts* (logs, counts, converts, falls back); swallowing
+  broadly is not.
+
+Narrow swallows (``except OSError: pass`` on a best-effort cleanup)
+are deliberately allowed: the author named the failure they are
+discarding.  A genuinely intentional broad swallow can be whitelisted
+with the standard suppression comment
+(``# repro: ignore[swallowed-exception]``) on the handler line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ParsedModule, Rule
+
+#: Exception names whose silent swallow is never acceptable.
+BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _handler_names(node: ast.ExceptHandler) -> Iterator[str]:
+    """The dotted-name leaves of the handler's exception expression."""
+    expressions = (
+        node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+    )
+    for expression in expressions:
+        if isinstance(expression, ast.Name):
+            yield expression.id
+        elif isinstance(expression, ast.Attribute):
+            yield expression.attr
+
+
+def _body_is_silent(node: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing but suppress."""
+    for statement in node.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            # A docstring or a bare `...` -- still does nothing.
+            continue
+        return False
+    return True
+
+
+class SwallowedExceptionRule(Rule):
+    name = "swallowed-exception"
+    code = "REP107"
+    description = (
+        "no bare except: and no silently swallowed broad exceptions "
+        "(except Exception: pass) in library modules -- recovery paths "
+        "must retry, convert, count, or re-raise"
+    )
+
+    def applies(self, module: ParsedModule) -> bool:
+        name = module.module_name
+        return name is not None and (
+            name == "repro" or name.startswith("repro.")
+        )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare except: traps KeyboardInterrupt/SystemExit too; "
+                    "name the exceptions this handler is built for",
+                )
+                continue
+            if _body_is_silent(node) and any(
+                name in BROAD_EXCEPTIONS for name in _handler_names(node)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "broad exception silently swallowed; act on the failure "
+                    "(retry, convert to a typed cell, count it in stats) or "
+                    "catch the specific exceptions this site expects",
+                )

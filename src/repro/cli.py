@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.core.errors import (
     BudgetExceededError,
+    CheckpointFormatError,
     ExperimentInterruptedError,
     GraphFormatError,
     ReproError,
@@ -48,6 +49,7 @@ EXIT_CODES = (
     (GraphFormatError, 65),  # EX_DATAERR: malformed input
     (UnreachableRootError, 66),  # EX_NOINPUT: root/terminals unreachable
     (BudgetExceededError, 67),  # budget drained without a fallback
+    (CheckpointFormatError, 68),  # stale checkpoint schema on resume
     (ExperimentInterruptedError, 75),  # EX_TEMPFAIL: resumable stop
 )
 #: Any other ReproError (EX_SOFTWARE).
@@ -307,6 +309,12 @@ def _cmd_experiment(args) -> int:
             return 2
         print(result.render())
         print()
+    if context is not None:
+        # Recovery actions are reported out-of-band: tables must render
+        # byte-identically with and without faults.
+        summary = context.fault_summary()
+        if summary is not None:
+            print(f"note: {summary}", file=sys.stderr)
     return 0
 
 

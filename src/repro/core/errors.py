@@ -67,6 +67,30 @@ class BudgetExceededError(ReproError):
         self.expansions = expansions
 
 
+class TransientError(ReproError):
+    """A failure that is expected to succeed on retry.
+
+    The base class of every *retryable* fault in the robustness layer:
+    injected faults (:class:`repro.faults.InjectedFault`) derive from
+    it, and the retry helpers
+    (:class:`repro.resilience.retry.RetryPolicy` consumers) treat
+    ``(TransientError, OSError)`` as the retryable set.  Genuine logic
+    errors must not subclass this -- retrying them would mask bugs.
+    """
+
+
+class CheckpointFormatError(ReproError):
+    """A checkpoint file has an incompatible (stale) schema.
+
+    Raised at resume time when a checkpoint parses cleanly but carries
+    a schema version this build does not understand -- unlike torn or
+    corrupt files (which are quarantined and recomputed), a stale
+    format is a deliberate incompatibility the user must resolve by
+    deleting the file or rerunning without ``--resume``.  The message
+    always names the offending file.
+    """
+
+
 class ExperimentInterruptedError(ReproError):
     """An experiment run stopped early with its checkpoint safely on disk.
 

@@ -10,7 +10,7 @@ coverage / cost / makespan series.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.core.errors import ReproError, UnreachableRootError
 from repro.core.msta import minimum_spanning_tree_a
@@ -104,6 +104,7 @@ def sliding_msta(
     window_length: float,
     step: Optional[float] = None,
     engine: str = "cold",
+    stats_out: Optional[Dict[str, int]] = None,
 ) -> List[WindowMeasurement]:
     """Earliest-arrival tree per sliding window (epidemic-style sweep).
 
@@ -116,7 +117,9 @@ def sliding_msta(
     if engine == "incremental":
         from repro.incremental import sliding_msta_incremental
 
-        return sliding_msta_incremental(graph, root, window_length, step)
+        return sliding_msta_incremental(
+            graph, root, window_length, step, stats_out=stats_out
+        )
     if engine != "cold":
         raise ReproError(f"unknown engine {engine!r}; expected 'cold' or 'incremental'")
     index = TemporalEdgeIndex(graph)
@@ -139,6 +142,7 @@ def sliding_mstw(
     level: int = 2,
     algorithm: str = "pruned",
     engine: str = "cold",
+    stats_out: Optional[Dict[str, int]] = None,
 ) -> List[WindowMeasurement]:
     """Minimum-cost tree per sliding window (the paper's cost forecast).
 
@@ -150,7 +154,8 @@ def sliding_mstw(
         from repro.incremental import sliding_mstw_incremental
 
         return sliding_mstw_incremental(
-            graph, root, window_length, step, level=level, algorithm=algorithm
+            graph, root, window_length, step,
+            level=level, algorithm=algorithm, stats_out=stats_out,
         )
     if engine != "cold":
         raise ReproError(f"unknown engine {engine!r}; expected 'cold' or 'incremental'")
@@ -186,6 +191,12 @@ class SweepResult:
     root: Vertex
     engine: str
     measurements: List[WindowMeasurement]
+    #: Engine work / fault-recovery counters (incremental sweeps only;
+    #: ``None`` for cold sweeps).  Diagnostic by contract: excluded from
+    #: :meth:`rows`, so exported tables/series stay byte-identical
+    #: whether or not recovery actions (retries, cold fallbacks after
+    #: injected faults) happened along the way.
+    stats: Optional[Dict[str, int]] = None
 
     def rows(self) -> List[dict]:
         """One dict per window: boundaries, coverage, cost, makespan."""
@@ -222,13 +233,22 @@ def sweep(
     returning a :class:`SweepResult`; examples, the experiment runner,
     and the bench scenarios all enter here.
     """
+    stats: Dict[str, int] = {}
     if kind == "msta":
-        measurements = sliding_msta(graph, root, window_length, step, engine=engine)
+        measurements = sliding_msta(
+            graph, root, window_length, step, engine=engine, stats_out=stats
+        )
     elif kind == "mstw":
         measurements = sliding_mstw(
             graph, root, window_length, step,
-            level=level, algorithm=algorithm, engine=engine,
+            level=level, algorithm=algorithm, engine=engine, stats_out=stats,
         )
     else:
         raise ReproError(f"unknown sweep kind {kind!r}; expected 'msta' or 'mstw'")
-    return SweepResult(kind=kind, root=root, engine=engine, measurements=measurements)
+    return SweepResult(
+        kind=kind,
+        root=root,
+        engine=engine,
+        measurements=measurements,
+        stats=stats or None,
+    )

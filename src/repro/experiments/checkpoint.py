@@ -1,39 +1,72 @@
 """Checkpointed, budgeted, resumable experiment execution.
 
-An :class:`ExperimentContext` threads three robustness features through
+An :class:`ExperimentContext` threads four robustness features through
 the table modules:
 
 * **per-cell budgets** -- every expensive cell runs under a fresh
   :class:`repro.resilience.Budget` deadline; a cell that trips becomes a
   structured :class:`repro.experiments.runner.OverBudgetCell` instead of
   hanging the whole table;
-* **JSON checkpoints** -- each completed cell is appended to
-  ``<checkpoint_dir>/<experiment>.json`` (written atomically), so a
-  killed run loses at most the cell in flight;
+* **per-cell retries** -- a cell that raises a transient error (an
+  injected fault, an OS hiccup) is retried on the deterministic
+  backoff schedule of :data:`repro.resilience.retry.DEFAULT_RETRY_POLICY`
+  with a *fresh* budget per attempt;
+* **verified JSON checkpoints** -- each completed cell is appended to
+  ``<checkpoint_dir>/<experiment>.json`` atomically (tmp file +
+  ``os.replace``) with a per-cell checksum and a file-level checksum
+  footer; on resume, cells failing verification are quarantined and
+  recomputed, and a file too damaged to parse is renamed to
+  ``<name>.json.quarantined`` so the run starts clean without
+  destroying the evidence;
 * **resume** -- with ``resume=True`` previously checkpointed cells are
   returned from the file instead of being recomputed, and a completed
-  run deletes its checkpoint.
+  run deletes its checkpoint.  A checkpoint whose schema version this
+  build does not understand raises
+  :class:`repro.core.errors.CheckpointFormatError` naming the file --
+  stale formats are a user decision, not something to guess around.
 
 Cells are identified by stable string keys chosen by the table modules
 (solver/dataset/level triples), so a resumed run reproduces the exact
 rows an uninterrupted run would have produced -- byte-identical for
 deterministic cells (weights, errors), and carrying the recorded
 timings for timing cells.
+
+Checkpoint format (version 2)::
+
+    {
+      "version": 2,
+      "experiment": "table8",
+      "quick": true,
+      "cells": {"<key>": {"value": <encoded>, "check": "<sha256/16>"}},
+      "checksum": "<sha256/16 of the canonical cells object>"
+    }
+
+Fault-recovery counters accumulate in :attr:`ExperimentContext.fault_stats`
+and are surfaced by the CLI as a report note; they never enter table
+rows, so tables stay byte-identical with and without faults.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
-from repro.core.errors import BudgetExceededError, ExperimentInterruptedError
+from repro import faults
+from repro.core.errors import (
+    BudgetExceededError,
+    CheckpointFormatError,
+    ExperimentInterruptedError,
+)
 from repro.experiments.runner import DegradedCell, OverBudgetCell
 from repro.resilience.budget import Budget
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, TRANSIENT_ERRORS
 
 #: Schema tag for the checkpoint files (bump on incompatible changes).
-CHECKPOINT_VERSION = 1
+#: Version 2 added per-cell checksums and the file-level checksum footer.
+CHECKPOINT_VERSION = 2
 
 
 def encode_cell(value: Any) -> Any:
@@ -58,6 +91,31 @@ def decode_cell(obj: Any) -> Any:
             return DegradedCell(value=decode_cell(obj["value"]), rung=obj["rung"])
         raise ValueError(f"unknown cell tag {obj['__cell__']!r}")
     return obj
+
+
+def cell_checksum(encoded: Any) -> str:
+    """Short content hash of one encoded cell (canonical JSON, sha256/16).
+
+    Canonical serialization (sorted keys, minimal separators) makes the
+    checksum a pure function of the cell *value*, independent of the
+    pretty-printing the checkpoint file itself uses.
+    """
+    canonical = json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _fresh_fault_stats() -> Dict[str, int]:
+    return {
+        "cell_retries": 0,
+        "torn_writes": 0,
+        "quarantined_files": 0,
+        "quarantined_cells": 0,
+        "checksum_mismatches": 0,
+        "pool_retries": 0,
+        "pool_rebuilds": 0,
+        "pool_inline_fallbacks": 0,
+        "pool_timeouts": 0,
+    }
 
 
 @dataclass
@@ -85,6 +143,10 @@ class ExperimentContext:
         keeps everything serial; the checkpoint format is identical
         either way, so a run may be interrupted at one ``jobs`` value
         and resumed at another.
+
+    :attr:`fault_stats` counts every recovery action taken on behalf of
+    this run (retries, torn writes detected, quarantined cells/files,
+    pool rebuilds); all zeros on a fault-free run.
     """
 
     cell_budget_seconds: Optional[float] = None
@@ -94,6 +156,9 @@ class ExperimentContext:
     jobs: int = 1
 
     fresh_cells: int = field(default=0, init=False)
+    fault_stats: Dict[str, int] = field(
+        default_factory=_fresh_fault_stats, init=False
+    )
     _experiment: Optional[str] = field(default=None, init=False, repr=False)
     _quick: bool = field(default=False, init=False, repr=False)
     _cells: Dict[str, Any] = field(default_factory=dict, init=False, repr=False)
@@ -106,24 +171,66 @@ class ExperimentContext:
     # Lifecycle (driven by the registry)
     # ------------------------------------------------------------------
     def begin(self, experiment: str, quick: bool) -> None:
-        """Start (or resume) one experiment's cell cache."""
+        """Start (or resume) one experiment's cell cache.
+
+        Raises
+        ------
+        CheckpointFormatError
+            When the checkpoint parses cleanly but carries a schema
+            version this build does not understand.  Unreadable or
+            corrupt files never raise: they are quarantined (renamed to
+            ``<file>.quarantined``) and the cells recomputed.
+        """
         self._experiment = experiment
         self._quick = quick
         self._cells = {}
         path = self._path()
         if not (self.resume and path and os.path.exists(path)):
             return
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            # Torn or garbled past the point of parsing: set the file
+            # aside (evidence preserved) and recompute from scratch.
+            self._quarantine_file(path)
+            return
+        if not isinstance(payload, dict):
+            self._quarantine_file(path)
+            return
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointFormatError(
+                f"checkpoint {path!r} has schema version {version!r}, but this "
+                f"build reads version {CHECKPOINT_VERSION}; delete the file or "
+                f"rerun without resume to recompute it"
+            )
         if (
-            payload.get("version") == CHECKPOINT_VERSION
-            and payload.get("experiment") == experiment
-            and payload.get("quick") == quick
+            payload.get("experiment") != experiment
+            or payload.get("quick") != quick
         ):
-            self._cells = {
-                key: decode_cell(value)
-                for key, value in payload.get("cells", {}).items()
-            }
+            return
+        cells = payload.get("cells")
+        if not isinstance(cells, dict):
+            self._quarantine_file(path)
+            return
+        if payload.get("checksum") != cell_checksum(cells):
+            self.fault_stats["checksum_mismatches"] += 1
+        # Per-cell salvage: keep every cell whose own checksum verifies
+        # and which decodes cleanly; quarantine (drop + recompute) the
+        # rest.  A fully intact file loses nothing here.
+        for key, entry in cells.items():
+            if (
+                isinstance(entry, dict)
+                and "value" in entry
+                and entry.get("check") == cell_checksum(entry["value"])
+            ):
+                try:
+                    self._cells[key] = decode_cell(entry["value"])
+                    continue
+                except (KeyError, TypeError, ValueError):
+                    pass
+            self.fault_stats["quarantined_cells"] += 1
 
     def complete(self, experiment: str) -> None:
         """Drop the checkpoint of a successfully finished experiment."""
@@ -139,12 +246,14 @@ class ExperimentContext:
         return key in self._cells
 
     def cell(self, key: str, fn: Callable[[Optional[Budget]], Any]) -> Any:
-        """Run (or recall) one budgeted, checkpointed cell.
+        """Run (or recall) one budgeted, checkpointed, retried cell.
 
         ``fn`` receives the cell's :class:`Budget` (or ``None`` when
         budgets are disabled) and returns a JSON-encodable cell value.
         A ``BudgetExceededError`` escaping ``fn`` becomes an
-        :class:`OverBudgetCell`.
+        :class:`OverBudgetCell`.  A transient error is retried with a
+        fresh budget per attempt (deterministic backoff); only the
+        final attempt's failure propagates.
 
         Raises
         ------
@@ -153,15 +262,25 @@ class ExperimentContext:
         """
         if key in self._cells:
             return self._cells[key]
-        budget = (
-            Budget(deadline_seconds=self.cell_budget_seconds).start()
-            if self.cell_budget_seconds is not None
-            else None
-        )
-        try:
-            value = fn(budget)
-        except BudgetExceededError as exc:
-            value = OverBudgetCell(elapsed=exc.elapsed_seconds)
+        policy = DEFAULT_RETRY_POLICY
+        for attempt in range(policy.attempts):
+            budget = (
+                Budget(deadline_seconds=self.cell_budget_seconds).start()
+                if self.cell_budget_seconds is not None
+                else None
+            )
+            try:
+                faults.fire("experiments.cell")
+                value = fn(budget)
+                break
+            except BudgetExceededError as exc:
+                value = OverBudgetCell(elapsed=exc.elapsed_seconds)
+                break
+            except TRANSIENT_ERRORS:
+                if attempt == policy.attempts - 1:
+                    raise
+                self.fault_stats["cell_retries"] += 1
+                policy.sleep_before_retry(attempt)
         self._cells[key] = value
         self.fresh_cells += 1
         self._save()
@@ -194,6 +313,10 @@ class ExperimentContext:
         ``OverBudgetCell``/``DegradedCell`` markers survive the process
         boundary losslessly.
 
+        The executor's recovery machinery (task retries, pool rebuilds
+        after worker crashes, inline fallback) runs underneath; its
+        counters fold into :attr:`fault_stats` under ``pool_*`` keys.
+
         Honors ``interrupt_after`` like :meth:`cell` does: the run stops
         (checkpoint saved) after that many fresh cells, and can be
         resumed later -- at any ``jobs`` value.
@@ -221,11 +344,29 @@ class ExperimentContext:
                 ):
                     interrupted = True
                     break
+            for stat_key, count in executor.stats.as_dict().items():
+                self.fault_stats[f"pool_{stat_key}"] += count
         if interrupted:
             raise ExperimentInterruptedError(
                 f"stopped after {self.fresh_cells} cells "
                 f"(checkpoint saved; rerun with resume to continue)"
             )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def fault_summary(self) -> Optional[str]:
+        """One-line recovery report, or ``None`` on a fault-free run.
+
+        Deliberately *not* part of any table: tables must render
+        byte-identically with and without faults, so recovery actions
+        are reported out-of-band (the CLI prints this to stderr).
+        """
+        nonzero = {k: v for k, v in self.fault_stats.items() if v}
+        if not nonzero:
+            return None
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(nonzero.items()))
+        return f"fault recovery: {parts}"
 
     # ------------------------------------------------------------------
     # Checkpoint I/O
@@ -236,18 +377,38 @@ class ExperimentContext:
             return None
         return os.path.join(self.checkpoint_dir, f"{name}.json")
 
+    def _quarantine_file(self, path: str) -> None:
+        """Set a damaged checkpoint aside instead of deleting it."""
+        try:
+            os.replace(path, f"{path}.quarantined")
+        except OSError:  # pragma: no cover - quarantine is best-effort
+            pass
+        self.fault_stats["quarantined_files"] += 1
+
     def _save(self) -> None:
         path = self._path()
         if path is None:
             return
         os.makedirs(self.checkpoint_dir, exist_ok=True)
+        cells: Dict[str, Any] = {}
+        for key, value in self._cells.items():
+            encoded = encode_cell(value)
+            cells[key] = {"value": encoded, "check": cell_checksum(encoded)}
         payload = {
             "version": CHECKPOINT_VERSION,
             "experiment": self._experiment,
             "quick": self._quick,
-            "cells": {key: encode_cell(v) for key, v in self._cells.items()},
+            "cells": cells,
+            "checksum": cell_checksum(cells),
         }
+        text = json.dumps(payload, indent=1, sort_keys=True)
+        if faults.fire("checkpoint.write") == faults.TORN_WRITE:
+            # Simulate a write cut off mid-stream.  It still goes
+            # through the atomic rename -- the point is that the
+            # *checksums*, not the rename, catch in-flight corruption.
+            text = text[: len(text) // 2]
+            self.fault_stats["torn_writes"] += 1
         tmp = f"{path}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write(text)
         os.replace(tmp, path)

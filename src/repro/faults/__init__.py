@@ -1,0 +1,61 @@
+"""Deterministic, seedable fault injection for the robustness layer.
+
+Declare *what breaks* with a :class:`FaultPlan` (picklable data: site,
+kind, occurrence), activate it with :func:`injected` (or ship it to
+pool workers via the engine's initializer), and the hardened modules'
+:func:`fire` calls detonate the schedule -- worker crashes, task
+errors, stalls, torn checkpoint writes, corrupt dataset reads.  With
+no plan installed every ``fire`` is a single ``None`` check, so the
+instrumentation costs nothing in production.
+
+See ``docs/robustness.md`` ("Fault injection & recovery") for the
+site table and the recovery mechanism each fault exercises.
+"""
+
+from repro.faults.plan import (
+    ALL_KINDS,
+    CORRUPT_READ,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    SITES,
+    TASK_ERROR,
+    TASK_STALL,
+    TORN_WRITE,
+    WORKER_CRASH,
+)
+from repro.faults.runtime import (
+    active_plan,
+    enter_worker,
+    fire,
+    fired_log,
+    in_worker,
+    injected,
+    install,
+    mark_worker,
+    reset_counters,
+    uninstall,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "CORRUPT_READ",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "SITES",
+    "TASK_ERROR",
+    "TASK_STALL",
+    "TORN_WRITE",
+    "WORKER_CRASH",
+    "active_plan",
+    "enter_worker",
+    "fire",
+    "fired_log",
+    "in_worker",
+    "injected",
+    "install",
+    "mark_worker",
+    "reset_counters",
+    "uninstall",
+]

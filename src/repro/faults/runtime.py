@@ -1,0 +1,174 @@
+"""Process-local fault-injection runtime.
+
+The hardened modules declare their injection points by calling
+:func:`fire` with a site name from :data:`repro.faults.plan.SITES`.
+With no plan installed (the production configuration) ``fire`` is a
+few-nanosecond no-op: one global ``None`` check.  Under an installed
+plan it consults the per-process occurrence counters and applies the
+scheduled fault.
+
+State is deliberately module-global and process-local:
+
+* :func:`install` / :func:`uninstall` / the :func:`injected` context
+  manager manage the driver process's plan (tests use ``injected``).
+* The pool engine ships the plan to workers through its initializer,
+  which calls :func:`enter_worker` -- installing the plan *and* marking
+  the process as a worker.  ``worker-crash`` and ``task-stall`` only
+  ever fire in marked workers: crashing or stalling the driver is not
+  a recoverable fault, so the runtime refuses to inject it there.
+
+Every fired fault is appended to a process-local log readable through
+:func:`fired_log` so tests can assert a schedule actually detonated
+(a chaos run whose faults never fire proves nothing).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.faults.plan import (
+    CORRUPT_READ,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    TASK_ERROR,
+    TASK_STALL,
+    TORN_WRITE,
+    WORKER_CRASH,
+)
+
+__all__ = [
+    "active_plan",
+    "enter_worker",
+    "fire",
+    "fired_log",
+    "in_worker",
+    "injected",
+    "install",
+    "mark_worker",
+    "reset_counters",
+    "uninstall",
+]
+
+#: Exit status used by injected worker crashes; distinctive enough to
+#: recognise in pool diagnostics, meaningless otherwise.
+_CRASH_EXIT_STATUS = 86
+
+_PLAN: Optional[FaultPlan] = None
+_IN_WORKER = False
+#: site -> number of times this process has reached it.
+_SITE_COUNTS: Dict[str, int] = {}
+#: Entries already consumed by this process (fire at most once each).
+_CONSUMED: set = set()
+#: (site, kind, occurrence) tuples of faults that actually fired here.
+_FIRED: List[Tuple[str, str, int]] = []
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate ``plan`` in this process, resetting occurrence state."""
+    global _PLAN
+    _PLAN = plan.validated()
+    reset_counters()
+
+
+def uninstall() -> None:
+    """Deactivate fault injection in this process."""
+    global _PLAN
+    _PLAN = None
+    reset_counters()
+
+
+def reset_counters() -> None:
+    """Forget occurrence counts, consumed entries, and the fired log."""
+    _SITE_COUNTS.clear()
+    _CONSUMED.clear()
+    del _FIRED[:]
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan installed in this process, or ``None``."""
+    return _PLAN
+
+
+def mark_worker() -> None:
+    """Declare this process a pool worker (enables crash/stall kinds)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker() -> bool:
+    """Whether this process has been marked as a pool worker."""
+    return _IN_WORKER
+
+
+def enter_worker(plan: Optional[FaultPlan]) -> None:
+    """Worker-initializer hook: mark the process and install ``plan``."""
+    mark_worker()
+    if plan is not None:
+        install(plan)
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of the block (tests' front door)."""
+    previous = _PLAN
+    install(plan)
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            uninstall()
+        else:
+            install(previous)
+
+
+def fired_log() -> Tuple[Tuple[str, str, int], ...]:
+    """``(site, kind, occurrence)`` of every fault fired in this process."""
+    return tuple(_FIRED)
+
+
+def _due_spec(site: str) -> Optional[FaultSpec]:
+    """The not-yet-consumed entry matching this visit to ``site``."""
+    assert _PLAN is not None
+    count = _SITE_COUNTS.get(site, 0) + 1
+    _SITE_COUNTS[site] = count
+    for spec in _PLAN.for_site(site):
+        if spec.occurrence == count and spec not in _CONSUMED:
+            return spec
+    return None
+
+
+def fire(site: str) -> Optional[str]:
+    """Apply any fault scheduled for this visit to ``site``.
+
+    Returns ``None`` when nothing fires.  ``task-error`` raises
+    :class:`InjectedFault`; ``worker-crash`` terminates the process
+    (workers only); ``task-stall`` sleeps (workers only);
+    ``torn-write`` / ``corrupt-read`` return the kind string and the
+    *call site* applies the corruption -- the runtime cannot know which
+    bytes are in flight.
+    """
+    if _PLAN is None:
+        return None
+    spec = _due_spec(site)
+    if spec is None:
+        return None
+    if spec.kind in (WORKER_CRASH, TASK_STALL) and not _IN_WORKER:
+        # Crashing or stalling the driver is not a recoverable fault;
+        # leave the entry unconsumed for a worker to pick up.
+        return None
+    _CONSUMED.add(spec)
+    _FIRED.append((spec.site, spec.kind, spec.occurrence))
+    if spec.kind == TASK_ERROR:
+        raise InjectedFault(site, spec.occurrence)
+    if spec.kind == WORKER_CRASH:
+        os._exit(_CRASH_EXIT_STATUS)
+    if spec.kind == TASK_STALL:
+        time.sleep(spec.seconds)
+        return None
+    if spec.kind in (TORN_WRITE, CORRUPT_READ):
+        return spec.kind
+    raise AssertionError(f"unhandled fault kind {spec.kind!r}")  # pragma: no cover

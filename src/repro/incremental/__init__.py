@@ -20,7 +20,7 @@ delta model and the invalidation rules.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.sliding import WindowMeasurement, iter_windows
 from repro.incremental.engine import SlidingEngine
@@ -45,17 +45,23 @@ def sliding_msta_incremental(
     window_length: float,
     step: Optional[float] = None,
     budget: Optional[Budget] = None,
+    stats_out: Optional[Dict[str, int]] = None,
 ) -> List[WindowMeasurement]:
     """Drop-in incremental replacement for ``sliding_msta``.
 
     Output-identical to the cold sweep (trees and series match
-    window-for-window); only the work per slide changes.
+    window-for-window); only the work per slide changes.  Pass a dict
+    as ``stats_out`` to receive the engine's counters (including the
+    fault-recovery ones) after the sweep.
     """
     engine = SlidingEngine(graph, root)
-    return [
+    measurements = [
         engine.measure_msta(window, budget=budget)
         for window in iter_windows(graph, window_length, step)
     ]
+    if stats_out is not None:
+        stats_out.update(engine.stats)
+    return measurements
 
 
 def sliding_mstw_incremental(
@@ -66,10 +72,14 @@ def sliding_mstw_incremental(
     level: int = 2,
     algorithm: str = "pruned",
     budget: Optional[Budget] = None,
+    stats_out: Optional[Dict[str, int]] = None,
 ) -> List[WindowMeasurement]:
     """Drop-in incremental replacement for ``sliding_mstw``."""
     engine = SlidingEngine(graph, root, level=level, algorithm=algorithm)
-    return [
+    measurements = [
         engine.measure_mstw(window, budget=budget)
         for window in iter_windows(graph, window_length, step)
     ]
+    if stats_out is not None:
+        stats_out.update(engine.stats)
+    return measurements

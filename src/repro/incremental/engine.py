@@ -34,6 +34,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Set, Tuple
 
+from repro import faults
 from repro.core.errors import BudgetExceededError, UnreachableRootError
 from repro.core.postprocess import closure_tree_to_temporal
 from repro.core.sliding import WindowMeasurement
@@ -41,6 +42,7 @@ from repro.core.transformation import TransformedGraph, transform_temporal_graph
 from repro.incremental.msta import IncrementalMSTa
 from repro.incremental.prepare import patch_prepared_instance
 from repro.resilience.budget import Budget
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, TRANSIENT_ERRORS
 from repro.steiner.charikar import charikar_dst
 from repro.steiner.improved import improved_dst
 from repro.steiner.instance import PreparedInstance, prepare_instance
@@ -107,6 +109,8 @@ class SlidingEngine:
             "cold_prepares": 0,
             "warm_solves": 0,
             "budget_fallbacks": 0,
+            "fault_retries": 0,
+            "fault_cold_prepares": 0,
         }
 
     # ------------------------------------------------------------------
@@ -183,22 +187,38 @@ class SlidingEngine:
             changed = _endpoints(added) | _endpoints(removed)
             if budget is not None:
                 budget.start()
-            try:
-                prepared = patch_prepared_instance(
-                    prev_transformed,
-                    prev_prepared,
-                    transformed,
-                    terminals,
-                    changed,
-                    budget=budget,
-                )
-            except BudgetExceededError:
-                self.stats["budget_fallbacks"] += 1
-                caveats.append(
-                    "incremental closure patch exceeded budget; "
-                    "window prepared cold"
-                )
-                prepared = None
+            policy = DEFAULT_RETRY_POLICY
+            for attempt in range(policy.attempts):
+                try:
+                    faults.fire("incremental.patch")
+                    prepared = patch_prepared_instance(
+                        prev_transformed,
+                        prev_prepared,
+                        transformed,
+                        terminals,
+                        changed,
+                        budget=budget,
+                    )
+                except BudgetExceededError:
+                    self.stats["budget_fallbacks"] += 1
+                    caveats.append(
+                        "incremental closure patch exceeded budget; "
+                        "window prepared cold"
+                    )
+                    prepared = None
+                except TRANSIENT_ERRORS:
+                    # Injected or OS-level fault in the patch path:
+                    # retry on the deterministic schedule, then prepare
+                    # cold.  The cold preparation is output-identical,
+                    # so no caveat -- the recovery is visible only in
+                    # stats, never in results.
+                    if attempt < policy.attempts - 1:
+                        self.stats["fault_retries"] += 1
+                        policy.sleep_before_retry(attempt)
+                        continue
+                    self.stats["fault_cold_prepares"] += 1
+                    prepared = None
+                break
             if prepared is not None:
                 self.stats["patched_prepares"] += 1
         if prepared is None:

@@ -102,6 +102,11 @@ class BatchResult:
         directly), round-tripped losslessly from the worker.
     jobs:
         The worker count the batch ran with.
+    faults:
+        The executor's recovery counters (retries / rebuilds /
+        inline_fallbacks / timeouts), all zero on a fault-free run.
+        Like ``reuse``, purely diagnostic: recovery actions never
+        change ``values``.
     """
 
     values: List[Any]
@@ -110,6 +115,7 @@ class BatchResult:
         default_factory=list
     )
     jobs: int = 1
+    faults: Dict[str, int] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -287,6 +293,7 @@ def run_batch(
         reuse=reuse,
         fallback_summaries=[entry["fallback"] for entry in raw],
         jobs=jobs,
+        faults=executor.stats.as_dict(),
     )
 
 

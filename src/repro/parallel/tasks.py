@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.core.errors import BudgetExceededError
 from repro.experiments import fig8, mstw_tables
 from repro.experiments.checkpoint import encode_cell
@@ -98,6 +99,7 @@ def run_cell_task(
             f"unknown cell task kind {task.kind!r}; expected one of "
             f"{sorted(_RUNNERS)}"
         )
+    faults.fire("experiments.cell")
     budget = Budget.per_task(budget_seconds)
     try:
         value = runner(task.args, budget)

@@ -19,8 +19,13 @@ The headline pair is ``solve_improved_i2`` vs
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import faults
+from repro.experiments.checkpoint import ExperimentContext
+from repro.faults import TASK_ERROR, TORN_WRITE, FaultPlan, FaultSpec
 
 from repro.core.mstw import (
     clear_prepare_memo,
@@ -629,6 +634,62 @@ def build_scenarios(scale: str, jobs: int = 1) -> List[Scenario]:
                 setup=sliding_setup(spec.sliding_mstw_dataset),
                 run=sliding_mstw_run("incremental"),
                 baseline="sliding_mstw_cold",
+            ),
+        ]
+    )
+
+    def fault_retry_run(state):
+        plan = FaultPlan.of(FaultSpec("parallel.task", TASK_ERROR, occurrence=1))
+        with faults.injected(plan):
+            result = run_batch(state["graph"], state["cells"], jobs=1)
+        return {"fault_retries": result.faults["retries"]}
+
+    def fault_checkpoint_setup():
+        return {"dir": tempfile.mkdtemp(prefix="repro-bench-ckpt-")}
+
+    def fault_checkpoint_run(state):
+        plan = FaultPlan.of(
+            FaultSpec("checkpoint.write", TORN_WRITE, occurrence=2)
+        )
+        with faults.injected(plan):
+            context = ExperimentContext(checkpoint_dir=state["dir"])
+            context.begin("bench_faults", quick=True)
+            for i in range(4):
+                context.cell(f"cell:{i}", lambda budget, i=i: float(i))
+        resumed = ExperimentContext(checkpoint_dir=state["dir"], resume=True)
+        resumed.begin("bench_faults", quick=True)
+        salvaged = sum(1 for i in range(4) if resumed.has(f"cell:{i}"))
+        resumed.complete("bench_faults")
+        return {"salvaged_cells": salvaged}
+
+    scenarios.extend(
+        [
+            Scenario(
+                name="fault_retry_inline",
+                group="fault_paths",
+                description=(
+                    "The parallel sweep workload (jobs=1) with one "
+                    "injected task error: the retry path's overhead -- "
+                    "one deterministic backoff plus one recomputed cell "
+                    "-- measured against the fault-free run."
+                ),
+                params=dict(parallel_params, jobs=1, injected_faults=1),
+                setup=parallel_setup,
+                run=fault_retry_run,
+                baseline="parallel_sweep_jobs1",
+            ),
+            Scenario(
+                name="fault_checkpoint_recovery",
+                group="fault_paths",
+                description=(
+                    "Checkpointed cells with one torn intermediate "
+                    "write, then a resume that checksum-validates and "
+                    "salvages the file: the integrity machinery's "
+                    "round-trip cost."
+                ),
+                params={"cells": 4, "injected_faults": 1},
+                setup=fault_checkpoint_setup,
+                run=fault_checkpoint_run,
             ),
         ]
     )

@@ -1,0 +1,112 @@
+"""Deterministic retry schedules for transient faults.
+
+Every hardened site in the repository (the pool engine's task retries,
+the experiment runner's cell retries, the dataset readers' re-open
+loop) retries through one :class:`RetryPolicy`: a fixed attempt count
+and a **jitter-free** exponential backoff.  Determinism matters here
+the same way it does in the solvers -- two runs of the same fault
+schedule must recover along the same path, so the delay for attempt
+``k`` is the pure function ``backoff_seconds * multiplier**k``, never a
+randomised jitter.
+
+What counts as *transient* is deliberately narrow:
+:data:`TRANSIENT_ERRORS` is ``(TransientError, OSError)`` --
+injected faults (:class:`repro.faults.InjectedFault`) and operating
+system hiccups.  Algorithmic exceptions (budget exhaustion, format
+errors, unreachable roots) are never retried; retrying them would mask
+bugs and burn deadline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type
+
+from repro.core.errors import TransientError
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "TRANSIENT_ERRORS",
+    "retry_call",
+]
+
+#: The retryable exception set: injected/transient faults and OS-level
+#: errors.  Everything else propagates on first occurrence.
+TRANSIENT_ERRORS: Tuple[Type[BaseException], ...] = (TransientError, OSError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded, deterministic retry schedule.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries (the first attempt plus ``attempts - 1`` retries).
+    backoff_seconds:
+        Delay before the first retry.  ``0`` disables sleeping (the
+        tests' configuration).
+    multiplier:
+        Exponential growth factor between consecutive delays.
+    """
+
+    attempts: int = 3
+    backoff_seconds: float = 0.05
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def delay_for(self, retry_index: int) -> float:
+        """Seconds to wait before retry ``retry_index`` (0-based).
+
+        A pure function -- no jitter -- so recovery timing is a
+        deterministic property of the policy, not of the run.
+        """
+        if retry_index < 0:
+            raise ValueError(f"retry_index must be >= 0, got {retry_index}")
+        return self.backoff_seconds * (self.multiplier ** retry_index)
+
+    def sleep_before_retry(self, retry_index: int) -> None:
+        """Apply the deterministic backoff (no-op at zero backoff)."""
+        delay = self.delay_for(retry_index)
+        if delay > 0:
+            time.sleep(delay)
+
+
+#: Conservative default used by every hardened site that does not take
+#: an explicit policy: three tries, 50ms then 100ms of backoff.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def retry_call(
+    fn: Callable[[], Any],
+    policy: Optional[RetryPolicy] = None,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> Any:
+    """Call ``fn`` under ``policy``, retrying only :data:`TRANSIENT_ERRORS`.
+
+    ``on_retry(retry_index, exc)`` is invoked before each retry (stats
+    counters hook in here).  The final attempt's exception propagates
+    unchanged.
+    """
+    active = policy if policy is not None else DEFAULT_RETRY_POLICY
+    for attempt in range(active.attempts):
+        try:
+            return fn()
+        except TRANSIENT_ERRORS as exc:
+            if attempt == active.attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            active.sleep_before_retry(attempt)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 import io
 import os
-from typing import List, TextIO, Union
+from typing import Callable, Iterable, Iterator, List, TextIO, Union
 
+from repro import faults
 from repro.core.errors import GraphFormatError
+from repro.resilience.retry import DEFAULT_RETRY_POLICY
 from repro.temporal.edge import TemporalEdge
 from repro.temporal.graph import TemporalGraph
 
@@ -33,6 +35,71 @@ def _open_for_read(source: PathOrFile):
     if isinstance(source, (str, os.PathLike)):
         return open(source, "r", encoding="utf-8"), True
     return source, False
+
+
+class _ReadGuard:
+    """Line-stream wrapper around the ``temporal.io.read`` injection site.
+
+    Each line passes through :func:`repro.faults.fire`; a scheduled
+    ``corrupt-read`` garbles that line's digits (so strict row
+    validation catches it as a :class:`GraphFormatError`) and sets
+    :attr:`corrupted`, which tells the retry loop the failure was
+    injected -- genuinely malformed files fail on the first attempt
+    without re-parsing.
+    """
+
+    def __init__(self, handle: Iterable[str]) -> None:
+        self._handle = handle
+        self.corrupted = False
+
+    def __iter__(self) -> Iterator[str]:
+        for line in self._handle:
+            if faults.fire("temporal.io.read") == faults.CORRUPT_READ:
+                self.corrupted = True
+                line = line.translate(str.maketrans("0123456789", "xxxxxxxxxx"))
+            yield line
+
+
+def _read_with_recovery(
+    source: PathOrFile, parse: Callable[[Iterable[str]], TemporalGraph]
+) -> TemporalGraph:
+    """Run ``parse`` over ``source``'s lines, re-reading on recoverable
+    failures.
+
+    OS-level errors and *injected* corruption are retried on the
+    deterministic backoff schedule -- but only for path-like sources,
+    which can be reopened; an already-consumed stream cannot be rewound,
+    so stream sources get exactly one attempt.  Genuine format errors
+    (no corruption injected on that attempt) always propagate
+    immediately.
+    """
+    reopenable = isinstance(source, (str, os.PathLike))
+    policy = DEFAULT_RETRY_POLICY
+    attempts = policy.attempts if reopenable else 1
+    for attempt in range(attempts):
+        last = attempt == attempts - 1
+        try:
+            handle, should_close = _open_for_read(source)
+        except OSError:
+            if last:
+                raise
+            policy.sleep_before_retry(attempt)
+            continue
+        guard = _ReadGuard(handle)
+        try:
+            return parse(guard)
+        except GraphFormatError:
+            if last or not guard.corrupted:
+                raise
+            policy.sleep_before_retry(attempt)
+        except OSError:
+            if last:
+                raise
+            policy.sleep_before_retry(attempt)
+        finally:
+            if should_close:
+                handle.close()
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def _open_for_write(target: PathOrFile):
@@ -87,10 +154,10 @@ def read_konect(
     Every contact becomes a temporal edge departing at ``t`` and
     arriving at ``t + duration``.
     """
-    handle, should_close = _open_for_read(source)
-    try:
+
+    def parse(lines: Iterable[str]) -> TemporalGraph:
         edges: List[TemporalEdge] = []
-        for lineno, line in enumerate(handle, start=1):
+        for lineno, line in enumerate(lines, start=1):
             line = line.strip()
             if not line or line.startswith(("%", "#")):
                 continue
@@ -112,17 +179,16 @@ def read_konect(
             _check_row(lineno, timestamp, timestamp + duration, weight)
             edges.append(TemporalEdge(u, v, timestamp, timestamp + duration, weight))
         return TemporalGraph(edges)
-    finally:
-        if should_close:
-            handle.close()
+
+    return _read_with_recovery(source, parse)
 
 
 def read_native(source: PathOrFile) -> TemporalGraph:
     """Load the native 5-column ``u v start arrival weight`` format."""
-    handle, should_close = _open_for_read(source)
-    try:
+
+    def parse(lines: Iterable[str]) -> TemporalGraph:
         edges: List[TemporalEdge] = []
-        for lineno, line in enumerate(handle, start=1):
+        for lineno, line in enumerate(lines, start=1):
             line = line.strip()
             if not line or line.startswith(("%", "#")):
                 continue
@@ -146,9 +212,8 @@ def read_native(source: PathOrFile) -> TemporalGraph:
                 )
             )
         return TemporalGraph(edges)
-    finally:
-        if should_close:
-            handle.close()
+
+    return _read_with_recovery(source, parse)
 
 
 def write_native(graph: TemporalGraph, target: PathOrFile) -> None:

@@ -1,0 +1,22 @@
+"""Fixture: the compliant failure-handling forms.
+
+Either name the exact failure being discarded (a narrow swallow is an
+explicit decision), or catch broadly but *act* -- count it, convert it,
+re-raise it.
+"""
+
+
+def best_effort_cleanup(path, remover):
+    try:
+        remover(path)
+    except OSError:
+        # Named failure: cleanup may race with concurrent deletion.
+        pass
+
+
+def counted_guard(task, stats):
+    try:
+        return task()
+    except Exception as exc:
+        stats["failures"] = stats.get("failures", 0) + 1
+        raise RuntimeError(f"task failed: {exc}") from exc

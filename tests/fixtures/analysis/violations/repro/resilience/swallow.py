@@ -1,0 +1,12 @@
+"""Fixture: a broad exception silently swallowed (REP107).
+
+The handler catches everything and does nothing -- any failure in the
+cleanup disappears without a retry, a counter, or a typed conversion.
+"""
+
+
+def best_effort_cleanup(path, remover):
+    try:
+        remover(path)
+    except Exception:
+        pass

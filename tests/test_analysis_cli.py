@@ -31,9 +31,11 @@ def test_violations_exit_one(capsys):
     code = main(["--no-default-excludes", VIOLATIONS])
     out = capsys.readouterr().out
     assert code == EXIT_FINDINGS
-    for rule_code in ("REP101", "REP102", "REP103", "REP104", "REP105", "REP106"):
+    for rule_code in (
+        "REP101", "REP102", "REP103", "REP104", "REP105", "REP106", "REP107",
+    ):
         assert rule_code in out
-    assert "9 findings" in out
+    assert "10 findings" in out
 
 
 def test_default_excludes_skip_fixture_tree(capsys):
@@ -51,7 +53,7 @@ def test_json_report(capsys):
     assert code == EXIT_FINDINGS
     payload = json.loads(out)
     assert payload["version"] == 1
-    assert payload["counts"]["total"] == 9
+    assert payload["counts"]["total"] == 10
     assert payload["counts"]["by_rule"] == {
         "budget-tick": 1,
         "cache-mutation": 3,
@@ -59,6 +61,7 @@ def test_json_report(capsys):
         "float-equality": 1,
         "temporal-invariant": 1,
         "api-consistency": 1,
+        "swallowed-exception": 1,
     }
     assert payload["errors"] == []
     for finding in payload["findings"]:

@@ -74,6 +74,12 @@ CASES = [
         os.path.join("repro", "core", "exports.py"),
         '__all__ = ["thing", "thing"]',
     ),
+    (
+        "swallowed-exception",
+        "REP107",
+        os.path.join("repro", "resilience", "swallow.py"),
+        "except Exception:",
+    ),
 ]
 
 IDS = [case[0] for case in CASES]
@@ -205,6 +211,50 @@ def test_determinism_rule_flags_as_completed(tmp_path):
     assert errors == []
     assert [f.rule for f in findings] == ["determinism"]
     assert "as_completed" in findings[0].message
+
+
+def test_swallow_rule_flags_bare_except(tmp_path):
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "core", "bare_mod.py"),
+        "def guard(task):\n"
+        "    try:\n"
+        "        return task()\n"
+        "    except:\n"
+        "        return None\n",
+    )
+    assert errors == []
+    assert [f.rule for f in findings] == ["swallowed-exception"]
+    assert "bare except" in findings[0].message
+
+
+def test_swallow_rule_allows_suppression_comment(tmp_path):
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "core", "waived_mod.py"),
+        "def guard(task):\n"
+        "    try:\n"
+        "        return task()\n"
+        "    except Exception:  # repro: ignore[swallowed-exception]\n"
+        "        pass\n",
+    )
+    assert errors == []
+    assert findings == []
+
+
+def test_swallow_rule_ignores_broad_handler_that_acts(tmp_path):
+    findings, errors = _analyze_snippet(
+        tmp_path,
+        ("repro", "core", "acting_mod.py"),
+        "def guard(task, log):\n"
+        "    try:\n"
+        "        return task()\n"
+        "    except Exception as exc:\n"
+        "        log.append(exc)\n"
+        "        raise\n",
+    )
+    assert errors == []
+    assert findings == []
 
 
 def test_budget_rule_accepts_delegation_to_budget_callee(tmp_path):

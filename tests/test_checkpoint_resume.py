@@ -11,7 +11,7 @@ import os
 
 import pytest
 
-from repro.core.errors import ExperimentInterruptedError
+from repro.core.errors import CheckpointFormatError, ExperimentInterruptedError
 from repro.experiments import (
     DegradedCell,
     ExperimentContext,
@@ -139,7 +139,8 @@ class TestInterruptAndResume:
         context.begin(EXPERIMENT, quick=True)
         assert not context.has("opt:b01")
 
-    def test_version_mismatch_ignores_checkpoint(self, tmp_path):
+    def test_version_mismatch_rejected_with_clear_error(self, tmp_path):
+        """A stale schema is a loud, named failure -- never a guess."""
         path = tmp_path / f"{EXPERIMENT}.json"
         path.write_text(
             json.dumps(
@@ -152,8 +153,12 @@ class TestInterruptAndResume:
             )
         )
         context = ExperimentContext(checkpoint_dir=str(tmp_path), resume=True)
-        context.begin(EXPERIMENT, quick=True)
-        assert not context.has("opt:b01")
+        with pytest.raises(CheckpointFormatError) as excinfo:
+            context.begin(EXPERIMENT, quick=True)
+        # The error names the offending file and both versions.
+        assert str(path) in str(excinfo.value)
+        assert str(CHECKPOINT_VERSION) in str(excinfo.value)
+        assert str(CHECKPOINT_VERSION + 1) in str(excinfo.value)
 
     def test_checkpointed_cells_are_authoritative(self, tmp_path):
         """Resume trusts the file: a poisoned cell value is reused."""
@@ -165,6 +170,42 @@ class TestInterruptAndResume:
         assert resumed.has("opt:b01")
         assert resumed.cell("opt:b01", lambda budget: 0) == 4242
         assert resumed.fresh_cells == 0
+
+
+class TestChecksumIntegrity:
+    def test_tampered_cell_is_quarantined_and_recomputed(self, tmp_path):
+        """A bit-flipped cell fails its checksum; the rest is salvaged."""
+        context = ExperimentContext(checkpoint_dir=str(tmp_path))
+        context.begin(EXPERIMENT, quick=True)
+        context.cell("opt:a", lambda budget: 1.5)
+        context.cell("opt:b", lambda budget: 2.5)
+        path = tmp_path / f"{EXPERIMENT}.json"
+        payload = json.loads(path.read_text())
+        payload["cells"]["opt:a"]["value"] = 9999  # the flip
+        path.write_text(json.dumps(payload))
+
+        resumed = ExperimentContext(checkpoint_dir=str(tmp_path), resume=True)
+        resumed.begin(EXPERIMENT, quick=True)
+        # The tampered cell is dropped (to be recomputed), the intact
+        # sibling survives, and both failures are counted -- the file
+        # checksum no longer matches its edited body, and one cell
+        # failed its own check.
+        assert not resumed.has("opt:a")
+        assert resumed.has("opt:b")
+        assert resumed.cell("opt:b", lambda budget: 0) == 2.5
+        assert resumed.cell("opt:a", lambda budget: -1.0) == -1.0
+        assert resumed.fault_stats["checksum_mismatches"] == 1
+        assert resumed.fault_stats["quarantined_cells"] == 1
+
+    def test_unparseable_checkpoint_is_quarantined_to_sidecar(self, tmp_path):
+        path = tmp_path / f"{EXPERIMENT}.json"
+        path.write_text('{"version": 2, "experiment": "table8"')  # torn
+        resumed = ExperimentContext(checkpoint_dir=str(tmp_path), resume=True)
+        resumed.begin(EXPERIMENT, quick=True)
+        assert resumed.fresh_cells == 0
+        assert resumed.fault_stats["quarantined_files"] == 1
+        assert not path.exists()
+        assert (tmp_path / f"{EXPERIMENT}.json.quarantined").exists()
 
 
 class TestBudgetedCells:

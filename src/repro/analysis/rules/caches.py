@@ -16,6 +16,13 @@ caches: :class:`repro.temporal.index.TemporalEdgeIndex` window slices
 and deltas, and the patched closure's cost rows, are shared read-only
 views too -- mutating one outside :mod:`repro.incremental` corrupts
 every later slide.
+
+PR 7 extends it again to the columnar core
+(:class:`repro.temporal.columnar.ColumnarEdgeStore`): the store itself
+(``graph.columnar()``) and every sorted-view accessor
+(``sorted_starts`` and friends) alias the arrays all batched kernels
+read; writing into one silently corrupts every later window query,
+delta, and transformation on that graph.
 """
 
 from __future__ import annotations
@@ -46,6 +53,18 @@ CACHE_ACCESSORS = frozenset(
         "in_edges_up_to",
         "delta",
         "costs_from",
+        # ColumnarEdgeStore (PR 7): the store handed out by
+        # graph.columnar() and its sorted-view accessors are the cached
+        # arrays themselves, never copies.
+        "columnar",
+        "columnar_or_none",
+        "sorted_starts",
+        "sorted_arrivals",
+        "positions_by_start",
+        "positions_by_arrival",
+        "arrivals_by_start_order",
+        "starts_by_arrival_order",
+        "start_ranks",
     }
 )
 
@@ -63,6 +82,12 @@ MUTATING_METHODS = frozenset(
         "update",
         "setdefault",
         "popitem",
+        # ndarray / array('d') in-place writers (the columnar views).
+        "fill",
+        "put",
+        "partition",
+        "fromlist",
+        "frombytes",
     }
 )
 
@@ -80,6 +105,8 @@ OWNING_MODULES = frozenset(
         "repro.incremental.msta",
         "repro.incremental.prepare",
         "repro.incremental.engine",
+        # The columnar store builds (and legally fills) its own arrays.
+        "repro.temporal.columnar",
     }
 )
 

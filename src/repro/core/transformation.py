@@ -14,9 +14,12 @@ a ``MST_w`` of the temporal graph (Theorem 5).
 
 from __future__ import annotations
 
+import gc
 import weakref
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from itertools import repeat
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import UnreachableRootError
 from repro.static.digraph import StaticDigraph
@@ -24,6 +27,35 @@ from repro.steiner.instance import DSTInstance
 from repro.temporal.edge import TemporalEdge, Vertex
 from repro.temporal.graph import TemporalGraph
 from repro.temporal.window import TimeWindow
+
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+
+@contextmanager
+def _gc_paused() -> Iterator[None]:
+    """Pause the cyclic GC across a bulk allocation burst.
+
+    The batched construction allocates hundreds of thousands of small
+    tuples and lists that all survive into the returned graph, so every
+    generational collection triggered on the way re-scans a large live
+    heap to find nothing; temporaries are still reclaimed by reference
+    counting.  On the way out a single young-generation collection
+    drains the burst, so the deferred threshold trigger cannot escalate
+    into a full-heap scan right after the guard.  No-op when the caller
+    already disabled the GC.
+    """
+    if gc.isenabled():
+        gc.disable()
+        try:
+            yield
+        finally:
+            gc.collect(0)
+            gc.enable()
+    else:
+        yield
 
 
 def copy_label(vertex: Vertex, position: int) -> Tuple[str, Vertex, int]:
@@ -51,7 +83,10 @@ class TransformedGraph:
     solid_origin:
         Maps ``(source_label, target_label, weight)`` of a solid edge to
         a representative original temporal edge (used by postprocessing
-        Step 2 to restore temporal edges).
+        Step 2 to restore temporal edges).  Postprocessing only looks up
+        the few solid edges that end up in the Steiner tree, so the
+        columnar construction hands over flat index arrays and the dict
+        is materialised on first access.
     """
 
     __slots__ = (
@@ -61,7 +96,8 @@ class TransformedGraph:
         "digraph",
         "root_label",
         "arrival_instances",
-        "solid_origin",
+        "_solid_origin",
+        "_solid_parts",
         "skipped_edges",
     )
 
@@ -73,8 +109,9 @@ class TransformedGraph:
         digraph: StaticDigraph,
         root_label: Tuple,
         arrival_instances: Dict[Vertex, List[float]],
-        solid_origin: Dict[Tuple, TemporalEdge],
+        solid_origin: Optional[Dict[Tuple, TemporalEdge]],
         skipped_edges: int,
+        solid_parts: Optional[Tuple] = None,
     ) -> None:
         self.source = source
         self.window = window
@@ -82,8 +119,24 @@ class TransformedGraph:
         self.digraph = digraph
         self.root_label = root_label
         self.arrival_instances = arrival_instances
-        self.solid_origin = solid_origin
+        self._solid_origin = solid_origin
+        self._solid_parts = solid_parts
         self.skipped_edges = skipped_edges
+
+    @property
+    def solid_origin(self) -> Dict[Tuple, TemporalEdge]:
+        """``(source_label, target_label, weight) -> representative edge``."""
+        origin = self._solid_origin
+        if origin is None:
+            ins, rep, us, vs, labels_list, edges_tup = self._solid_parts
+            origin = {}
+            for p, rp, u, v in zip(ins, rep, us, vs):
+                origin[
+                    (labels_list[u], labels_list[v], edges_tup[p].weight)
+                ] = edges_tup[rp]
+            self._solid_origin = origin
+            self._solid_parts = None
+        return origin
 
     @property
     def num_vertices(self) -> int:
@@ -126,6 +179,35 @@ class TransformedGraph:
         return self.solid_origin.get((source_label, target_label, weight))
 
 
+class _ColumnarAux:
+    """Array-side view of a window index (numpy-backed stores only).
+
+    Everything the batched transformation needs beyond the object-level
+    ``in_window``/``arrivals_by_target`` views: the in-window columns in
+    graph order, and the deduplicated ``(target id, arrival)`` instance
+    pairs grouped per target (``pair_off`` is the CSR-style offset
+    array over vertex ids).
+    """
+
+    __slots__ = (
+        "store",
+        "pos",
+        "src",
+        "tgt",
+        "starts",
+        "arrivals",
+        "weights",
+        "pair_t",
+        "pair_a",
+        "pair_off",
+        "targets_order",
+    )
+
+    def __init__(self, **fields: Any) -> None:
+        for name, value in fields.items():
+            setattr(self, name, value)
+
+
 class _WindowIndex:
     """Root-independent precomputation for one ``(graph, window)`` pair.
 
@@ -135,16 +217,45 @@ class _WindowIndex:
     index cached, repeated queries -- different roots over the same
     window, or bench/experiment replays -- skip the full edge scan and
     the per-vertex sort.
+
+    Built from the graph's columnar store: extraction is a batched
+    window query, and under the numpy backend the per-target instance
+    grouping is array work whose intermediate columns are kept
+    (``_aux``) for :func:`_transform_columnar`.  Arrival *values* are
+    always taken from the edge objects, never from the float64 columns,
+    so int-valued timestamps survive exactly as the object scan keeps
+    them.
     """
 
-    __slots__ = ("in_window", "arrivals_by_target")
+    __slots__ = ("_in_window", "arrivals_by_target", "_aux")
 
     def __init__(self, graph: TemporalGraph, window: TimeWindow) -> None:
-        self._build(
-            tuple(
-                e for e in graph.edges if e.within(window.t_alpha, window.t_omega)
+        store = graph.columnar()
+        if store.backend == "numpy":
+            self._build_columnar(store, window)
+        else:
+            positions = store.window_positions_graph_order(
+                window.t_alpha, window.t_omega
             )
-        )
+            self._build(tuple(store.edges_at(positions)))
+
+    @property
+    def in_window(self) -> Tuple[TemporalEdge, ...]:
+        """The in-window edge tuple, graph insertion order.
+
+        Materialised lazily on the columnar path: the batched
+        transformation works from the array columns and never touches
+        the edge objects in bulk, so the tuple is only built when a
+        consumer (containment derivation, the object-loop fallback)
+        actually asks for it.
+        """
+        cached = self._in_window
+        if cached is None:
+            aux = self._aux
+            edges_tup = aux.store.edges
+            cached = tuple(edges_tup[p] for p in aux.pos.tolist())
+            self._in_window = cached
+        return cached
 
     @classmethod
     def from_edges(cls, in_window: Tuple[TemporalEdge, ...]) -> "_WindowIndex":
@@ -160,7 +271,8 @@ class _WindowIndex:
         return index
 
     def _build(self, in_window: Tuple[TemporalEdge, ...]) -> None:
-        self.in_window = in_window
+        self._in_window = in_window
+        self._aux = None
         # Insertion order matches the first occurrence of each target in
         # the in-window scan, so per-root views preserve the exact
         # vertex-numbering order of an uncached construction.
@@ -172,6 +284,72 @@ class _WindowIndex:
         self.arrivals_by_target: Dict[Vertex, List[float]] = {
             v: sorted(set(instants)) for v, instants in grouped.items()
         }
+
+    def _build_columnar(self, store: Any, window: TimeWindow) -> None:
+        np = _np
+        pos = store.window_positions_graph_order(window.t_alpha, window.t_omega)
+        edges_tup = store.edges
+        self._in_window = None
+        src = store.sources[pos]
+        tgt = store.targets[pos]
+        starts = store.starts[pos]
+        arrivals = store.arrivals[pos]
+        weights = store.weights[pos]
+        # Distinct (target, arrival) instance pairs, self-loops excluded.
+        # The stable (target, arrival) sort keeps graph order within
+        # ties, so each pair's representative position is the first
+        # in-window edge that realises it -- the element a Python
+        # ``set`` would have kept, which pins down the exact int/float
+        # arrival value.
+        keep = src != tgt
+        kt, ka, kp = tgt[keep], arrivals[keep], pos[keep]
+        order = np.lexsort((ka, kt))
+        ts, As, ps = kt[order], ka[order], kp[order]
+        if len(ts):
+            new_pair = np.empty(len(ts), dtype=bool)
+            new_pair[0] = True
+            new_pair[1:] = (ts[1:] != ts[:-1]) | (As[1:] != As[:-1])
+        else:
+            new_pair = np.empty(0, dtype=bool)
+        pair_t = ts[new_pair]
+        pair_a = As[new_pair]
+        pair_rep = ps[new_pair]
+        n = store.num_vertices
+        pair_off = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(pair_t, minlength=n), out=pair_off[1:])
+        # Targets in first-occurrence order (the vertex-numbering order
+        # an object scan produces).
+        uniq, first_idx = np.unique(kt, return_index=True)
+        targets_order = uniq[np.argsort(first_idx)]
+        labels = store.vertex_labels
+        # One flat pass pulls every instance's exact Python arrival
+        # value; the per-target lists are then C-speed slices of it.
+        # When the store's float64 column is exact (all-float arrival
+        # times), the values come straight off the column.
+        if store.arrivals_are_float:
+            instance_values = pair_a.tolist()
+        else:
+            instance_values = [edges_tup[p].arrival for p in pair_rep.tolist()]
+        off_list = pair_off.tolist()
+        arrivals_by_target: Dict[Vertex, List[float]] = {}
+        for t in targets_order.tolist():
+            arrivals_by_target[labels[t]] = instance_values[
+                off_list[t] : off_list[t + 1]
+            ]
+        self.arrivals_by_target = arrivals_by_target
+        self._aux = _ColumnarAux(
+            store=store,
+            pos=pos,
+            src=src,
+            tgt=tgt,
+            starts=starts,
+            arrivals=arrivals,
+            weights=weights,
+            pair_t=pair_t,
+            pair_a=pair_a,
+            pair_off=pair_off,
+            targets_order=targets_order,
+        )
 
 
 #: graph -> window -> index; entries die with their graph (weak keys).
@@ -271,6 +449,244 @@ def clear_transformation_cache() -> None:
     _CACHE_STATS["delta_derived"] = 0
 
 
+def _grouped_rank(
+    pair_t: Any,
+    pair_a: Any,
+    pair_off: Any,
+    query_t: Any,
+    query_a: Any,
+    right: bool,
+) -> Any:
+    """Batched per-group ``bisect`` over the instance pairs.
+
+    For every query ``(t, a)`` returns the rank of ``a`` within target
+    ``t``'s sorted instance list: ``bisect_right`` semantics when
+    ``right`` (ties count), else ``bisect_left``.  One merged lexsort
+    replaces a Python bisect per edge -- pairs and queries are sorted
+    together by ``(t, a, flag)`` with the flag ordering ties, and a
+    running pair count minus the group's CSR offset is exactly the
+    in-group rank.
+    """
+    np = _np
+    num_pairs = len(pair_t)
+    num_queries = len(query_t)
+    pair_flag = 0 if right else 1
+    flags = np.empty(num_pairs + num_queries, dtype=np.int8)
+    flags[:num_pairs] = pair_flag
+    flags[num_pairs:] = 1 - pair_flag
+    order = np.lexsort(
+        (
+            flags,
+            np.concatenate((pair_a, query_a)),
+            np.concatenate((pair_t, query_t)),
+        )
+    )
+    position = np.empty(num_pairs + num_queries, dtype=np.int64)
+    position[order] = np.arange(num_pairs + num_queries, dtype=np.int64)
+    pairs_before = np.cumsum(flags[order] == pair_flag)
+    return pairs_before[position[num_pairs:]] - pair_off[query_t]
+
+
+def _transform_columnar(
+    graph: TemporalGraph,
+    root: Vertex,
+    window: TimeWindow,
+    index: _WindowIndex,
+) -> TransformedGraph:
+    """Batched Section 4.2 construction over the window index's arrays.
+
+    Produces output byte-identical to the object loop in
+    :func:`transform_temporal_graph` (property-tested): the same vertex
+    numbering, the same adjacency-list edge order, the same Python
+    int/float time and weight values, the same skip count, and the same
+    earliest-start duplicate representatives.
+    """
+    np = _np
+    aux = index._aux
+    store = aux.store
+    edges_tup = store.edges
+    labels_by_id = store.vertex_labels
+    root_id = store.vertex_ids[root]
+    pair_off = aux.pair_off
+    src, tgt = aux.src, aux.tgt
+    num_window_edges = len(src)
+
+    # Vertex blocks: per non-root target, its copies then its dummy;
+    # the root's single copy sits at index 0.  Matches the object
+    # loop's add_vertex order exactly.
+    targets_order = aux.targets_order
+    nonroot = targets_order[targets_order != root_id]
+    copies = pair_off[nonroot + 1] - pair_off[nonroot]
+    offsets = np.concatenate(
+        (
+            np.ones(1, dtype=np.int64),
+            1 + np.cumsum(copies + 1),
+        )
+    )
+    off_by_id = np.full(store.num_vertices, -1, dtype=np.int64)
+    off_by_id[nonroot] = offsets[:-1]
+
+    root_label = copy_label(root, 0)
+    total = int(offsets[-1])
+    # ``chain`` marks the slots with an outgoing zero-weight link --
+    # exactly the copy slots; the root (slot 0) and the dummies end
+    # their blocks.
+    chain = np.ones(total, dtype=bool)
+    chain[0] = False
+    dummy_slots = offsets[:-1] + copies
+    chain[dummy_slots] = False
+
+    # Vertex labels, laid out in bulk: the ("copy", v, i) and
+    # ("dummy", v) tuples are zipped at C speed and scattered into
+    # their slots through an object array.
+    num_copy = int(copies.sum())
+    cum = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(copies)))
+    slot_labels = np.empty(total, dtype=object)
+    slot_labels[0] = root_label
+    if num_copy:
+        copy_i = np.arange(num_copy, dtype=np.int64) - np.repeat(cum[:-1], copies)
+        copy_v = map(
+            labels_by_id.__getitem__, np.repeat(nonroot, copies).tolist()
+        )
+        copy_tuples = np.empty(num_copy, dtype=object)
+        copy_tuples[:] = list(zip(repeat("copy"), copy_v, copy_i.tolist()))
+        slot_labels[np.flatnonzero(chain)] = copy_tuples
+    if len(nonroot):
+        dummy_v = map(labels_by_id.__getitem__, nonroot.tolist())
+        dummy_tuples = np.empty(len(nonroot), dtype=object)
+        dummy_tuples[:] = list(zip(repeat("dummy"), dummy_v))
+        slot_labels[dummy_slots] = dummy_tuples
+    labels_list: List[Tuple] = slot_labels.tolist()
+
+    arrival_instances: Dict[Vertex, List[float]] = {
+        v: instants
+        for v, instants in index.arrivals_by_target.items()
+        if v != root
+    }
+    arrival_instances[root] = [window.t_alpha]
+
+    # Step 1(b) + 2(a): the zero-weight chains.  Every non-dummy,
+    # non-root slot has a virtual edge to the next slot of its block
+    # (the last one reaching the dummy), so the per-vertex adjacency
+    # lists can be laid out directly: one outgoing chain link where
+    # ``chain`` is set, one incoming link on the following slot.
+    # Virtual edges precede solid edges in every list, exactly as the
+    # object loop's add_edge sequence orders them.
+    zero = 0.0
+    # Lay the chain out as if every slot i had the link i -> i+1 (pure
+    # C-speed map/zip), then blank the few slots that do not (the root
+    # and the dummies) -- far cheaper than a conditional per slot.
+    adjacency: List[List[Tuple[int, float]]] = list(
+        map(list, zip(zip(range(1, total + 1), repeat(zero))))
+    )
+    in_tail: List[List[Tuple[int, float]]] = list(
+        map(list, zip(zip(range(total - 1), repeat(zero))))
+    )
+    unlinked = np.flatnonzero(~chain).tolist()
+    last = total - 1
+    for i in unlinked:
+        adjacency[i] = []
+        if i < last:
+            in_tail[i] = []
+    in_adjacency: List[List[Tuple[int, float]]] = [[]]
+    in_adjacency += in_tail
+    num_edges = int(chain.sum())
+
+    # Step 2(b): solid edges, fully batched.  Source copy index i =
+    # bisect_right(instants[source], start) - 1 and target copy index
+    # j = bisect_left(instants[target], arrival) come from one merged
+    # lexsort each; the root's single [t_alpha] instance is patched in.
+    solid_parts: Optional[Tuple] = None
+    skipped = 0
+    if num_window_edges:
+        i_idx = (
+            _grouped_rank(
+                aux.pair_t, aux.pair_a, pair_off, src, aux.starts, right=True
+            )
+            - 1
+        )
+        j_idx = _grouped_rank(
+            aux.pair_t, aux.pair_a, pair_off, tgt, aux.arrivals, right=False
+        )
+        i_idx = np.where(
+            src == root_id,
+            np.where(aux.starts >= window.t_alpha, 0, -1),
+            i_idx,
+        )
+        skip = (tgt == root_id) | (src == tgt) | (i_idx < 0)
+        skipped = int(skip.sum())
+        if skipped < num_window_edges:
+            live = ~skip
+            kp = aux.pos[live]
+            ki, kj = i_idx[live], j_idx[live]
+            ks, ktg = src[live], tgt[live]
+            kw, kst = aux.weights[live], aux.starts[live]
+            u_idx = np.where(ks == root_id, 0, off_by_id[ks] + ki)
+            v_idx = off_by_id[ktg] + kj
+            # Group parallel duplicates by (source copy, target copy,
+            # weight).  Within a group the static edge is inserted at
+            # the first graph-order occurrence with that edge's weight
+            # value, while the recorded representative is the earliest
+            # -starting edge (ties: first in graph order) -- the object
+            # loop's replacement rule.
+            grp = np.lexsort((kp, kw, kj, ktg, ki, ks))
+            gs, gi = ks[grp], ki[grp]
+            gt, gj = ktg[grp], kj[grp]
+            gw = kw[grp]
+            new = np.empty(len(grp), dtype=bool)
+            new[0] = True
+            new[1:] = (
+                (gs[1:] != gs[:-1])
+                | (gi[1:] != gi[:-1])
+                | (gt[1:] != gt[:-1])
+                | (gj[1:] != gj[:-1])
+                | (gw[1:] != gw[:-1])
+            )
+            insert_pos = kp[grp][new]
+            # Same group boundaries (the major keys agree); within each
+            # group this ordering leads with (start, position).
+            rep_pos = kp[np.lexsort((kp, kst, kw, kj, ktg, ki, ks))][new]
+            by_insert = np.argsort(insert_pos)
+            u_first = u_idx[grp][new][by_insert].tolist()
+            v_first = v_idx[grp][new][by_insert].tolist()
+            ins_list = insert_pos[by_insert].tolist()
+            rep_list = rep_pos[by_insert].tolist()
+            if store.weights_are_float:
+                w_list = gw[new][by_insert].tolist()
+            else:
+                w_list = [edges_tup[p].weight for p in ins_list]
+            out_entries = zip(v_first, w_list)
+            in_entries = zip(u_first, w_list)
+            for u, entry in zip(u_first, out_entries):
+                adjacency[u].append(entry)
+            for v, entry in zip(v_first, in_entries):
+                in_adjacency[v].append(entry)
+            num_edges += len(ins_list)
+            solid_parts = (
+                ins_list,
+                rep_list,
+                u_first,
+                v_first,
+                labels_list,
+                edges_tup,
+            )
+
+    digraph = StaticDigraph.from_parts(
+        labels_list, adjacency, in_adjacency, num_edges
+    )
+    return TransformedGraph(
+        source=graph,
+        window=window,
+        root=root,
+        digraph=digraph,
+        root_label=root_label,
+        arrival_instances=arrival_instances,
+        solid_origin=None if solid_parts is not None else {},
+        skipped_edges=skipped,
+        solid_parts=solid_parts,
+    )
+
+
 def transform_temporal_graph(
     graph: TemporalGraph,
     root: Vertex,
@@ -300,7 +716,20 @@ def transform_temporal_graph(
     if window is None:
         window = TimeWindow.unbounded()
 
-    if use_cache:
+    if graph.columnar().backend == "numpy":
+        # numpy-backed store: one GC pause spans the index build and
+        # the batched construction (byte-identical output, property-
+        # tested).  Indices derived from cached edge tuples
+        # (containment / sorted-index paths) carry no array view and
+        # fall through to the object loop below.
+        with _gc_paused():
+            if use_cache:
+                index = _window_index(graph, window)
+            else:
+                index = _WindowIndex(graph, window)
+            if index._aux is not None:
+                return _transform_columnar(graph, root, window, index)
+    elif use_cache:
         index = _window_index(graph, window)
     else:
         index = _WindowIndex(graph, window)

@@ -10,20 +10,153 @@ exactly as they stood before the memoisation/hoisting pass:
   implemented in :mod:`repro.steiner.improved`: per-call ``sorted``
   base cases, per-element ``numpy`` cost lookups, and a candidate tree
   materialised for every scanned vertex;
-* the uncached transformation baseline needs no copy --
-  ``transform_temporal_graph(..., use_cache=False)`` already runs the
-  pre-optimisation construction.
+* :func:`legacy_extract_window` -- the pre-columnar
+  ``TemporalGraph.restricted``: a full ``O(M)`` generator scan of the
+  edge tuple per window query;
+* :func:`legacy_earliest_arrival` -- the pre-columnar
+  ``earliest_arrival_times``: the heap-based label-setting sweep over
+  the per-vertex ascending adjacency (its body survives as the pure
+  backend's oracle in :mod:`repro.temporal.paths`; the copy here
+  additionally freezes the pre-PR un-normalised output form);
+* :func:`legacy_transform` -- the Section 4.2 transformation as
+  implemented before the columnar batch construction: ``O(M)`` window
+  scan, per-edge ``setdefault`` grouping, ``sorted(set(...))`` arrival
+  instances, and one ``add_vertex`` / ``add_edge`` call per transformed
+  element, with per-edge bisects locating the copy indices.
 
 Do not "fix" or speed up this module; its value is being frozen.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Set
+import heapq
+import math
+from bisect import bisect_left, bisect_right
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.core.transformation import TransformedGraph, copy_label, dummy_label
 from repro.resilience.budget import NULL_BUDGET, Budget
+from repro.static.digraph import StaticDigraph
 from repro.steiner.instance import PreparedInstance
 from repro.steiner.tree import ClosureTree
+from repro.temporal.edge import TemporalEdge, Vertex
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+
+def legacy_extract_window(
+    graph: TemporalGraph, window: TimeWindow
+) -> TemporalGraph:
+    """``G[t_alpha, t_omega]`` exactly as extracted before the columnar store."""
+    return TemporalGraph(
+        edge
+        for edge in graph.edges
+        if edge.within(window.t_alpha, window.t_omega)
+    )
+
+
+def legacy_earliest_arrival(
+    graph: TemporalGraph,
+    source: Vertex,
+    window: Optional[TimeWindow] = None,
+) -> Dict[Vertex, float]:
+    """``earliest_arrival_times`` exactly as implemented before the columnar sweep."""
+    if window is None:
+        window = TimeWindow.unbounded()
+    if source not in graph.vertices:
+        return {}
+    adjacency = graph.ascending_adjacency()
+    starts = graph.ascending_starts()
+    arrival: Dict[Vertex, float] = {source: window.t_alpha}
+    settled: Set[Vertex] = set()
+    heap: List[Tuple[float, int, Vertex]] = [(window.t_alpha, 0, source)]
+    counter = 1
+    while heap:
+        t, _, u = heapq.heappop(heap)
+        if u in settled or t > arrival.get(u, math.inf):
+            continue
+        settled.add(u)
+        idx = bisect_left(starts[u], t)
+        for edge in adjacency[u][idx:]:
+            if edge.arrival > window.t_omega:
+                continue
+            if edge.arrival < arrival.get(edge.target, math.inf):
+                arrival[edge.target] = edge.arrival
+                heapq.heappush(heap, (edge.arrival, counter, edge.target))
+                counter += 1
+    return arrival
+
+
+def legacy_transform(
+    graph: TemporalGraph,
+    root: Vertex,
+    window: TimeWindow,
+) -> TransformedGraph:
+    """The Section 4.2 transformation exactly as implemented pre-columnar."""
+    in_window = tuple(
+        e for e in graph.edges if e.within(window.t_alpha, window.t_omega)
+    )
+    grouped: Dict[Vertex, List[float]] = {}
+    for edge in in_window:
+        if edge.source == edge.target:
+            continue
+        grouped.setdefault(edge.target, []).append(edge.arrival)
+    arrivals_by_target = {v: sorted(set(i)) for v, i in grouped.items()}
+
+    arrival_instances = {
+        v: instants for v, instants in arrivals_by_target.items() if v != root
+    }
+    arrival_instances[root] = [window.t_alpha]
+
+    digraph = StaticDigraph()
+    root_label = copy_label(root, 0)
+    digraph.add_vertex(root_label)
+    for v, instants in arrival_instances.items():
+        if v == root:
+            continue
+        previous = None
+        for i, _ in enumerate(instants):
+            label = copy_label(v, i)
+            digraph.add_vertex(label)
+            if previous is not None:
+                digraph.add_edge(previous, label, 0.0)
+            previous = label
+        digraph.add_edge(previous, dummy_label(v), 0.0)
+
+    solid_origin: Dict[Tuple, TemporalEdge] = {}
+    skipped = 0
+    for edge in in_window:
+        if edge.target == root or edge.source == edge.target:
+            skipped += 1
+            continue
+        source_instants = arrival_instances.get(edge.source)
+        if not source_instants:
+            skipped += 1
+            continue
+        i = bisect_right(source_instants, edge.start) - 1
+        if i < 0:
+            skipped += 1
+            continue
+        source_label = copy_label(edge.source, i)
+        j = bisect_left(arrival_instances[edge.target], edge.arrival)
+        target_label = copy_label(edge.target, j)
+        key = (source_label, target_label, edge.weight)
+        existing = solid_origin.get(key)
+        if existing is None:
+            digraph.add_edge(source_label, target_label, edge.weight)
+            solid_origin[key] = edge
+        elif edge.start < existing.start:
+            solid_origin[key] = edge
+    return TransformedGraph(
+        source=graph,
+        window=window,
+        root=root,
+        digraph=digraph,
+        root_label=root_label,
+        arrival_instances=arrival_instances,
+        solid_origin=solid_origin,
+        skipped_edges=skipped,
+    )
 
 
 def legacy_improved_dst(

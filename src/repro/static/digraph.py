@@ -63,6 +63,43 @@ class StaticDigraph:
         self._in_adjacency[v].append((u, weight))
         self._num_edges += 1
 
+    @classmethod
+    def from_parts(
+        cls,
+        labels: List[Label],
+        adjacency: List[List[Tuple[int, float]]],
+        in_adjacency: List[List[Tuple[int, float]]],
+        num_edges: int,
+    ) -> "StaticDigraph":
+        """Assemble a digraph from prebuilt internal parts.
+
+        The bulk construction path of the columnar Section 4.2
+        transformation: the caller lays out the full vertex-label list
+        and the per-index out/in adjacency lists in one pass and hands
+        them over (the digraph takes ownership -- do not mutate them
+        afterwards).  Only cheap shape consistency is checked here; the
+        caller is trusted on contents (mirrored out/in entries,
+        ``num_edges`` totals, non-negative weights).  Ordinary
+        construction should keep using :meth:`add_vertex` /
+        :meth:`add_edge`.
+        """
+        graph = cls.__new__(cls)
+        graph._labels = labels
+        graph._index = {label: i for i, label in enumerate(labels)}
+        graph._adjacency = adjacency
+        graph._in_adjacency = in_adjacency
+        graph._num_edges = num_edges
+        if (
+            len(graph._index) != len(labels)
+            or len(adjacency) != len(labels)
+            or len(in_adjacency) != len(labels)
+        ):
+            raise GraphFormatError(
+                "inconsistent digraph parts: duplicate labels or "
+                "mismatched adjacency lengths"
+            )
+        return graph
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------

@@ -1,0 +1,484 @@
+"""Struct-of-arrays edge storage: the columnar temporal-graph core.
+
+Every hot kernel before this module walked ``TemporalEdge`` objects one
+at a time -- an attribute access plus a Python-level comparison per
+edge.  :class:`ColumnarEdgeStore` keeps the same edges as five parallel
+columns (``sources``/``targets`` as interned integer ids, ``starts``/
+``arrivals``/``weights`` as floats) together with two permutations of
+the insertion positions -- one sorted by ``(start, arrival, position)``,
+one by ``(arrival, start, position)`` -- and the rank arrays mapping
+between the orders.  Window extraction, sliding-window deltas, the
+earliest-arrival sweep, and the Section 4.2 transformation then run as
+batched passes over these arrays.
+
+Backends
+--------
+With numpy importable the columns are ``float64``/``int64`` ndarrays
+and queries use ``searchsorted``/boolean masks.  Without numpy -- or
+with ``REPRO_FORCE_PURE=1`` in the environment -- the columns fall back
+to stdlib ``array('d')``/``array('q')`` buffers queried with
+:mod:`bisect`, so the package keeps working (slower, byte-identical
+output; the equivalence is property-tested).  Tests can pin a backend
+for new stores with :func:`force_backend`, which takes precedence over
+the environment.
+
+Stores are derived, immutable state: a :class:`TemporalGraph` builds
+one lazily (``graph.columnar()``) and rebuilds it when the active
+backend changes.  Every build gets a fresh ``generation`` number from a
+process-wide counter; consumers that cache structures derived from a
+store (:func:`repro.temporal.index.edge_index_for`) key their cache on
+it so a rebuild can never serve stale derived state.
+
+The sorted views handed out by the accessor methods
+(:meth:`ColumnarEdgeStore.sorted_starts` and friends) are the *cached*
+arrays, not copies -- mutating one corrupts every later query.  The
+REP102 ``cache-mutation`` lint rule holds callers to that, exactly as
+it does for the ``TemporalGraph`` adjacency accessors.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from array import array
+from bisect import bisect_left, bisect_right
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.temporal.edge import TemporalEdge, Vertex
+
+#: Environment switch: a truthy value forces the pure-Python backend
+#: even when numpy is importable (the CI fallback matrix leg).
+FORCE_PURE_ENV = "REPRO_FORCE_PURE"
+
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+_BACKEND_LOCK = threading.Lock()
+_BACKEND_OVERRIDE: Optional[str] = None
+
+#: Process-wide monotone store generations; never reused, so a cache
+#: keyed on a generation can only ever miss after a rebuild.
+_GENERATIONS = itertools.count(1)
+
+#: Arrival-chunk size of the vectorised earliest-arrival sweep: large
+#: enough to amortise per-chunk numpy overhead, small enough that the
+#: within-chunk fixpoint re-scan stays cheap.
+EA_CHUNK = 4096
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be selected at all."""
+    return _np is not None
+
+
+def active_backend() -> str:
+    """The backend new stores are built with: ``"numpy"`` or ``"pure"``.
+
+    Precedence: :func:`force_backend` override, then the
+    ``REPRO_FORCE_PURE`` environment variable, then numpy availability.
+    """
+    override = _BACKEND_OVERRIDE
+    if override is not None:
+        return override
+    if os.environ.get(FORCE_PURE_ENV, "").strip() not in ("", "0"):
+        return "pure"
+    return "numpy" if _np is not None else "pure"
+
+
+@contextmanager
+def force_backend(backend: str) -> Iterator[None]:
+    """Pin the backend for stores built inside the ``with`` block.
+
+    ``backend`` is ``"numpy"`` or ``"pure"``; requesting numpy when it
+    is not importable raises.  Overrides the environment variable --
+    the identity property suite uses this to build both cores in one
+    process regardless of which CI matrix leg is running.  Graphs whose
+    store was built under a different backend rebuild on next access
+    (a new generation), which is exactly the invalidation path the
+    shared edge-index cache is tested against.
+    """
+    global _BACKEND_OVERRIDE
+    if backend not in ("numpy", "pure"):
+        raise ValueError(f"unknown columnar backend {backend!r}")
+    if backend == "numpy" and _np is None:
+        raise RuntimeError("numpy backend requested but numpy is not importable")
+    with _BACKEND_LOCK:
+        previous = _BACKEND_OVERRIDE
+        _BACKEND_OVERRIDE = backend
+    try:
+        yield
+    finally:
+        with _BACKEND_LOCK:
+            _BACKEND_OVERRIDE = previous
+
+
+class ColumnarEdgeStore:
+    """Immutable struct-of-arrays view of one edge tuple.
+
+    Parameters
+    ----------
+    edges:
+        The graph's edge tuple in insertion order.  The store keeps a
+        reference (for materialising ``TemporalEdge`` objects back out)
+        but never copies or mutates it.
+    vertices:
+        Optional extra vertices (isolated ones) interned after the edge
+        endpoints.
+
+    Vertex labels are interned to dense ids in first-occurrence order
+    (edge sources/targets in insertion order, then the extras), so two
+    stores built from the same graph -- whatever their backend -- agree
+    on every id, which keeps cross-backend outputs identical.
+    """
+
+    __slots__ = (
+        "backend",
+        "generation",
+        "edges",
+        "vertex_labels",
+        "vertex_ids",
+        "arrivals_are_float",
+        "weights_are_float",
+        "sources",
+        "targets",
+        "starts",
+        "arrivals",
+        "weights",
+        "_start_order",
+        "_arrival_order",
+        "_starts_sorted",
+        "_arrivals_sorted",
+        "_arrival_by_start",
+        "_start_by_arrival",
+        "_start_rank",
+    )
+
+    def __init__(
+        self,
+        edges: Sequence[TemporalEdge],
+        vertices: Optional[Iterable[Vertex]] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.backend = backend if backend is not None else active_backend()
+        if self.backend not in ("numpy", "pure"):
+            raise ValueError(f"unknown columnar backend {self.backend!r}")
+        if self.backend == "numpy" and _np is None:
+            raise RuntimeError("numpy backend requested but numpy is not importable")
+        self.generation = next(_GENERATIONS)
+        self.edges: Tuple[TemporalEdge, ...] = tuple(edges)
+
+        ids: Dict[Vertex, int] = {}
+        src_ids: List[int] = []
+        dst_ids: List[int] = []
+        starts: List[float] = []
+        arrivals: List[float] = []
+        weights: List[float] = []
+        for e in self.edges:
+            u = ids.get(e.source)
+            if u is None:
+                u = len(ids)
+                ids[e.source] = u
+            v = ids.get(e.target)
+            if v is None:
+                v = len(ids)
+                ids[e.target] = v
+            src_ids.append(u)
+            dst_ids.append(v)
+            starts.append(e.start)
+            arrivals.append(e.arrival)
+            weights.append(e.weight)
+        if vertices is not None:
+            for label in vertices:
+                if label not in ids:
+                    ids[label] = len(ids)
+        self.vertex_ids: Dict[Vertex, int] = ids
+        self.vertex_labels: List[Vertex] = list(ids)
+        # Whether the float64 columns are *exact* stand-ins for the edge
+        # objects' Python values (same value, same type).  Consumers
+        # that must reproduce object-identical outputs (the Section 4.2
+        # transformation) may read values straight off the columns when
+        # the flag is set, and fall back to the edge objects when a
+        # graph carries int (or other numeric) timestamps or weights.
+        self.arrivals_are_float = all(type(a) is float for a in arrivals)
+        self.weights_are_float = all(type(w) is float for w in weights)
+
+        if self.backend == "numpy":
+            self._build_numpy(src_ids, dst_ids, starts, arrivals, weights)
+        else:
+            self._build_pure(src_ids, dst_ids, starts, arrivals, weights)
+
+    # ------------------------------------------------------------------
+    # Construction per backend
+    # ------------------------------------------------------------------
+    def _build_numpy(self, src, dst, starts, arrivals, weights) -> None:
+        np = _np
+        self.sources = np.asarray(src, dtype=np.int64)
+        self.targets = np.asarray(dst, dtype=np.int64)
+        self.starts = np.asarray(starts, dtype=np.float64)
+        self.arrivals = np.asarray(arrivals, dtype=np.float64)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        # lexsort is stable, so full (start, arrival) ties keep the
+        # insertion position as the final key -- the exact order the
+        # object core's stable sorts produce.
+        self._start_order = np.lexsort((self.arrivals, self.starts))
+        self._arrival_order = np.lexsort((self.starts, self.arrivals))
+        self._starts_sorted = self.starts[self._start_order]
+        self._arrivals_sorted = self.arrivals[self._arrival_order]
+        self._arrival_by_start = self.arrivals[self._start_order]
+        self._start_by_arrival = self.starts[self._arrival_order]
+        rank = np.empty(len(self.edges), dtype=np.int64)
+        rank[self._start_order] = np.arange(len(self.edges), dtype=np.int64)
+        self._start_rank = rank
+
+    def _build_pure(self, src, dst, starts, arrivals, weights) -> None:
+        self.sources = array("q", src)
+        self.targets = array("q", dst)
+        self.starts = array("d", starts)
+        self.arrivals = array("d", arrivals)
+        self.weights = array("d", weights)
+        m = len(self.edges)
+        start_order = sorted(range(m), key=lambda p: (starts[p], arrivals[p], p))
+        arrival_order = sorted(range(m), key=lambda p: (arrivals[p], starts[p], p))
+        self._start_order = array("q", start_order)
+        self._arrival_order = array("q", arrival_order)
+        self._starts_sorted = array("d", (starts[p] for p in start_order))
+        self._arrivals_sorted = array("d", (arrivals[p] for p in arrival_order))
+        self._arrival_by_start = array("d", (arrivals[p] for p in start_order))
+        self._start_by_arrival = array("d", (starts[p] for p in arrival_order))
+        rank = array("q", bytes(8 * m)) if m else array("q")
+        for r, p in enumerate(start_order):
+            rank[p] = r
+        self._start_rank = rank
+
+    # ------------------------------------------------------------------
+    # Shared-view accessors (REP102-protected: never mutate the result)
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_labels)
+
+    def sorted_starts(self):
+        """Start times in ``(start, arrival, position)`` order (shared)."""
+        return self._starts_sorted
+
+    def sorted_arrivals(self):
+        """Arrival times in ``(arrival, start, position)`` order (shared)."""
+        return self._arrivals_sorted
+
+    def positions_by_start(self):
+        """Insertion positions in ``(start, arrival, position)`` order."""
+        return self._start_order
+
+    def positions_by_arrival(self):
+        """Insertion positions in ``(arrival, start, position)`` order."""
+        return self._arrival_order
+
+    def arrivals_by_start_order(self):
+        """Arrival column permuted into start order (shared view)."""
+        return self._arrival_by_start
+
+    def starts_by_arrival_order(self):
+        """Start column permuted into arrival order (shared view)."""
+        return self._start_by_arrival
+
+    def start_ranks(self):
+        """Per-position rank within the start order (shared view)."""
+        return self._start_rank
+
+    # ------------------------------------------------------------------
+    # Batched queries
+    # ------------------------------------------------------------------
+    def start_bounds(self, t_alpha: float, t_omega: float) -> Tuple[int, int]:
+        """``[lo, hi)`` into the start order with ``t_alpha <= start <= t_omega``."""
+        if self.backend == "numpy":
+            lo = int(_np.searchsorted(self._starts_sorted, t_alpha, side="left"))
+            hi = int(_np.searchsorted(self._starts_sorted, t_omega, side="right"))
+        else:
+            lo = bisect_left(self._starts_sorted, t_alpha)
+            hi = bisect_right(self._starts_sorted, t_omega)
+        return lo, hi
+
+    def window_positions(self, t_alpha: float, t_omega: float):
+        """Insertion positions of in-window edges, chronological order.
+
+        Chronological means ``(start, arrival, position)`` -- the order
+        :meth:`TemporalGraph.chronological_edges` and the sorted edge
+        index use.  ``O(log M + candidates)``, vectorised under numpy.
+        """
+        lo, hi = self.start_bounds(t_alpha, t_omega)
+        if self.backend == "numpy":
+            cand = self._start_order[lo:hi]
+            return cand[self._arrival_by_start[lo:hi] <= t_omega]
+        arrivals = self._arrival_by_start
+        order = self._start_order
+        return [order[i] for i in range(lo, hi) if arrivals[i] <= t_omega]
+
+    def window_positions_graph_order(self, t_alpha: float, t_omega: float):
+        """Same membership as :meth:`window_positions`, insertion order."""
+        picked = self.window_positions(t_alpha, t_omega)
+        if self.backend == "numpy":
+            return _np.sort(picked)
+        return sorted(picked)
+
+    def count_in(self, t_alpha: float, t_omega: float) -> int:
+        """Number of in-window edges, nothing materialised."""
+        lo, hi = self.start_bounds(t_alpha, t_omega)
+        if self.backend == "numpy":
+            return int((self._arrival_by_start[lo:hi] <= t_omega).sum())
+        arrivals = self._arrival_by_start
+        return sum(1 for i in range(lo, hi) if arrivals[i] <= t_omega)
+
+    def delta_positions(
+        self,
+        old_window: Tuple[float, float],
+        new_window: Tuple[float, float],
+    ) -> Tuple[Any, Any]:
+        """``(added, removed)`` positions between two windows.
+
+        The columnar form of ``TemporalEdgeIndex.delta``: each side is
+        the union of a start-boundary slice of the start order and an
+        arrival-boundary slice of the arrival order (disjoint by
+        construction), re-sorted into chronological order via the rank
+        array.  ``O(log M + |Delta|)``.
+        """
+        return (
+            self._one_sided_positions(old_window, new_window),
+            self._one_sided_positions(new_window, old_window),
+        )
+
+    def _one_sided_positions(
+        self, frm: Tuple[float, float], to: Tuple[float, float]
+    ):
+        a1, o1 = frm
+        a2, o2 = to
+        if self.backend == "numpy":
+            np = _np
+            parts = []
+            if a2 < a1:
+                lo = int(np.searchsorted(self._starts_sorted, a2, side="left"))
+                hi = min(
+                    int(np.searchsorted(self._starts_sorted, a1, side="left")),
+                    int(np.searchsorted(self._starts_sorted, o2, side="right")),
+                )
+                if hi > lo:
+                    cand = self._start_order[lo:hi]
+                    parts.append(cand[self._arrival_by_start[lo:hi] <= o2])
+            if o2 > o1:
+                left = max(a1, a2)
+                lo = int(np.searchsorted(self._arrivals_sorted, o1, side="right"))
+                hi = int(np.searchsorted(self._arrivals_sorted, o2, side="right"))
+                if hi > lo:
+                    cand = self._arrival_order[lo:hi]
+                    parts.append(cand[self._start_by_arrival[lo:hi] >= left])
+            if not parts:
+                return np.empty(0, dtype=np.int64)
+            picked = np.concatenate(parts)
+            return picked[np.argsort(self._start_rank[picked], kind="stable")]
+        picked: List[int] = []
+        if a2 < a1:
+            lo = bisect_left(self._starts_sorted, a2)
+            hi = min(
+                bisect_left(self._starts_sorted, a1),
+                bisect_right(self._starts_sorted, o2),
+            )
+            arrivals = self._arrival_by_start
+            order = self._start_order
+            picked.extend(order[i] for i in range(lo, hi) if arrivals[i] <= o2)
+        if o2 > o1:
+            left = max(a1, a2)
+            lo = bisect_right(self._arrivals_sorted, o1)
+            hi = bisect_right(self._arrivals_sorted, o2)
+            starts = self._start_by_arrival
+            order = self._arrival_order
+            picked.extend(order[i] for i in range(lo, hi) if starts[i] >= left)
+        rank = self._start_rank
+        picked.sort(key=lambda p: rank[p])
+        return picked
+
+    def earliest_arrival(
+        self, source: Vertex, t_alpha: float, t_omega: float
+    ) -> List[Tuple[Vertex, float]]:
+        """Earliest-arrival labels from ``source`` (numpy backend only).
+
+        Returns ``[(vertex, arrival), ...]`` for every vertex reachable
+        through a time-respecting path inside ``[t_alpha, t_omega]``,
+        ordered by ``(arrival, intern id)`` with float arrival times --
+        the canonical form the pure backend's heap sweep is normalised
+        to, so cross-backend outputs match byte for byte.
+
+        The sweep walks the arrival-sorted columns in chunks, never
+        splitting an arrival tie group.  Within a chunk it iterates a
+        relaxation fixpoint: an edge is usable when it departs no
+        earlier than its source's current label, and usable edges
+        scatter-min their arrival into their target's label.  Later
+        chunks only produce labels strictly above the chunk's arrival
+        ceiling (tie groups are whole), so they can never enable an
+        edge of an earlier chunk -- one forward pass suffices, even
+        with zero-duration edges.
+        """
+        np = _np
+        src = self.vertex_ids.get(source)
+        if src is None:
+            return []
+        hi = int(np.searchsorted(self._arrivals_sorted, t_omega, side="right"))
+        order = self._arrival_order[:hi]
+        arr = self._arrivals_sorted[:hi]
+        st = self._start_by_arrival[:hi]
+        srcs = self.sources[order]
+        tgts = self.targets[order]
+        lab = np.full(self.num_vertices, np.inf)
+        lab[src] = t_alpha
+        lo = 0
+        while lo < hi:
+            cut = min(lo + EA_CHUNK, hi)
+            if cut < hi:
+                cut = int(np.searchsorted(arr, arr[cut - 1], side="right"))
+            s, a = st[lo:cut], arr[lo:cut]
+            u, v = srcs[lo:cut], tgts[lo:cut]
+            while True:
+                # Strict ``a < lab[v]`` means an edge fires at most once:
+                # after the scatter-min its target label is <= a.
+                usable = (s >= lab[u]) & (a < lab[v])
+                if not usable.any():
+                    break
+                np.minimum.at(lab, v[usable], a[usable])
+            lo = cut
+        reached_mask = lab < np.inf
+        reached_mask[src] = True  # degenerate t_alpha = inf still reports source
+        reached = np.flatnonzero(reached_mask)
+        reached = reached[np.lexsort((reached, lab[reached]))]
+        labels = self.vertex_labels
+        return [
+            (labels[i], t)
+            for i, t in zip(reached.tolist(), lab[reached].tolist())
+        ]
+
+    def edges_at(self, positions) -> List[TemporalEdge]:
+        """Materialise ``TemporalEdge`` objects for insertion positions."""
+        edges = self.edges
+        if self.backend == "numpy":
+            positions = positions.tolist()
+        return [edges[p] for p in positions]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnarEdgeStore(M={self.num_edges}, n={self.num_vertices}, "
+            f"backend={self.backend}, generation={self.generation})"
+        )

@@ -61,6 +61,7 @@ class TemporalGraph:
         "_in_edges",
         "_out_edges",
         "_prepare_memo",
+        "_columnar",
         "__weakref__",
     )
 
@@ -92,10 +93,33 @@ class TemporalGraph:
         self._in_edges: Optional[Dict[Vertex, List[TemporalEdge]]] = None
         self._out_edges: Optional[Dict[Vertex, List[TemporalEdge]]] = None
         self._prepare_memo: Optional[OrderedDict[Any, Any]] = None
+        self._columnar: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Derived-state lifetime
     # ------------------------------------------------------------------
+    def columnar(self) -> Any:
+        """The graph's :class:`repro.temporal.columnar.ColumnarEdgeStore`.
+
+        Built lazily on first use and cached; rebuilt (with a fresh
+        ``generation``) when the active columnar backend has changed
+        since the cached store was built, so a ``force_backend`` /
+        ``REPRO_FORCE_PURE`` switch can never serve arrays from the
+        wrong backend.  Consumers caching state derived from the store
+        must key it on ``store.generation``.
+        """
+        from repro.temporal.columnar import ColumnarEdgeStore, active_backend
+
+        store = self._columnar
+        if store is None or store.backend != active_backend():
+            store = ColumnarEdgeStore(self._edges, self._vertices)
+            self._columnar = store
+        return store
+
+    def columnar_or_none(self) -> Any:
+        """The cached store if one was already built (no build triggered)."""
+        return self._columnar
+
     def prepare_memo(self) -> OrderedDict[Any, Any]:
         """The per-graph memo slot used by ``prepare_mstw_instance``.
 
@@ -130,6 +154,7 @@ class TemporalGraph:
         self._in_edges = None
         self._out_edges = None
         self._prepare_memo = None
+        self._columnar = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -283,7 +308,16 @@ class TemporalGraph:
         Only edges with ``start >= t_alpha`` and ``arrival <= t_omega``
         survive; vertices are recomputed from the surviving edges (the
         paper's G' extraction in Section 5.1).
+
+        When the graph's columnar store is already built, the scan is
+        answered from it in ``O(log M + output)`` (same edges, same
+        insertion order); a one-shot call on a cold graph stays a plain
+        ``O(M)`` pass rather than paying the store build.
         """
+        store = self._columnar
+        if store is not None:
+            picked = store.window_positions_graph_order(t_alpha, t_omega)
+            return TemporalGraph(store.edges_at(picked))
         return TemporalGraph(
             edge for edge in self._edges if edge.within(t_alpha, t_omega)
         )

@@ -3,10 +3,11 @@
 ``TemporalGraph.restricted`` scans all ``M`` edges per call; workloads
 that slide a window across a long history (``repro.core.sliding``, the
 epidemic example, interactive exploration) re-extract hundreds of
-windows.  :class:`TemporalEdgeIndex` sorts the edges once by start time
-and answers each window query in ``O(log M + output)`` using binary
-search on the start times plus an arrival filter that exploits a
-precomputed prefix maximum of durations.
+windows.  :class:`TemporalEdgeIndex` answers each window query in
+``O(log M + output)`` from the graph's columnar store
+(:mod:`repro.temporal.columnar`): binary search over the start-sorted
+column plus an arrival mask, vectorised under numpy and bisect-driven
+under the pure-Python fallback.
 
 For *sliding* workloads the index additionally answers the symmetric
 difference between two windows (:meth:`TemporalEdgeIndex.delta`) in
@@ -32,15 +33,18 @@ class TemporalEdgeIndex:
     Parameters
     ----------
     graph:
-        The temporal graph to index.  The index holds its own sorted
-        copy of the edge tuple; the graph itself is not retained.
+        The temporal graph to index.  The index is a thin object layer
+        over the graph's shared :class:`ColumnarEdgeStore`: the bulk
+        queries delegate to the store's batched passes, while the
+        per-vertex adjacency views (the incremental repair loop's scan
+        structures) stay object-level and are built lazily.
     """
 
     __slots__ = (
+        "_store",
         "_edges",
         "_starts",
         "_positions",
-        "_max_duration_prefix",
         "_vertices",
         "_arrival_order",
         "_arrivals_sorted",
@@ -49,30 +53,23 @@ class TemporalEdgeIndex:
     )
 
     def __init__(self, graph: TemporalGraph) -> None:
-        # Stable sort keeps graph insertion order among (start, arrival)
-        # ties, so _edges matches graph.chronological_edges() exactly and
+        store = graph.columnar()
+        self._store = store
+        # The start-order view matches graph.chronological_edges()
+        # exactly (stable (start, arrival, position) sort), and
         # _positions recovers the original graph.edges position of each
         # indexed edge (needed to reproduce insertion-order outputs).
-        order = sorted(enumerate(graph.edges), key=lambda p: (p[1].start, p[1].arrival))
-        self._edges: List[TemporalEdge] = [e for _, e in order]
-        self._positions: List[int] = [i for i, _ in order]
-        self._starts = [e.start for e in self._edges]
-        # prefix maximum of durations: if no edge in edges[lo:] can have
-        # duration beyond this, the arrival filter can stop early.
-        self._max_duration_prefix: List[float] = []
-        longest = 0.0
-        for e in self._edges:
-            longest = max(longest, e.duration)
-            self._max_duration_prefix.append(longest)
+        self._edges: List[TemporalEdge] = store.edges_at(store.positions_by_start())
+        self._positions: List[int] = [int(p) for p in store.positions_by_start()]
+        self._starts = store.sorted_starts()
         self._vertices = graph.vertices
-        # Arrival-sorted view: indices into _edges ordered by
-        # (arrival, start, graph position); drives the right-boundary
-        # side of delta() and the per-target in-edge lists.
-        self._arrival_order: List[int] = sorted(
-            range(len(self._edges)),
-            key=lambda j: (self._edges[j].arrival, self._edges[j].start, self._positions[j]),
-        )
-        self._arrivals_sorted = [self._edges[j].arrival for j in self._arrival_order]
+        # Arrival-sorted view: ranks into _edges ordered by (arrival,
+        # start, graph position); drives the per-target in-edge lists.
+        ranks = store.start_ranks()
+        self._arrival_order: List[int] = [
+            int(ranks[p]) for p in store.positions_by_arrival()
+        ]
+        self._arrivals_sorted = store.sorted_arrivals()
         # Lazy per-vertex adjacency used by the incremental repair loop.
         self._out_by_source: Optional[Dict[Vertex, Tuple[List[float], List[TemporalEdge]]]] = None
         self._in_by_target: Optional[Dict[Vertex, Tuple[List[float], List[TemporalEdge]]]] = None
@@ -81,19 +78,23 @@ class TemporalEdgeIndex:
     def num_edges(self) -> int:
         return len(self._edges)
 
+    @property
+    def generation(self) -> int:
+        """Generation of the columnar store this index was built from."""
+        return int(self._store.generation)
+
     def edges_in(self, window: TimeWindow) -> List[TemporalEdge]:
-        """All edges with ``start >= t_alpha`` and ``arrival <= t_omega``."""
-        return list(self.iter_edges_in(window))
+        """All edges with ``start >= t_alpha`` and ``arrival <= t_omega``.
+
+        Chronological order; one batched pass over the store.
+        """
+        return self._store.edges_at(
+            self._store.window_positions(window.t_alpha, window.t_omega)
+        )
 
     def iter_edges_in(self, window: TimeWindow) -> Iterator[TemporalEdge]:
-        """Lazily yield the window's edges in chronological order."""
-        lo = bisect_left(self._starts, window.t_alpha)
-        # No edge starting after t_omega can also arrive by t_omega
-        # (durations are non-negative), so the scan ends there.
-        hi = bisect_right(self._starts, window.t_omega)
-        for i in range(lo, hi):
-            if self._edges[i].arrival <= window.t_omega:
-                yield self._edges[i]
+        """Yield the window's edges in chronological order."""
+        return iter(self.edges_in(window))
 
     def edges_in_graph_order(self, window: TimeWindow) -> Tuple[TemporalEdge, ...]:
         """The window's edges in *graph insertion* order.
@@ -103,19 +104,17 @@ class TemporalEdgeIndex:
         performs -- but in ``O(log M + k log k)`` for ``k`` output edges
         instead of ``O(M)``.
         """
-        lo = bisect_left(self._starts, window.t_alpha)
-        hi = bisect_right(self._starts, window.t_omega)
-        picked = [
-            (self._positions[i], self._edges[i])
-            for i in range(lo, hi)
-            if self._edges[i].arrival <= window.t_omega
-        ]
-        picked.sort(key=lambda p: p[0])
-        return tuple(e for _, e in picked)
+        return tuple(
+            self._store.edges_at(
+                self._store.window_positions_graph_order(
+                    window.t_alpha, window.t_omega
+                )
+            )
+        )
 
     def count_in(self, window: TimeWindow) -> int:
         """Number of edges inside the window (no list materialised)."""
-        return sum(1 for _ in self.iter_edges_in(window))
+        return self._store.count_in(window.t_alpha, window.t_omega)
 
     def subgraph(self, window: TimeWindow, keep_vertices: bool = False) -> TemporalGraph:
         """The windowed :class:`TemporalGraph` (``G[t_alpha, t_omega]``).
@@ -139,7 +138,7 @@ class TemporalEdgeIndex:
         i = bisect_left(self._starts, t)
         if i == len(self._starts):
             return None
-        return self._starts[i]
+        return float(self._starts[i])
 
     # ------------------------------------------------------------------
     # Sliding-window deltas
@@ -155,54 +154,21 @@ class TemporalEdgeIndex:
         sides only through one of the two moving boundaries:
 
         * the **start boundary**: edges with ``t_alpha`` of one window
-          ``<= start <`` the other's, found by bisecting the
-          start-sorted array;
+          ``<= start <`` the other's, found in the start-sorted column;
         * the **arrival boundary**: edges with ``t_omega`` of one window
-          ``< arrival <=`` the other's, found by bisecting the
-          arrival-sorted view.
+          ``< arrival <=`` the other's, found in the arrival-sorted
+          column.
 
         The two slices are disjoint and complete (an edge admitted by
         the start boundary is counted there only), and each is a
-        contiguous sorted-array range, so the cost is proportional to
+        contiguous sorted-column range, so the cost is proportional to
         the slide, not the window.  Both lists come back ordered by
         ``(start, arrival, graph position)`` -- chronological order.
         """
-        return (
-            self._one_sided(old_window, new_window),
-            self._one_sided(new_window, old_window),
+        added, removed = self._store.delta_positions(
+            old_window.as_tuple(), new_window.as_tuple()
         )
-
-    def _one_sided(self, frm: TimeWindow, to: TimeWindow) -> List[TemporalEdge]:
-        """Edges inside ``to`` but outside ``frm``."""
-        a1, o1 = frm.t_alpha, frm.t_omega
-        a2, o2 = to.t_alpha, to.t_omega
-        picked: List[int] = []
-        # Start boundary: a2 <= start < a1 admits the edge into `to`
-        # (and start < a1 excludes it from `frm`); arrival <= o2 keeps
-        # it inside `to` on the right.
-        if a2 < a1:
-            lo = bisect_left(self._starts, a2)
-            # Edges starting after o2 cannot arrive by o2; capping the
-            # slice keeps the scan proportional to the boundary region.
-            hi = min(bisect_left(self._starts, a1), bisect_right(self._starts, o2))
-            for i in range(lo, hi):
-                if self._edges[i].arrival <= o2:
-                    picked.append(i)
-        # Arrival boundary: o1 < arrival <= o2 admits the edge into
-        # `to`; start >= max(a1, a2) keeps the two regions disjoint
-        # (edges with start < a1 were counted by the start boundary).
-        if o2 > o1:
-            left = max(a1, a2)
-            lo = bisect_right(self._arrivals_sorted, o1)
-            hi = bisect_right(self._arrivals_sorted, o2)
-            for k in range(lo, hi):
-                j = self._arrival_order[k]
-                if self._edges[j].start >= left:
-                    picked.append(j)
-        picked.sort(
-            key=lambda j: (self._edges[j].start, self._edges[j].arrival, self._positions[j])
-        )
-        return [self._edges[j] for j in picked]
+        return self._store.edges_at(added), self._store.edges_at(removed)
 
     # ------------------------------------------------------------------
     # Per-vertex views (the incremental repair loop's scan structures)
@@ -308,9 +274,10 @@ class TemporalEdgeIndex:
         return len(self._edges)
 
 
-#: graph -> shared index; weak keys, and the index itself holds no
-#: reference back to the graph, so entries die with their graph.
-_SHARED_INDICES: "weakref.WeakKeyDictionary[TemporalGraph, TemporalEdgeIndex]" = (
+#: graph -> (store generation, shared index); weak keys, and the index
+#: itself holds no reference back to the graph, so entries die with
+#: their graph.
+_SHARED_INDICES: "weakref.WeakKeyDictionary[TemporalGraph, Tuple[int, TemporalEdgeIndex]]" = (
     weakref.WeakKeyDictionary()
 )
 
@@ -326,9 +293,24 @@ def edge_index_for(
     the call only reports an existing index (``None`` otherwise) --
     used by paths that should stay ``O(M)`` when nothing sliding-shaped
     has touched the graph yet.
+
+    The cache entry is keyed by the graph's columnar-store generation:
+    a store rebuild (e.g. a ``force_backend`` switch) invalidates the
+    cached index, so a stale index over dropped arrays can never be
+    served.  A ``create=False`` probe whose cached entry is stale
+    reports ``None`` without rebuilding anything.
     """
-    index = _SHARED_INDICES.get(graph)
-    if index is None and create:
-        index = TemporalEdgeIndex(graph)
-        _SHARED_INDICES[graph] = index
+    entry = _SHARED_INDICES.get(graph)
+    if entry is not None:
+        generation, index = entry
+        store = graph.columnar_or_none()
+        if store is not None and store.generation == generation:
+            return index
+        # Stale: the backing store was rebuilt (or dropped) since the
+        # index was cached.  Fall through to a rebuild or a miss.
+        del _SHARED_INDICES[graph]
+    if not create:
+        return None
+    index = TemporalEdgeIndex(graph)
+    _SHARED_INDICES[graph] = (index.generation, index)
     return index

@@ -41,15 +41,41 @@ def earliest_arrival_times(
     reachable through a time-respecting path within the window are
     absent from the result.
 
-    This is a heap-based label-setting sweep: a vertex popped with the
-    minimum tentative arrival is final, because every subsequent
-    relaxation can only yield arrivals that are at least as late.  It is
-    correct for zero-duration edges, unlike the one-pass Algorithm 1.
+    Arrival times are reported as floats, and the result dict is built
+    in canonical ``(arrival, columnar intern id)`` order, whichever
+    backend computed it.  Under the numpy backend the sweep is the
+    columnar store's chunked scatter-min relaxation
+    (:meth:`ColumnarEdgeStore.earliest_arrival`); the pure backend runs
+    the heap-based label-setting sweep below, normalised to the same
+    form.  Both are correct for zero-duration edges, unlike the
+    one-pass Algorithm 1, and the equivalence is property-tested.
     """
     if window is None:
         window = TimeWindow.unbounded()
     if source not in graph.vertices:
         return {}
+    store = graph.columnar()
+    if store.backend == "numpy":
+        return dict(store.earliest_arrival(source, window.t_alpha, window.t_omega))
+    raw = _earliest_arrival_heap(graph, source, window)
+    ids = store.vertex_ids
+    return {
+        v: float(t)
+        for v, t in sorted(raw.items(), key=lambda kv: (kv[1], ids[kv[0]]))
+    }
+
+
+def _earliest_arrival_heap(
+    graph: TemporalGraph,
+    source: Vertex,
+    window: TimeWindow,
+) -> Dict[Vertex, float]:
+    """The reference heap sweep (pure backend path, and the test oracle).
+
+    A vertex popped with the minimum tentative arrival is final,
+    because every subsequent relaxation can only yield arrivals that
+    are at least as late.
+    """
     adjacency = _ascending_adjacency(graph)
     starts = graph.ascending_starts()
     arrival: Dict[Vertex, float] = {source: window.t_alpha}

@@ -1,0 +1,7 @@
+"""Clean counterpart: copy the sorted view before writing into it."""
+
+
+def shift_starts(graph, offset):
+    starts = list(graph.columnar().sorted_starts())
+    starts[0] = starts[0] + offset
+    return starts

@@ -1,0 +1,11 @@
+"""Fixture: mutating a shared columnar sorted view.
+
+``sorted_starts`` hands out the store's cached array, not a copy;
+writing into it corrupts every later window query on the graph.
+"""
+
+
+def shift_starts(graph, offset):
+    starts = graph.columnar().sorted_starts()
+    starts[0] = starts[0] + offset
+    return starts

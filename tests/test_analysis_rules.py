@@ -45,6 +45,12 @@ CASES = [
         "row[0] = 0.0",
     ),
     (
+        "cache-mutation",
+        "REP102",
+        os.path.join("repro", "temporal", "columnaruser.py"),
+        "starts[0] = starts[0] + offset",
+    ),
+    (
         "determinism",
         "REP103",
         os.path.join("repro", "perf", "timing.py"),

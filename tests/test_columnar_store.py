@@ -1,0 +1,246 @@
+"""Unit tests for the columnar edge store and its cache discipline.
+
+The cross-backend *output identity* is property-tested in
+``test_property_columnar.py``; this file pins down the store's
+contracts one by one -- backend selection precedence, interning order,
+generation monotonicity, the per-graph store cache, and the
+generation-keyed shared edge index (the regression test for serving a
+stale index over a rebuilt store).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.temporal.columnar import (
+    ColumnarEdgeStore,
+    active_backend,
+    force_backend,
+    numpy_available,
+)
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.index import TemporalEdgeIndex, edge_index_for
+from repro.temporal.window import TimeWindow
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not importable"
+)
+
+
+def small_graph() -> TemporalGraph:
+    return TemporalGraph(
+        [
+            TemporalEdge("b", "c", 3.0, 5.0, 1.0),
+            TemporalEdge("a", "b", 1.0, 2.0, 1.0),
+            TemporalEdge("a", "c", 1.0, 4.0, 2.0),
+            TemporalEdge("c", "a", 6.0, 7.0, 1.0),
+        ],
+        vertices=["isolated"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+def test_force_backend_overrides_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_FORCE_PURE", "1")
+    assert active_backend() == "pure"
+    if numpy_available():
+        with force_backend("numpy"):
+            assert active_backend() == "numpy"
+        assert active_backend() == "pure"
+
+
+def test_force_pure_env_values(monkeypatch):
+    monkeypatch.setenv("REPRO_FORCE_PURE", "0")
+    default = "numpy" if numpy_available() else "pure"
+    assert active_backend() == default
+    monkeypatch.setenv("REPRO_FORCE_PURE", "")
+    assert active_backend() == default
+    monkeypatch.setenv("REPRO_FORCE_PURE", "yes")
+    assert active_backend() == "pure"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        with force_backend("cuda"):
+            pass  # pragma: no cover
+    with pytest.raises(ValueError):
+        ColumnarEdgeStore((), backend="cuda")
+
+
+# ----------------------------------------------------------------------
+# Store construction
+# ----------------------------------------------------------------------
+def test_interning_is_first_occurrence_order():
+    graph = small_graph()
+    with force_backend("pure"):
+        store = graph.columnar()
+    # Edge endpoints in insertion order, then the extras.
+    assert store.vertex_labels == ["b", "c", "a", "isolated"]
+    assert store.vertex_ids == {"b": 0, "c": 1, "a": 2, "isolated": 3}
+    assert list(store.sources) == [0, 2, 2, 1]
+    assert list(store.targets) == [1, 0, 1, 2]
+    assert store.num_edges == 4
+    assert store.num_vertices == 4
+
+
+def test_sort_orders_and_ranks():
+    graph = small_graph()
+    with force_backend("pure"):
+        store = graph.columnar()
+    # (start, arrival, position): positions 1 (1,2), 2 (1,4), 0 (3,5), 3 (6,7)
+    assert list(store.positions_by_start()) == [1, 2, 0, 3]
+    assert list(store.sorted_starts()) == [1.0, 1.0, 3.0, 6.0]
+    assert list(store.arrivals_by_start_order()) == [2.0, 4.0, 5.0, 7.0]
+    # (arrival, start, position) happens to coincide here.
+    assert list(store.positions_by_arrival()) == [1, 2, 0, 3]
+    # start_ranks inverts positions_by_start.
+    ranks = store.start_ranks()
+    assert [int(ranks[p]) for p in store.positions_by_start()] == [0, 1, 2, 3]
+
+
+def test_value_type_flags():
+    float_graph = small_graph()
+    int_graph = TemporalGraph([TemporalEdge(0, 1, 1, 2, 3)])
+    mixed = TemporalGraph(
+        [TemporalEdge(0, 1, 1.0, 2.0, 3.0), TemporalEdge(1, 0, 4, 5, 6)]
+    )
+    with force_backend("pure"):
+        assert float_graph.columnar().arrivals_are_float
+        assert float_graph.columnar().weights_are_float
+        assert not int_graph.columnar().arrivals_are_float
+        assert not int_graph.columnar().weights_are_float
+        assert not mixed.columnar().arrivals_are_float
+        assert not mixed.columnar().weights_are_float
+
+
+def test_generations_are_unique_and_monotone():
+    edges = small_graph().edges
+    with force_backend("pure"):
+        a = ColumnarEdgeStore(edges)
+        b = ColumnarEdgeStore(edges)
+    assert b.generation > a.generation
+
+
+def test_empty_store():
+    with force_backend("pure"):
+        store = ColumnarEdgeStore(())
+    assert store.num_edges == 0
+    assert store.start_bounds(0.0, 10.0) == (0, 0)
+    assert list(store.window_positions(0.0, 10.0)) == []
+    assert store.count_in(0.0, 10.0) == 0
+    assert store.edges_at(store.window_positions(0.0, 10.0)) == []
+
+
+# ----------------------------------------------------------------------
+# Queries (exact values; cross-backend identity lives in the property suite)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "backend",
+    ["pure", pytest.param("numpy", marks=needs_numpy)],
+)
+def test_window_queries(backend):
+    graph = small_graph()
+    with force_backend(backend):
+        store = graph.columnar()
+    assert store.backend == backend
+    # Window [1, 4]: positions 1 (1->2) and 2 (1->4) qualify; position 0
+    # starts at 3 but arrives at 5, outside.
+    assert [int(p) for p in store.window_positions(1.0, 4.0)] == [1, 2]
+    assert [int(p) for p in store.window_positions_graph_order(1.0, 4.0)] == [1, 2]
+    assert store.count_in(1.0, 4.0) == 2
+    assert [tuple(e) for e in store.edges_at(store.window_positions(1.0, 4.0))] == [
+        ("a", "b", 1.0, 2.0, 1.0),
+        ("a", "c", 1.0, 4.0, 2.0),
+    ]
+
+
+@pytest.mark.parametrize(
+    "backend",
+    ["pure", pytest.param("numpy", marks=needs_numpy)],
+)
+def test_delta_positions(backend):
+    graph = small_graph()
+    with force_backend(backend):
+        store = graph.columnar()
+    added, removed = store.delta_positions((1.0, 4.0), (1.0, 7.0))
+    assert [int(p) for p in added] == [0, 3]
+    assert [int(p) for p in removed] == []
+    added, removed = store.delta_positions((1.0, 7.0), (3.0, 7.0))
+    assert [int(p) for p in added] == []
+    assert sorted(int(p) for p in removed) == [1, 2]
+
+
+@needs_numpy
+def test_earliest_arrival_kernel():
+    graph = small_graph()
+    with force_backend("numpy"):
+        store = graph.columnar()
+    labels = store.earliest_arrival("a", 0.0, 10.0)
+    assert labels == [("a", 0.0), ("b", 2.0), ("c", 4.0)]
+    assert store.earliest_arrival("missing", 0.0, 10.0) == []
+
+
+# ----------------------------------------------------------------------
+# The per-graph store cache
+# ----------------------------------------------------------------------
+def test_graph_store_is_cached_and_rebuilt_on_backend_switch():
+    graph = small_graph()
+    assert graph.columnar_or_none() is None
+    with force_backend("pure"):
+        first = graph.columnar()
+        assert graph.columnar() is first
+        assert graph.columnar_or_none() is first
+    if not numpy_available():
+        return
+    with force_backend("numpy"):
+        rebuilt = graph.columnar()
+    assert rebuilt is not first
+    assert rebuilt.backend == "numpy"
+    assert rebuilt.generation > first.generation
+
+
+# ----------------------------------------------------------------------
+# Regression: the shared edge index must be keyed on store generation
+# ----------------------------------------------------------------------
+def test_edge_index_cache_invalidated_by_store_rebuild():
+    """A backend switch rebuilds the store; the cached ``TemporalEdgeIndex``
+    over the dropped arrays must not be served for the new store."""
+    graph = small_graph()
+    with force_backend("pure"):
+        index = edge_index_for(graph)
+        assert isinstance(index, TemporalEdgeIndex)
+        assert edge_index_for(graph) is index
+        assert index.generation == graph.columnar().generation
+    if not numpy_available():
+        return
+    with force_backend("numpy"):
+        store = graph.columnar()  # rebuild under the new backend
+        # A create=False probe must report the stale entry as a miss...
+        assert edge_index_for(graph, create=False) is None
+        # ...and a full call must rebuild against the new store.
+        fresh = edge_index_for(graph)
+        assert fresh is not index
+        assert fresh.generation == store.generation
+        assert edge_index_for(graph) is fresh
+
+
+def test_edge_index_create_false_does_not_build():
+    graph = small_graph()
+    assert edge_index_for(graph, create=False) is None
+    assert graph.columnar_or_none() is None
+
+
+def test_edge_index_results_match_restricted():
+    graph = small_graph()
+    window = TimeWindow(1.0, 4.0)
+    with force_backend("pure"):
+        index = edge_index_for(graph)
+        assert [tuple(e) for e in index.edges_in_graph_order(window)] == [
+            tuple(e)
+            for e in graph.edges
+            if e.within(window.t_alpha, window.t_omega)
+        ]
+        assert index.count_in(window) == 2

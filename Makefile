@@ -84,6 +84,8 @@ lint:
 		$(PYTHON) -m compileall -q src tests; \
 	fi
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src tests
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --project \
+		--baseline lint-baseline.json src
 
 # The strict typing gate over the clean-file list in pyproject.toml.
 # mypy is optional locally (the typecheck CI job installs it).

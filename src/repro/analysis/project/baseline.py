@@ -1,0 +1,91 @@
+"""Findings baseline for ratchet-style adoption of the project rules.
+
+A baseline file is a JSON list of finding keys.  Keys deliberately
+omit the line number: pre-existing findings stay suppressed across
+unrelated edits that shift lines, while any *new* finding (new
+message, new file, new rule) still fails the build.  The committed
+baseline for this repository is empty -- every finding the pass
+surfaced was fixed, not baselined -- but the mechanism is what lets a
+downstream fork adopt the rules incrementally.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, str, str]  # (path, rule, code, message)
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    return (finding.path, finding.rule, finding.code, finding.message)
+
+
+def load_baseline(path: str) -> List[BaselineKey]:
+    """Read a baseline file; raises ValueError on a malformed one."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: not a version-{BASELINE_VERSION} baseline file")
+    entries = data.get("findings", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: 'findings' must be a list")
+    keys: List[BaselineKey] = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: baseline entries must be objects")
+        keys.append(
+            (
+                str(entry.get("path", "")),
+                str(entry.get("rule", "")),
+                str(entry.get("code", "")),
+                str(entry.get("message", "")),
+            )
+        )
+    return keys
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "path": finding.path,
+                "rule": finding.rule,
+                "code": finding.code,
+                "message": finding.message,
+            }
+            for finding in sorted(
+                findings, key=lambda f: (f.path, f.rule, f.message)
+            )
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Sequence[BaselineKey]
+) -> List[Finding]:
+    """Drop findings whose key appears in the baseline.
+
+    Matching is by multiset: two identical pre-existing findings need
+    two baseline entries, so a duplicate introduced later still trips.
+    """
+    budget: Dict[BaselineKey, int] = {}
+    for key in baseline:
+        budget[key] = budget.get(key, 0) + 1
+    kept: List[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            continue
+        kept.append(finding)
+    return kept

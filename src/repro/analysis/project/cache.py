@@ -1,0 +1,243 @@
+"""On-disk summary cache keyed on source hashes, SCC-aware invalidation.
+
+The cache stores the JSON form of every :class:`ModuleSummary` next to
+the sha256 of the source it was extracted from.  On a warm run,
+modules whose hash is unchanged are deserialized instead of re-parsed;
+modules whose hash changed are re-summarized **together with every
+member of their import-graph strongly-connected component** (mutually
+importing modules resolve names through each other, so a change inside
+a cycle conservatively refreshes the whole cycle).
+
+Summaries are pure data and the rules consume nothing else, so a graph
+built from cached summaries is byte-identical to one built cold -- the
+cache can only save time, never change a report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.project.symbols import (
+    SUMMARY_VERSION,
+    ModuleSummary,
+    module_from_dict,
+    summarize_module,
+)
+
+#: Bump when the cache file layout (not the summary shape) changes.
+CACHE_VERSION = 1
+
+
+def _hash_file(path: str) -> Optional[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError):
+        return None
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _import_edges(
+    import_modules: Iterable[str], analyzed: Set[str]
+) -> List[str]:
+    """Map recorded imports onto analyzed module names (longest prefix)."""
+    edges = []
+    for imported in import_modules:
+        parts = imported.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in analyzed:
+                if prefix not in edges:
+                    edges.append(prefix)
+                break
+    return edges
+
+
+def _sccs(graph: Dict[str, List[str]]) -> List[List[str]]:
+    """Tarjan's strongly-connected components, iteratively."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    components: List[List[str]] = []
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            children = graph.get(node, [])
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+@dataclass
+class CacheStats:
+    """How the cache behaved on one run (tests pin invalidation on this)."""
+
+    parsed: int = 0
+    reused: int = 0
+    invalidated: List[str] = field(default_factory=list)
+
+
+class SummaryCache:
+    """Loads, applies, and rewrites the on-disk summary cache.
+
+    ``path=None`` disables persistence entirely: every module parses
+    fresh and nothing is written (the ``--no-cache`` behaviour).
+    """
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+        self.stats = CacheStats()
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+            except (OSError, ValueError):
+                data = {}
+            if (
+                isinstance(data, dict)
+                and data.get("version") == CACHE_VERSION
+                and data.get("summary_version") == SUMMARY_VERSION
+                and isinstance(data.get("modules"), dict)
+            ):
+                self._entries = data["modules"]
+
+    # ------------------------------------------------------------------
+    def _invalidated(
+        self, files: Sequence[Tuple[str, str]], hashes: Dict[str, Optional[str]]
+    ) -> Set[str]:
+        analyzed = {module for _path, module in files}
+        changed: Set[str] = set()
+        for path, module in files:
+            entry = self._entries.get(module)
+            if (
+                entry is None
+                or entry.get("hash") != hashes[module]
+                or entry.get("path") != path
+            ):
+                changed.add(module)
+        if not changed:
+            return changed
+        # Import edges come from the *previous* summaries; a changed
+        # module with no cache entry has no edges, which is fine -- it
+        # is already in the changed set itself.
+        graph: Dict[str, List[str]] = {}
+        for module in analyzed:
+            entry = self._entries.get(module)
+            imports: Iterable[str] = ()
+            if entry is not None and isinstance(entry.get("summary"), dict):
+                imports = entry["summary"].get("import_modules", ())
+            graph[module] = _import_edges(imports, analyzed)
+        invalidated = set(changed)
+        for component in _sccs(graph):
+            if len(component) > 1 and any(m in changed for m in component):
+                invalidated.update(component)
+        return invalidated
+
+    # ------------------------------------------------------------------
+    def build(
+        self, files: Sequence[Tuple[str, str]]
+    ) -> Tuple[Dict[str, ModuleSummary], List[Tuple[str, SyntaxError]]]:
+        """Summaries for ``(path, module_name)`` pairs, cache-assisted.
+
+        Returns the summary map plus per-file syntax errors (those
+        modules are omitted from the map and from the rewritten cache).
+        """
+        hashes = {module: _hash_file(path) for path, module in files}
+        if self.path is None:
+            invalidated = {module for _path, module in files}
+        else:
+            invalidated = self._invalidated(files, hashes)
+        summaries: Dict[str, ModuleSummary] = {}
+        errors: List[Tuple[str, SyntaxError]] = []
+        for path, module in sorted(files, key=lambda item: item[1]):
+            if module not in invalidated:
+                entry = self._entries[module]
+                summaries[module] = module_from_dict(entry["summary"])
+                self.stats.reused += 1
+                continue
+            try:
+                summaries[module] = summarize_module(path, module)
+            except SyntaxError as exc:
+                errors.append((path, exc))
+                continue
+            except (OSError, UnicodeDecodeError) as exc:
+                wrapped = SyntaxError(str(exc))
+                wrapped.lineno = 1
+                errors.append((path, wrapped))
+                continue
+            self.stats.parsed += 1
+            self.stats.invalidated.append(module)
+        self.stats.invalidated.sort()
+        if self.path is not None:
+            self._write(summaries)
+        return summaries, errors
+
+    # ------------------------------------------------------------------
+    def _write(self, summaries: Dict[str, ModuleSummary]) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "summary_version": SUMMARY_VERSION,
+            "modules": {
+                module: {
+                    "path": summary.path,
+                    "hash": summary.source_hash,
+                    "summary": summary.to_dict(),
+                }
+                for module, summary in summaries.items()
+            },
+        }
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp_path = self.path + ".tmp"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, self.path)
+        except OSError:
+            # A read-only cache directory must not fail the analysis.
+            try:
+                if os.path.exists(tmp_path):
+                    os.remove(tmp_path)
+            except OSError:
+                pass

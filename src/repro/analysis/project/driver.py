@@ -1,0 +1,80 @@
+"""Drives the whole-program pass: files -> summaries -> graph -> rules."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.core import (
+    PARSE_ERROR_CODE,
+    PARSE_ERROR_RULE,
+    AnalysisError,
+    Finding,
+    iter_python_files,
+    module_name_for,
+)
+from repro.analysis.project.cache import CacheStats, SummaryCache
+from repro.analysis.project.callgraph import build_graph
+from repro.analysis.project.rules import ProjectRule, default_project_rules
+
+#: Directories never part of the project walk.
+DEFAULT_PROJECT_EXCLUDES = ("fixtures", "__pycache__", ".hypothesis")
+
+
+def analyze_project(
+    paths: Sequence[str],
+    rules: Optional[Sequence[ProjectRule]] = None,
+    excludes: Sequence[str] = DEFAULT_PROJECT_EXCLUDES,
+    cache_path: Optional[str] = None,
+) -> Tuple[List[Finding], List[AnalysisError], CacheStats]:
+    """Run the interprocedural rules over every module under ``paths``.
+
+    Returns the suppression-filtered findings (sorted by location), any
+    internal rule failures, and the cache statistics of the run.  Files
+    that fail to parse contribute one ``parse-error`` finding each and
+    are excluded from the graph; files outside any ``repro`` package
+    (no resolvable module name) are skipped entirely.
+    """
+    if rules is None:
+        rules = default_project_rules()
+    files: List[Tuple[str, str]] = []
+    seen_modules = set()
+    for path in iter_python_files(paths, excludes=excludes):
+        module = module_name_for(path)
+        if module is None or module in seen_modules:
+            continue
+        seen_modules.add(module)
+        files.append((path, module))
+    cache = SummaryCache(cache_path)
+    summaries, syntax_errors = cache.build(files)
+    findings: List[Finding] = []
+    errors: List[AnalysisError] = []
+    for path, exc in syntax_errors:
+        findings.append(
+            Finding(
+                path=path,
+                line=getattr(exc, "lineno", 1) or 1,
+                col=0,
+                rule=PARSE_ERROR_RULE,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc}",
+            )
+        )
+    graph = build_graph(summaries)
+    by_path = {summary.path: summary for summary in summaries.values()}
+    for rule in rules:
+        try:
+            for finding in rule.check(graph):
+                summary = by_path.get(finding.path)
+                if summary is not None and summary.is_suppressed(
+                    finding.line, finding.rule
+                ):
+                    continue
+                findings.append(finding)
+        except Exception as exc:  # noqa: BLE001 - reported as internal
+            errors.append(
+                AnalysisError(
+                    path="<project>", rule=rule.name, message=repr(exc)
+                )
+            )
+    findings.sort()
+    return findings, errors, cache.stats

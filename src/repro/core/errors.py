@@ -7,6 +7,8 @@ problems from algorithmic preconditions.
 
 from __future__ import annotations
 
+from typing import Tuple, Type
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -65,6 +67,23 @@ class BudgetExceededError(ReproError):
         self.reason = reason
         self.elapsed_seconds = elapsed_seconds
         self.expansions = expansions
+
+    def __reduce__(
+        self,
+    ) -> Tuple[Type["BudgetExceededError"], Tuple[str, str, float, int]]:
+        # Exception.__reduce__ rebuilds from ``args`` alone -- one
+        # positional string here -- which would silently drop the
+        # structured attributes when the error crosses a worker process
+        # boundary.  Rebuild with the full constructor signature.
+        return (
+            type(self),
+            (
+                str(self.args[0]) if self.args else "",
+                self.reason,
+                self.elapsed_seconds,
+                self.expansions,
+            ),
+        )
 
 
 class TransientError(ReproError):

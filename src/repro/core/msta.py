@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import UnreachableRootError, ZeroDurationError
 from repro.core.spanning_tree import TemporalSpanningTree
+from repro.resilience.budget import NULL_BUDGET, Budget
 from repro.temporal.edge import TemporalEdge, Vertex
 from repro.temporal.graph import TemporalGraph
 from repro.temporal.window import TimeWindow
@@ -75,11 +76,16 @@ def msta_chronological(
     root: Vertex,
     window: Optional[TimeWindow] = None,
     check_durations: bool = True,
+    budget: Optional[Budget] = None,
 ) -> TemporalSpanningTree:
     """Algorithm 1: one pass over the chronological edge list, ``O(M)``.
 
     Set ``check_durations=False`` to skip the zero-duration guard --
     used by tests that demonstrate the Figure 3 failure mode.
+
+    ``budget`` is checkpointed cooperatively every 1024 scanned edges;
+    a drained budget raises
+    :class:`repro.core.errors.BudgetExceededError` mid-scan.
     """
     if root not in graph.vertices:
         raise UnreachableRootError(f"root {root!r} is not a vertex of the graph")
@@ -90,11 +96,16 @@ def msta_chronological(
             "Algorithm 1 requires positive edge durations; use msta_stack "
             "(Algorithm 2) for graphs with zero-duration edges"
         )
+    tick = budget if budget is not None else NULL_BUDGET
     arrival: Dict[Vertex, float] = {root: window.t_alpha}
     parent: Dict[Vertex, TemporalEdge] = {}
     inf = float("inf")
     t_omega = window.t_omega
+    scanned = 0
     for edge in graph.chronological_edges():
+        scanned += 1
+        if not scanned & 1023:
+            tick.checkpoint(1024)
         # Line 3 of Algorithm 1: the edge departs no earlier than our
         # arrival at its source, improves the target, and ends in time.
         if (
@@ -111,6 +122,7 @@ def msta_stack(
     graph: TemporalGraph,
     root: Vertex,
     window: Optional[TimeWindow] = None,
+    budget: Optional[Budget] = None,
 ) -> TemporalSpanningTree:
     """Algorithm 2: stack-driven scan of descending-start adjacency lists.
 
@@ -119,6 +131,10 @@ def msta_stack(
     arrival time improves, the scan resumes and pushes the newly enabled
     out-edges.  Each edge is pushed at most once, giving ``O(M)``.
     Correct for zero-duration edges (Theorem 2).
+
+    ``budget`` is checkpointed cooperatively once per popped stack
+    entry; a drained budget raises
+    :class:`repro.core.errors.BudgetExceededError` mid-scan.
     """
     if root not in graph.vertices:
         raise UnreachableRootError(f"root {root!r} is not a vertex of the graph")
@@ -134,7 +150,9 @@ def msta_stack(
     stack: List[Tuple[Optional[TemporalEdge], Vertex, float]] = [
         (None, root, window.t_alpha)
     ]
+    tick = budget if budget is not None else NULL_BUDGET
     while stack:
+        tick.checkpoint()
         edge_in, v, t_arr = stack.pop()
         if t_arr >= arrival.get(v, inf):
             continue

@@ -23,7 +23,7 @@ import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.core.errors import UnreachableRootError
+from repro.core.errors import BudgetExceededError, UnreachableRootError
 from repro.core.postprocess import closure_tree_to_temporal
 from repro.core.spanning_tree import TemporalSpanningTree
 from repro.core.transformation import transform_temporal_graph
@@ -134,7 +134,7 @@ def minimum_spanning_tree_w(
         If the root reaches no other vertex within the window.
     BudgetExceededError
         If ``budget`` drains and ``fallback`` is False.  With
-        ``fallback`` on the pipeline never raises for budget reasons.
+        ``fallback`` on, a drained budget degrades instead of raising.
     ValueError
         For an unknown algorithm name or non-positive level.
     """
@@ -267,6 +267,7 @@ def prepare_mstw_instance(
     root: Vertex,
     window: Optional[TimeWindow] = None,
     use_cache: bool = True,
+    budget: Optional[Budget] = None,
 ):
     """Stages 1-3 only: ``(transformed, prepared)`` for repeated solving.
 
@@ -284,6 +285,11 @@ def prepare_mstw_instance(
     shared across worker processes (each worker warms its own), and
     introspected via :func:`prepare_cache_info` -- callers must not
     reach into the internals.
+
+    ``budget`` bounds only the delta-derivation shortcut (the closure
+    patch checkpoints it); a drained budget falls back to the cold
+    preparation, which always completes, so this function does not
+    raise for budget reasons.
     """
     if window is None:
         window = TimeWindow.unbounded()
@@ -324,9 +330,19 @@ def prepare_mstw_instance(
         added, removed = index.delta(donor_window, window)
         changed = {v for e in added for v in (e.source, e.target)}
         changed.update(v for e in removed for v in (e.source, e.target))
-        prepared = patch_prepared_instance(
-            donor_transformed, donor_prepared, transformed, terminals, changed
-        )
+        try:
+            prepared = patch_prepared_instance(
+                donor_transformed,
+                donor_prepared,
+                transformed,
+                terminals,
+                changed,
+                budget=budget,
+            )
+        except BudgetExceededError:
+            # Patch over budget: the cold preparation below is
+            # output-identical, so degrade silently (stats-visible only).
+            prepared = None
         if prepared is not None:
             with _PREPARE_LOCK:
                 _PREPARE_STATS["delta_derived"] += 1

@@ -1,26 +1,35 @@
-"""Experiments: Tables 2 and 3 -- MST_a runtime comparisons."""
+"""Experiments: Tables 2 and 3 -- MST_a runtime comparisons.
+
+Like the MST_w tables, every timing cell runs through the
+:class:`ExperimentContext` cell protocol: the cell budget is threaded
+down into the solvers (``timed_best_of`` forwards it, and all three
+MST_a implementations checkpoint cooperatively), so a pathological
+dataset degrades to a structured over-budget cell instead of hanging
+the table, and completed cells are checkpointed and resumable.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.baselines.bhadra import bhadra_msta
 from repro.core.msta import msta_chronological, msta_stack
-from repro.experiments.runner import TableResult, timed_best_of
+from repro.experiments.checkpoint import ExperimentContext
+from repro.experiments.runner import OverBudgetCell, TableResult, timed_best_of
 from repro.experiments.workloads import msta_graph, msta_protocol
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.experiments.checkpoint import ExperimentContext
+from repro.resilience.budget import Budget
 
 DATASETS = ["slashdot", "epinions", "facebook", "enron", "hepph", "dblp"]
 
 
 def _runtime_rows(
+    table: str,
     duration: float,
-    algorithms: List[Tuple[str, object]],
+    algorithms: List[Tuple[str, Callable]],
     fraction: Optional[float],
     scale: float,
     rounds: int,
+    ctx: ExperimentContext,
 ) -> List[List[object]]:
     rows = []
     for name in DATASETS:
@@ -30,22 +39,36 @@ def _runtime_rows(
         active.sorted_adjacency()
         cells: List[object] = [name]
         reach = None
-        for _, solver in algorithms:
-            elapsed, tree = timed_best_of(rounds, solver, active, root, window)
-            reach = len(tree.vertices) - 1
-            cells.append(elapsed * 1e3)
+        for algo_name, solver in algorithms:
+
+            def runtime_cell(
+                budget: Optional[Budget], solver: Callable = solver
+            ) -> List:
+                elapsed, tree = timed_best_of(
+                    rounds, solver, active, root, window, budget=budget
+                )
+                return [elapsed * 1e3, len(tree.vertices) - 1]
+
+            value = ctx.cell(f"{table}:{name}:{algo_name}", runtime_cell)
+            if isinstance(value, OverBudgetCell):
+                cells.append(value)
+            else:
+                elapsed_ms, cell_reach = value
+                reach = cell_reach
+                cells.append(elapsed_ms)
         cells.insert(1, reach)
         rows.append(cells)
     return rows
 
 
 def run_table2(
-    quick: bool = False, context: Optional["ExperimentContext"] = None
+    quick: bool = False, context: Optional[ExperimentContext] = None
 ) -> TableResult:
     """Table 2: MST_a with non-zero durations (Bhadra vs Alg2 vs Alg1)."""
+    ctx = context if context is not None else ExperimentContext()
     scale = 0.4 if quick else 1.0
     rounds = 1 if quick else 3
-    algorithms = [
+    algorithms: List[Tuple[str, Callable]] = [
         ("Bhadra", bhadra_msta),
         ("Alg2", msta_stack),
         ("Alg1", msta_chronological),
@@ -55,7 +78,7 @@ def run_table2(
         title="Table 2: MST_a runtime (ms), non-zero durations, window [0, inf]",
         header=["dataset", "|V_r|", "Bhadra", "Alg2", "Alg1"],
     )
-    result.rows = _runtime_rows(1.0, algorithms, None, scale, rounds)
+    result.rows = _runtime_rows("table2", 1.0, algorithms, None, scale, rounds, ctx)
     result.notes.append(
         "paper shape: the linear algorithms beat the Prim-Dijkstra baseline "
         "on every dataset"
@@ -64,18 +87,22 @@ def run_table2(
 
 
 def run_table3(
-    quick: bool = False, context: Optional["ExperimentContext"] = None
+    quick: bool = False, context: Optional[ExperimentContext] = None
 ) -> TableResult:
     """Table 3: MST_a with zero durations (Bhadra vs Alg2 only)."""
+    ctx = context if context is not None else ExperimentContext()
     scale = 0.4 if quick else 1.0
     rounds = 1 if quick else 3
-    algorithms = [("Bhadra", bhadra_msta), ("Alg2", msta_stack)]
+    algorithms: List[Tuple[str, Callable]] = [
+        ("Bhadra", bhadra_msta),
+        ("Alg2", msta_stack),
+    ]
     result = TableResult(
         name="table3",
         title="Table 3: MST_a runtime (ms), zero durations, window [0, inf]",
         header=["dataset", "|V_r|", "Bhadra", "Alg2"],
     )
-    result.rows = _runtime_rows(0.0, algorithms, None, scale, rounds)
+    result.rows = _runtime_rows("table3", 0.0, algorithms, None, scale, rounds, ctx)
     result.notes.append(
         "Algorithm 1 is excluded: it is incorrect for zero durations "
         "(the paper's Example 4)"

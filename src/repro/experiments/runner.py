@@ -114,11 +114,11 @@ def timed(fn: Callable, *args, **kwargs) -> Tuple[float, Any]:
     return time.perf_counter() - start, result
 
 
-def timed_best_of(rounds: int, fn: Callable, *args) -> Tuple[float, Any]:
+def timed_best_of(rounds: int, fn: Callable, *args, **kwargs) -> Tuple[float, Any]:
     """Best-of-``rounds`` wall time (used outside quick mode)."""
     best = float("inf")
     result = None
     for _ in range(max(1, rounds)):
-        elapsed, result = timed(fn, *args)
+        elapsed, result = timed(fn, *args, **kwargs)
         best = min(best, elapsed)
     return best, result

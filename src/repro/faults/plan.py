@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.core.errors import TransientError
 
@@ -74,7 +74,7 @@ ALL_KINDS: Tuple[str, ...] = (
 #: hardened modules call ``repro.faults.fire(site)`` with exactly these
 #: names; :meth:`FaultPlan.validated` rejects plans targeting unknown
 #: sites so a typo cannot silently produce a fault-free "chaos" run.
-SITES = {
+SITES: Dict[str, Tuple[str, ...]] = {
     "parallel.task": (WORKER_CRASH, TASK_ERROR, TASK_STALL),
     "experiments.cell": (WORKER_CRASH, TASK_ERROR, TASK_STALL),
     "incremental.patch": (TASK_ERROR,),
@@ -100,7 +100,7 @@ class InjectedFault(TransientError):
 
     def __reduce__(
         self,
-    ) -> "Tuple[type, Tuple[str, int]]":
+    ) -> Tuple[Type["InjectedFault"], Tuple[str, int]]:
         # Reconstruct from (site, occurrence), not from args -- injected
         # faults cross the worker/driver pickle boundary intact.
         return (type(self), (self.site, self.occurrence))
@@ -170,7 +170,7 @@ class FaultPlan:
         """
         rng = random.Random(seed)
         chosen_sites = tuple(sites) if sites is not None else tuple(sorted(SITES))
-        entries = []
+        entries: List[FaultSpec] = []
         for _ in range(faults):
             site = rng.choice(chosen_sites)
             kind = rng.choice(SITES[site])

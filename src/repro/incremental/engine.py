@@ -123,6 +123,8 @@ class SlidingEngine:
 
         Identical to the corresponding ``sliding_msta`` iteration
         (modulo the ``caveat`` field, set only on budget degradation).
+        A drained budget never raises out of this method: the window
+        degrades to the cold computation and the caveat records it.
         """
         self.stats["windows"] += 1
         tree = self.msta.advance(window, budget=budget)
@@ -141,6 +143,8 @@ class SlidingEngine:
         map's domain *is* ``V_r``), the DST preparation is patched from
         the previous window when certifiable, and the pruned solve is
         warm-started with the previous window's density bound.
+        A drained budget never raises out of this method: each layer
+        degrades to its cold computation and the caveat records it.
         """
         self.stats["windows"] += 1
         caveats: List[str] = []

@@ -118,8 +118,9 @@ class IncrementalMSTa:
         ``delta`` optionally passes a precomputed ``(added, removed)``
         pair (the engine computes it once and shares it across layers).
         ``budget`` is checkpointed inside the repair loops; a drained
-        budget falls back to the unbudgeted cold solve and records the
-        event in :attr:`stats` / :attr:`last_caveat`.
+        budget never raises out of this method -- it falls back to the
+        unbudgeted cold solve and records the event in :attr:`stats` /
+        :attr:`last_caveat`.
         """
         self.last_caveat = None
         previous = self._window

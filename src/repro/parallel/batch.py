@@ -155,7 +155,9 @@ def _cell_value(
     through the per-process ``prepare_mstw_instance`` memo so cells that
     share a ``(root, window)`` pair share stages 1-3.
     """
-    transformed, prepared = prepare_mstw_instance(sub, cell.root, cell.window)
+    transformed, prepared = prepare_mstw_instance(
+        sub, cell.root, cell.window, budget=budget
+    )
     if cell.fallback:
         outcome = run_with_fallback(
             prepared, budget=budget, level=cell.level, solver=cell.algorithm

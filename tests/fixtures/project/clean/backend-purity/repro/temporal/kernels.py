@@ -1,0 +1,13 @@
+"""Optional-numpy module with a properly guarded dereference (clean)."""
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def accumulate(values):
+    """Sum values, falling back to the pure backend without numpy."""
+    if _np is None:
+        return float(sum(values))
+    return float(_np.asarray(values).sum())

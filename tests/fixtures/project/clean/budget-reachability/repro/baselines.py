@@ -1,0 +1,11 @@
+"""Solver-grade sink for the budget-reachability fixtures (clean pair)."""
+
+
+def solve(items, root=0, budget=None):
+    """A stand-in solver loop that honours a cooperative budget."""
+    total = 0
+    for item in items:
+        if budget is not None:
+            budget.checkpoint()
+        total += item
+    return total

@@ -1,0 +1,9 @@
+"""Entry point that threads its budget through to the solver (clean)."""
+
+from repro.baselines import solve
+
+
+def run_table(quick=False, budget=None):
+    """Build one table row through the solver, budget threaded."""
+    items = [3, 1, 2] if quick else [5, 4, 3, 2, 1]
+    return solve(items, 0, budget=budget)

@@ -1,0 +1,20 @@
+"""A never-raise contract that contains the raise (clean pair)."""
+
+from repro.core.errors import BudgetExceededError
+
+
+def _hot_path(budget):
+    """Checkpoint the budget once per call (can raise)."""
+    budget.checkpoint()
+    return 1
+
+
+class Engine:
+    """Carries the declared degradation contract."""
+
+    def measure(self, budget=None):
+        """Exact answer with a caveat when degraded; never raises."""
+        try:
+            return _hot_path(budget)
+        except BudgetExceededError:
+            return 0

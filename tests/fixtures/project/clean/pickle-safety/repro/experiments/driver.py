@@ -1,0 +1,14 @@
+"""Ships a module-level function across the process boundary (clean)."""
+
+from repro.parallel.engine import ParallelExecutor
+
+
+def _double(item):
+    """The picklable cell function."""
+    return item * 2
+
+
+def run_cells(items):
+    """Map a cell function over items through the executor."""
+    pool = ParallelExecutor(jobs=2)
+    return list(pool.map(_double, items))

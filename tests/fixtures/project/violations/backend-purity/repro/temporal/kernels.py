@@ -1,0 +1,11 @@
+"""Optional-numpy module with an unguarded dereference -- REP203."""
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def accumulate(values):
+    """Sum values through the accelerated backend (unguarded: the bug)."""
+    return float(_np.asarray(values).sum())

@@ -1,0 +1,15 @@
+"""Solver-grade sink for the budget-reachability fixtures.
+
+Mirrors the real ``repro.baselines`` shape: a budget-accepting loop
+that cooperatively checkpoints, making it a REP201 sink.
+"""
+
+
+def solve(items, root=0, budget=None):
+    """A stand-in solver loop that honours a cooperative budget."""
+    total = 0
+    for item in items:
+        if budget is not None:
+            budget.checkpoint()
+        total += item
+    return total

@@ -1,0 +1,15 @@
+"""A never-raise contract that leaks BudgetExceededError -- REP204."""
+
+
+def _hot_path(budget):
+    """Checkpoint the budget once per call (can raise)."""
+    budget.checkpoint()
+    return 1
+
+
+class Engine:
+    """Carries the declared degradation contract."""
+
+    def measure(self, budget=None):
+        """Exact answer with a caveat when degraded; never raises."""
+        return _hot_path(budget)

@@ -1,0 +1,9 @@
+"""Ships a lambda across the process boundary -- the REP202 violation."""
+
+from repro.parallel.engine import ParallelExecutor
+
+
+def run_cells(items):
+    """Map a cell function over items through the executor."""
+    pool = ParallelExecutor(jobs=2)
+    return list(pool.map(lambda item: item * 2, items))

@@ -1,0 +1,14 @@
+"""Minimal executor mirror for the pickle-safety fixtures."""
+
+
+class ParallelExecutor:
+    """Stand-in for the real process-pool executor."""
+
+    def __init__(self, jobs=None, initializer=None, initargs=()):
+        self.jobs = jobs
+        self.initializer = initializer
+        self.initargs = initargs
+
+    def map(self, fn, items):
+        """Run ``fn`` over ``items`` (serially here; the shape matters)."""
+        return [fn(item) for item in items]

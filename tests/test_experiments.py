@@ -186,3 +186,38 @@ class TestSweep:
         )
         assert "nan" not in cells.lower()
         assert "None" not in cells
+
+
+class TestMstaBudgetThreading:
+    """The cell budget must reach the MST_a solvers (the REP201 fix).
+
+    Before the fix, ``run_table2``/``run_table3`` timed their solvers
+    outside the cell protocol: the budget in scope was silently dropped
+    and a pathological dataset could hang the table.  These tests pin
+    the threaded path from both sides.
+    """
+
+    def test_tiny_cell_budget_degrades_structurally(self):
+        from repro.experiments.checkpoint import ExperimentContext
+        from repro.experiments.msta_tables import run_table2
+        from repro.experiments.runner import OverBudgetCell
+
+        ctx = ExperimentContext(cell_budget_seconds=1e-9)
+        table = run_table2(quick=True, context=ctx)
+        bhadra = table.header.index("Bhadra")
+        alg2 = table.header.index("Alg2")
+        for row in table.rows:
+            # Bhadra and Alg2 checkpoint every expansion, so a
+            # zero-width deadline degrades every one of their cells to
+            # a structured over-budget marker instead of raising.
+            assert isinstance(row[bhadra], OverBudgetCell)
+            assert isinstance(row[alg2], OverBudgetCell)
+
+    def test_default_context_stays_exact(self, results):
+        from repro.experiments.runner import OverBudgetCell
+
+        for name in ("table2", "table3"):
+            for row in results[name].rows:
+                assert not any(
+                    isinstance(cell, OverBudgetCell) for cell in row
+                )

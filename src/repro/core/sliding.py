@@ -10,7 +10,7 @@ coverage / cost / makespan series.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.core.errors import ReproError, UnreachableRootError
 from repro.core.msta import minimum_spanning_tree_a
@@ -192,11 +192,14 @@ class SweepResult:
     engine: str
     measurements: List[WindowMeasurement]
     #: Engine work / fault-recovery counters (incremental sweeps only;
-    #: ``None`` for cold sweeps).  Diagnostic by contract: excluded from
-    #: :meth:`rows`, so exported tables/series stay byte-identical
-    #: whether or not recovery actions (retries, cold fallbacks after
-    #: injected faults) happened along the way.
-    stats: Optional[Dict[str, int]] = None
+    #: ``None`` for cold sweeps).  Sharded sweeps additionally fold in
+    #: per-shard diagnostics (``stats["shards"]``: timings, payload
+    #: bytes) and executor recovery counters (``stats["faults"]``).
+    #: Diagnostic by contract: excluded from :meth:`rows`, so exported
+    #: tables/series stay byte-identical whether or not recovery
+    #: actions (retries, cold fallbacks after injected faults) happened
+    #: along the way -- and at any shard/job count.
+    stats: Optional[Dict[str, Any]] = None
 
     def rows(self) -> List[dict]:
         """One dict per window: boundaries, coverage, cost, makespan."""

@@ -36,9 +36,10 @@ from repro.perf.harness import SCHEMA_VERSION
 
 #: Schema versions this comparator can diff against each other.  v2
 #: only *adds* fields to v1 (top-level ``jobs``, platform CPU info,
-#: per-scenario ``reuse_hits``), so v1 baselines remain comparable and
-#: the committed PR-2 baseline keeps gating CI.
-COMPATIBLE_VERSIONS = frozenset({1, SCHEMA_VERSION})
+#: per-scenario ``reuse_hits``), and v3 only adds ``shard_stats`` to
+#: v2, so earlier baselines remain comparable and committed baselines
+#: keep gating CI across schema bumps.
+COMPATIBLE_VERSIONS = frozenset({1, 2, SCHEMA_VERSION})
 
 #: Both medians under this many seconds -> too fast to gate on.
 NOISE_FLOOR_S = 0.002
@@ -63,11 +64,51 @@ class ScenarioDelta:
         return self.status in ("regression", "missing")
 
 
+#: ``(field label, extractor)`` pairs of the run-environment metadata
+#: compared by :func:`_metadata_warnings`.  Timings from different
+#: worker counts, CPU counts, or start methods are comparable only with
+#: care -- the comparator says so out loud instead of diffing silently.
+_METADATA_FIELDS = (
+    ("jobs", lambda doc: doc.get("jobs")),
+    ("cpu_count", lambda doc: doc.get("platform", {}).get("cpu_count")),
+    (
+        "start_method",
+        lambda doc: doc.get("platform", {}).get("start_method"),
+    ),
+)
+
+
+def _metadata_warnings(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> List[str]:
+    """WARN lines for run-environment metadata the documents disagree on.
+
+    Never fails the gate -- a committed baseline is routinely replayed
+    on runners with different core counts -- but a silent mismatch has
+    cost real debugging time, so the disagreement is rendered with the
+    report.  Fields absent from one side (v1 documents) are skipped.
+    """
+    warnings = []
+    for label, extract in _METADATA_FIELDS:
+        base_value = extract(baseline)
+        cur_value = extract(current)
+        if base_value is None or cur_value is None:
+            continue
+        if base_value != cur_value:
+            warnings.append(
+                f"WARN  metadata mismatch: {label} differs "
+                f"(baseline {base_value!r}, current {cur_value!r}) -- "
+                "timings may not be comparable"
+            )
+    return warnings
+
+
 @dataclass
 class ComparisonReport:
     """The full diff of two bench documents."""
 
     deltas: List[ScenarioDelta] = field(default_factory=list)
+    metadata_warnings: List[str] = field(default_factory=list)
 
     @property
     def failures(self) -> List[ScenarioDelta]:
@@ -90,7 +131,7 @@ class ComparisonReport:
         return not self.failures
 
     def render(self) -> str:
-        lines = []
+        lines = list(self.metadata_warnings)
         name_width = max((len(d.name) for d in self.deltas), default=4)
         for delta in self.deltas:
             base = (
@@ -156,7 +197,9 @@ def compare_benchmarks(
 
     baseline_rows = _index(baseline)
     current_rows = _index(current)
-    report = ComparisonReport()
+    report = ComparisonReport(
+        metadata_warnings=_metadata_warnings(baseline, current)
+    )
 
     for name, base_row in baseline_rows.items():
         scenario_tolerance = base_row.get("tolerance") or tolerance

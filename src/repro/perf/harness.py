@@ -19,6 +19,11 @@ Schema history:
   ``start_method`` to ``platform``, and an optional ``reuse_hits``
   per-scenario field (the batch engine's reuse-index hit count).  All
   v1 fields are unchanged, so the comparator accepts v1 baselines.
+* v3 -- adds an optional per-scenario ``shard_stats`` field (the
+  time-sharded engine's per-shard diagnostics: time range, window /
+  cell / edge counts, payload bytes, worker elapsed seconds), so shard
+  imbalance is diagnosable from the committed document.  Additive, so
+  the comparator accepts v1 and v2 baselines.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from typing import Any, Dict, Iterable, List, Optional
 from repro.parallel.engine import cpu_count, default_start_method
 from repro.perf.scenarios import Scenario, build_scenarios
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -56,6 +61,7 @@ class ScenarioResult:
     tolerance: Optional[float] = None
     speedup: Optional[float] = None
     reuse_hits: Optional[int] = None
+    shard_stats: Optional[List[Dict[str, Any]]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -67,6 +73,7 @@ class _Timing:
     expansions: Optional[int] = None
     peak_alloc_bytes: Optional[int] = None
     reuse_hits: Optional[int] = None
+    shard_stats: Optional[List[Dict[str, Any]]] = None
     params: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -101,12 +108,14 @@ def _measure(scenario: Scenario, repeats: int, track_alloc: bool) -> _Timing:
         outcome = scenario.run(state)
         timing.samples.append(time.perf_counter() - start)
         # run() returns None, a bare expansion count, or a dict of
-        # counters ({"expansions", "reuse_hits"}).
+        # counters ({"expansions", "reuse_hits", "shard_stats"}).
         if isinstance(outcome, dict):
             if outcome.get("expansions") is not None:
                 timing.expansions = outcome["expansions"]
             if outcome.get("reuse_hits") is not None:
                 timing.reuse_hits = outcome["reuse_hits"]
+            if outcome.get("shard_stats") is not None:
+                timing.shard_stats = outcome["shard_stats"]
         elif outcome is not None:
             timing.expansions = outcome
     if track_alloc:
@@ -128,6 +137,7 @@ def run_benchmarks(
     track_alloc: bool = True,
     progress: Optional[Any] = None,
     jobs: int = 1,
+    shards: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run the scenario suite and return the bench document (a dict).
 
@@ -136,11 +146,13 @@ def run_benchmarks(
     automatically so speedups stay computable).  ``progress`` is an
     optional ``callable(str)`` for per-scenario status lines.  ``jobs``
     unlocks the pool-backed ``parallel_speedup`` variants up to that
-    worker count and is recorded in the document.
+    worker count and is recorded in the document.  ``shards`` overrides
+    the shard count of the ``sharded_sweep`` pool scenarios (default:
+    jobs-aligned planning, one shard per worker).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    scenarios = build_scenarios(scale, jobs)
+    scenarios = build_scenarios(scale, jobs, shards=shards)
     if names is not None:
         wanted = set(names)
         known = {s.name for s in scenarios}
@@ -178,6 +190,7 @@ def run_benchmarks(
                 baseline=scenario.baseline,
                 tolerance=scenario.tolerance,
                 reuse_hits=timing.reuse_hits,
+                shard_stats=timing.shard_stats,
             )
         )
 

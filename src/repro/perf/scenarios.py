@@ -32,7 +32,7 @@ from repro.core.mstw import (
     minimum_spanning_tree_w,
     prepare_mstw_instance,
 )
-from repro.core.sliding import sliding_msta, sliding_mstw
+from repro.core.sliding import iter_windows, sliding_msta, sliding_mstw
 from repro.core.transformation import (
     clear_transformation_cache,
     transform_temporal_graph,
@@ -51,7 +51,7 @@ from repro.resilience.budget import Budget
 from repro.steiner.charikar import charikar_dst
 from repro.steiner.improved import improved_dst
 from repro.steiner.pruned import pruned_dst
-from repro.temporal.paths import earliest_arrival_times
+from repro.temporal.paths import earliest_arrival_times, reachable_set
 from repro.temporal.window import (
     TimeWindow,
     extract_window,
@@ -99,6 +99,13 @@ class _ScaleSpec:
     parallel_dataset: Tuple[str, float] = ("epinions", 0.05)
     sweep_fractions: Tuple[float, ...] = (0.6, 0.45, 0.3)
     # (dataset name, generator scale, window fraction, step fraction)
+    # for the sharded_sweep family: a *sliding* window grid -- the
+    # shape where contiguous time-sharding pays, because each shard's
+    # slice covers only its run of windows plus the halo.
+    shard_sweep: Tuple[str, float, float, float] = (
+        "epinions", 0.05, 0.3, 0.15,
+    )
+    # (dataset name, generator scale, window fraction, step fraction)
     # for the sliding_sweep cold-vs-incremental pairs.  The two kinds
     # are tuned separately: MST_a repair pays off on long slides with
     # tiny steps, the MST_w patch on closures big enough that rebuild
@@ -138,6 +145,7 @@ SCALES: Dict[str, _ScaleSpec] = {
         include_level3=False,
         parallel_dataset=("epinions", 1.0),
         sweep_fractions=(0.8, 0.65, 0.5, 0.35, 0.2),
+        shard_sweep=("epinions", 2.0, 0.25, 0.125),
         sliding_msta_dataset=("slashdot", 0.5, 0.5, 0.02),
         sliding_mstw_dataset=("slashdot", 1.0, 0.35, 0.02),
         columnar_dataset=("epinions", 600.0, 0.002),
@@ -226,16 +234,23 @@ def _solver_run(solver, level: int):
     return run
 
 
-def build_scenarios(scale: str, jobs: int = 1) -> List[Scenario]:
+def build_scenarios(
+    scale: str, jobs: int = 1, shards: Optional[int] = None
+) -> List[Scenario]:
     """The scenario list for a named scale (see :data:`SCALES`).
 
-    ``jobs`` gates the pool-backed ``parallel_speedup`` variants: the
-    serial baseline and the ``jobs=1`` engine run are always included;
-    the ``jobs=2`` / ``jobs=4`` runs only when the requested job count
-    reaches them (the default CI bench stays pool-free).
+    ``jobs`` gates the pool-backed ``parallel_speedup`` /
+    ``sharded_sweep`` variants: the serial baseline and the ``jobs=1``
+    engine runs are always included; the ``jobs=2`` / ``jobs=4`` runs
+    only when the requested job count reaches them (the default CI
+    bench stays pool-free).  ``shards`` overrides the shard count of
+    the pool-backed ``sharded_sweep`` scenario (default: jobs-aligned
+    -- one shard per worker).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
     try:
         spec = SCALES[scale]
     except KeyError:
@@ -364,6 +379,56 @@ def build_scenarios(scale: str, jobs: int = 1) -> List[Scenario]:
         def run(state):
             result = run_batch(state["graph"], state["cells"], jobs=jobs_n)
             return {"reuse_hits": result.reuse["hits"]}
+
+        return run
+
+    shard_name, shard_scale, shard_wf, shard_sf = spec.shard_sweep
+    shard_params = {
+        "dataset": shard_name,
+        "scale": shard_scale,
+        "window_fraction": shard_wf,
+        "step_fraction": shard_sf,
+        "variants": len(_SWEEP_VARIANTS),
+    }
+
+    def shard_setup():
+        base = load_dataset(shard_name, scale=shard_scale, weighted=True)
+        t_start, t_end = base.time_span()
+        span = t_end - t_start
+        windows = list(iter_windows(base, span * shard_wf, span * shard_sf))
+        root = select_root(
+            extract_window(base, windows[0]), windows[0],
+            min_reach_fraction=0.02,
+        )
+        # Keep only windows where the root reaches something: the
+        # sliding grid moves past the root's active period eventually,
+        # and a root reaching nothing raises out of the MST_w pipeline.
+        usable = [
+            w for w in windows if len(reachable_set(base, root, w)) > 1
+        ]
+        cells = [
+            SweepCell(root=root, window=window, level=level, algorithm=algorithm)
+            for window in usable
+            for algorithm, level in _SWEEP_VARIANTS
+        ]
+        return {"graph": base, "cells": cells}
+
+    def shard_legacy_run(jobs_n: int):
+        def run(state):
+            result = run_batch(state["graph"], state["cells"], jobs=jobs_n)
+            return {"reuse_hits": result.reuse["hits"]}
+
+        return run
+
+    def shard_sharded_run(jobs_n: int, shards_n: int):
+        def run(state):
+            result = run_batch(
+                state["graph"], state["cells"], jobs=jobs_n, shards=shards_n
+            )
+            return {
+                "reuse_hits": result.reuse["hits"],
+                "shard_stats": result.shards,
+            }
 
         return run
 
@@ -723,6 +788,77 @@ def build_scenarios(scale: str, jobs: int = 1) -> List[Scenario]:
             )
         )
 
+    scenarios.extend(
+        [
+            Scenario(
+                name="sharded_sweep_jobs1",
+                group="sharded_sweep",
+                description=(
+                    "Sliding-grid sweep through the legacy batch engine "
+                    "at jobs=1 (whole graph, inline) -- the reference "
+                    "the PR 4 regression was measured against."
+                ),
+                params=dict(shard_params, jobs=1),
+                setup=shard_setup,
+                run=shard_legacy_run(1),
+            ),
+            Scenario(
+                name="sharded_sweep_shards1",
+                group="sharded_sweep",
+                description=(
+                    "Same sweep through the time-sharded engine with a "
+                    "single shard (jobs=1, inline): the sharded path's "
+                    "planning + slicing overhead in isolation."
+                ),
+                params=dict(shard_params, jobs=1, shards=1),
+                setup=shard_setup,
+                run=shard_sharded_run(1, 1),
+                baseline="sharded_sweep_jobs1",
+            ),
+        ]
+    )
+    if jobs >= 2:
+        # Jobs-aligned planning by default: one shard per worker.  A
+        # bench-level ``shards`` override re-plans the same workload at
+        # a different shard count (the name stays stable; the params
+        # record the effective count).
+        shards_n = shards if shards is not None else 2
+        scenarios.extend(
+            [
+                Scenario(
+                    name="sharded_sweep_jobs2_wholegraph",
+                    group="sharded_sweep",
+                    description=(
+                        "Same sweep, legacy engine at jobs=2: every "
+                        "worker deserializes the whole graph (the PR 4 "
+                        "regression shape on this workload)."
+                    ),
+                    params=dict(shard_params, jobs=2),
+                    setup=shard_setup,
+                    run=shard_legacy_run(2),
+                    baseline="sharded_sweep_jobs1",
+                    tolerance=5.0,
+                ),
+                Scenario(
+                    name="sharded_sweep_jobs2",
+                    group="sharded_sweep",
+                    description=(
+                        "Same sweep, time-sharded at jobs=2/shards=2: "
+                        "each worker receives only its shard's columnar "
+                        "slice (halo included) and runs an independent "
+                        "engine over its window run.  The speedup over "
+                        "sharded_sweep_jobs1 is the PR 9 headline -- "
+                        "parallel execution beating the inline engine."
+                    ),
+                    params=dict(shard_params, jobs=2, shards=shards_n),
+                    setup=shard_setup,
+                    run=shard_sharded_run(2, shards_n),
+                    baseline="sharded_sweep_jobs1",
+                    tolerance=5.0,
+                ),
+            ]
+        )
+
     def sliding_setup(dataset_spec):
         def setup():
             name, dataset_scale, wf, sf = dataset_spec
@@ -894,6 +1030,8 @@ def build_scenarios(scale: str, jobs: int = 1) -> List[Scenario]:
     return scenarios
 
 
-def scenario_names(scale: str, jobs: int = 1) -> List[str]:
+def scenario_names(
+    scale: str, jobs: int = 1, shards: Optional[int] = None
+) -> List[str]:
     """Names only, in run order (for ``bench --list``)."""
-    return [s.name for s in build_scenarios(scale, jobs)]
+    return [s.name for s in build_scenarios(scale, jobs, shards=shards)]

@@ -55,7 +55,7 @@ from typing import (
     Tuple,
 )
 
-from repro.temporal.edge import TemporalEdge, Vertex
+from repro.temporal.edge import TemporalEdge, Vertex, make_edge
 
 #: Environment switch: a truthy value forces the pure-Python backend
 #: even when numpy is importable (the CI fallback matrix leg).
@@ -150,6 +150,7 @@ class ColumnarEdgeStore:
         "edges",
         "vertex_labels",
         "vertex_ids",
+        "starts_are_float",
         "arrivals_are_float",
         "weights_are_float",
         "sources",
@@ -212,6 +213,7 @@ class ColumnarEdgeStore:
         # transformation) may read values straight off the columns when
         # the flag is set, and fall back to the edge objects when a
         # graph carries int (or other numeric) timestamps or weights.
+        self.starts_are_float = all(type(s) is float for s in starts)
         self.arrivals_are_float = all(type(a) is float for a in arrivals)
         self.weights_are_float = all(type(w) is float for w in weights)
 
@@ -477,8 +479,136 @@ class ColumnarEdgeStore:
             positions = positions.tolist()
         return [edges[p] for p in positions]
 
+    # ------------------------------------------------------------------
+    # Backend-independent column export (pickling, shard payloads)
+    # ------------------------------------------------------------------
+    def _value_column(self, values: List[Any], exact: bool):
+        """A shippable value column that round-trips value *and* type.
+
+        ``array('d')`` when the store-wide flag proves every value is a
+        Python float; ``array('q')`` when every value is a Python int
+        fitting int64 (reading an ``array('q')`` yields exact ints
+        back, so int-timestamp datasets ship as 8 bytes per value too).
+        Anything else (Fractions, big ints, mixtures) falls back to a
+        tuple of the original objects -- the downstream byte-identity
+        guarantees lean on this exactness.
+        """
+        if exact:
+            return array("d", values)
+        if all(
+            type(v) is int and -(2**63) <= v < 2**63 for v in values
+        ):
+            return array("q", values)
+        return tuple(values)
+
+    def export_columns(self) -> Dict[str, Any]:
+        """The store's defining state as backend-independent columns.
+
+        Returns a dict of ``labels`` (interned vertex labels, intern-id
+        order, including isolated extras) plus the five edge columns:
+        ``sources``/``targets`` as ``array('q')`` of intern ids and
+        ``starts``/``arrivals``/``weights`` as ``array('d')`` -- or
+        tuples of the original Python values when the matching
+        ``*_are_float`` flag is unset.  Only stdlib containers, so the
+        payload unpickles in processes without numpy and rebuilds the
+        identical edge tuple under either backend
+        (:func:`edges_from_columns`).
+        """
+        edges = self.edges
+        if self.backend == "numpy":
+            sources = array("q", self.sources.tolist())
+            targets = array("q", self.targets.tolist())
+        else:
+            sources = array("q", self.sources)
+            targets = array("q", self.targets)
+        return {
+            "labels": tuple(self.vertex_labels),
+            "sources": sources,
+            "targets": targets,
+            "starts": self._value_column(
+                [e.start for e in edges], self.starts_are_float
+            ),
+            "arrivals": self._value_column(
+                [e.arrival for e in edges], self.arrivals_are_float
+            ),
+            "weights": self._value_column(
+                [e.weight for e in edges], self.weights_are_float
+            ),
+        }
+
+    def time_slice_columns(self, t_alpha: float, t_omega: float) -> Dict[str, Any]:
+        """Columns for the edges inside ``[t_alpha, t_omega]`` only.
+
+        The shard-payload primitive: membership and order match
+        :meth:`window_positions_graph_order` (start >= t_alpha and
+        arrival <= t_omega, insertion order), vertex labels are
+        re-interned locally in first-occurrence order, and the value
+        columns carry the slice's original Python values (exact arrays
+        when the store-wide flags allow).  The result holds no
+        ``TemporalEdge`` objects and no labels outside the slice, so a
+        worker unpickling it never sees out-of-range edges.
+        """
+        picked = self.window_positions_graph_order(t_alpha, t_omega)
+        if self.backend == "numpy":
+            picked = picked.tolist()
+        edges = self.edges
+        ids: Dict[Vertex, int] = {}
+        labels: List[Vertex] = []
+        sources = array("q")
+        targets = array("q")
+        starts: List[Any] = []
+        arrivals: List[Any] = []
+        weights: List[Any] = []
+        for p in picked:
+            e = edges[p]
+            u = ids.get(e.source)
+            if u is None:
+                u = len(labels)
+                ids[e.source] = u
+                labels.append(e.source)
+            v = ids.get(e.target)
+            if v is None:
+                v = len(labels)
+                ids[e.target] = v
+                labels.append(e.target)
+            sources.append(u)
+            targets.append(v)
+            starts.append(e.start)
+            arrivals.append(e.arrival)
+            weights.append(e.weight)
+        return {
+            "labels": tuple(labels),
+            "sources": sources,
+            "targets": targets,
+            "starts": self._value_column(starts, self.starts_are_float),
+            "arrivals": self._value_column(arrivals, self.arrivals_are_float),
+            "weights": self._value_column(weights, self.weights_are_float),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ColumnarEdgeStore(M={self.num_edges}, n={self.num_vertices}, "
             f"backend={self.backend}, generation={self.generation})"
         )
+
+
+def edges_from_columns(columns: Dict[str, Any]) -> List[TemporalEdge]:
+    """Rebuild the edge list a column export describes, in order.
+
+    Inverse of :meth:`ColumnarEdgeStore.export_columns` /
+    :meth:`ColumnarEdgeStore.time_slice_columns`: intern ids are mapped
+    back through ``labels`` and every edge goes through
+    :func:`make_edge`, so a corrupted payload fails validation instead
+    of entering a graph.
+    """
+    labels = columns["labels"]
+    return [
+        make_edge(labels[u], labels[v], start, arrival, weight)
+        for u, v, start, arrival, weight in zip(
+            columns["sources"],
+            columns["targets"],
+            columns["starts"],
+            columns["arrivals"],
+            columns["weights"],
+        )
+    ]

@@ -30,6 +30,11 @@ from repro.core.errors import GraphFormatError
 from repro.core.numeric import is_zero
 from repro.temporal.edge import TemporalEdge, Vertex
 
+#: Tag marking the columnar ``__getstate__`` layout.  The legacy layout
+#: is a 2-tuple whose first element is the edge *tuple*, so a string
+#: tag in slot 0 is unambiguous and old pickles keep loading.
+_COLUMNAR_STATE_TAG = "repro-columnar-v1"
+
 
 class TemporalGraph:
     """An immutable directed temporal multigraph ``G = (V, E)``.
@@ -135,17 +140,37 @@ class TemporalGraph:
             self._prepare_memo = OrderedDict()
         return self._prepare_memo
 
-    def __getstate__(self) -> Tuple[Tuple[TemporalEdge, ...], FrozenSet[Vertex]]:
+    def __getstate__(self) -> Tuple[Any, Any]:
         # Pickle only the defining state.  The lazy layout caches and
         # the prepare memo are per-process derived state; shipping them
         # (e.g. in a worker initializer payload) would multiply the
         # payload by the size of the closure matrices.
+        #
+        # When the columnar store is already built (any graph that has
+        # been through a batch/sweep driver), ship its backend-neutral
+        # column export instead of the per-edge object tuple: a handful
+        # of stdlib arrays pickles several times smaller and faster than
+        # M ``TemporalEdge`` NamedTuples, and unpickles identically in a
+        # worker without numpy.  The guard on ``store.edges`` keeps a
+        # stale store (impossible today -- graphs are immutable -- but
+        # cheap to check) from shadowing the real edges.
+        store = self._columnar
+        if store is not None and store.edges is self._edges:
+            return (_COLUMNAR_STATE_TAG, store.export_columns())
         return (self._edges, self._vertices)
 
-    def __setstate__(
-        self, state: Tuple[Tuple[TemporalEdge, ...], FrozenSet[Vertex]]
-    ) -> None:
-        self._edges, self._vertices = state
+    def __setstate__(self, state: Tuple[Any, Any]) -> None:
+        if state[0] == _COLUMNAR_STATE_TAG:
+            from repro.temporal.columnar import edges_from_columns
+
+            columns = state[1]
+            # ``labels`` includes isolated vertices (the store interns
+            # ``graph.vertices`` after the edge endpoints), so the
+            # vertex set round-trips exactly.
+            self._edges = tuple(edges_from_columns(columns))
+            self._vertices = frozenset(columns["labels"])
+        else:
+            self._edges, self._vertices = state
         self._chronological = None
         self._arrival_sorted = None
         self._adjacency_desc = None

@@ -1,0 +1,10 @@
+"""Drains shard results unordered -- the REP103 violation.
+
+The time-sharded executor surface must merge deterministically; only
+``repro.parallel.engine`` may consume completion-ordered results.
+"""
+
+
+def run_shards(pool, tasks):
+    """One task per shard, results in completion order (wrong)."""
+    return sorted(pool.imap_unordered(tuple, tasks))

@@ -1,0 +1,14 @@
+"""Ships the module-level shard worker entry point (clean)."""
+
+from repro.parallel.engine import ParallelExecutor
+
+
+def run_shard_task(payload):
+    """The picklable per-shard worker entry point."""
+    return payload
+
+
+def run_shards(payloads):
+    """One task per shard through the executor."""
+    pool = ParallelExecutor(jobs=2)
+    return list(pool.map(run_shard_task, payloads))

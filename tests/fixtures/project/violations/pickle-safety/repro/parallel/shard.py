@@ -1,0 +1,9 @@
+"""Ships a shard task lambda across the process boundary -- REP202."""
+
+from repro.parallel.engine import ParallelExecutor
+
+
+def run_shards(payloads):
+    """One task per shard; the lambda cannot cross the pool boundary."""
+    pool = ParallelExecutor(jobs=2)
+    return list(pool.map(lambda payload: payload, payloads))

@@ -35,7 +35,7 @@ def test_violations_exit_one(capsys):
         "REP101", "REP102", "REP103", "REP104", "REP105", "REP106", "REP107",
     ):
         assert rule_code in out
-    assert "11 findings" in out
+    assert "12 findings" in out
 
 
 def test_default_excludes_skip_fixture_tree(capsys):
@@ -53,11 +53,11 @@ def test_json_report(capsys):
     assert code == EXIT_FINDINGS
     payload = json.loads(out)
     assert payload["version"] == 1
-    assert payload["counts"]["total"] == 11
+    assert payload["counts"]["total"] == 12
     assert payload["counts"]["by_rule"] == {
         "budget-tick": 1,
         "cache-mutation": 4,
-        "determinism": 2,
+        "determinism": 3,
         "float-equality": 1,
         "temporal-invariant": 1,
         "api-consistency": 1,

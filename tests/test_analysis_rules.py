@@ -63,6 +63,12 @@ CASES = [
         "pool.imap_unordered(str, items)",
     ),
     (
+        "determinism",
+        "REP103",
+        os.path.join("repro", "parallel", "shard.py"),
+        "pool.imap_unordered(tuple, tasks)",
+    ),
+    (
         "float-equality",
         "REP104",
         os.path.join("repro", "core", "weights.py"),

@@ -244,3 +244,89 @@ def test_edge_index_results_match_restricted():
             if e.within(window.t_alpha, window.t_omega)
         ]
         assert index.count_in(window) == 2
+
+
+# ----------------------------------------------------------------------
+# Columnar pickling (TemporalGraph.__getstate__)
+# ----------------------------------------------------------------------
+def test_warm_graph_pickles_in_columnar_form():
+    """A cached store switches the pickle to tagged column arrays."""
+    import pickle
+
+    from repro.temporal.graph import _COLUMNAR_STATE_TAG
+
+    graph = small_graph()
+    with force_backend("pure"):
+        graph.columnar()
+    tag, columns = graph.__getstate__()
+    assert tag == _COLUMNAR_STATE_TAG
+    assert set(columns) >= {
+        "labels", "sources", "targets", "starts", "arrivals", "weights",
+    }
+    clone = pickle.loads(pickle.dumps(graph))
+    assert [tuple(e) for e in clone.edges] == [tuple(e) for e in graph.edges]
+    assert clone.vertices == graph.vertices  # isolated vertex survives
+
+
+def test_cold_graph_pickles_in_legacy_form():
+    import pickle
+
+    graph = small_graph()
+    assert graph.columnar_or_none() is None
+    state = graph.__getstate__()
+    assert state[0] == graph.edges  # legacy (edges, vertices) tuple
+    clone = pickle.loads(pickle.dumps(graph))
+    assert clone.edges == graph.edges
+    assert clone.vertices == graph.vertices
+
+
+def test_legacy_state_still_loads():
+    """Pickles written before the columnar form keep deserializing."""
+    graph = small_graph()
+    clone = TemporalGraph([])
+    clone.__setstate__((graph.edges, graph.vertices))
+    assert clone.edges == graph.edges
+    assert clone.vertices == graph.vertices
+
+
+def test_columnar_pickle_rebuilds_caches_lazily():
+    import pickle
+
+    graph = small_graph()
+    with force_backend("pure"):
+        graph.columnar()
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone.columnar_or_none() is None  # no store smuggled across
+        assert clone.columnar().backend == "pure"
+
+
+@needs_numpy
+def test_columnar_pickle_round_trips_across_backends():
+    """Satellite contract: dump under numpy, load under pure (and back).
+
+    The exported columns are stdlib arrays/tuples, so the receiving
+    process needs no numpy -- and value types survive exactly.
+    """
+    import pickle
+
+    graph = TemporalGraph(
+        [
+            TemporalEdge("a", "b", 1, 2, 3),          # ints stay ints
+            TemporalEdge("b", "c", 2.5, 3.5, 4.25),   # floats stay floats
+        ],
+        vertices=["lonely"],
+    )
+    for dump_backend, load_backend in (("numpy", "pure"), ("pure", "numpy")):
+        fresh = TemporalGraph(graph.edges, vertices=graph.vertices)
+        with force_backend(dump_backend):
+            fresh.columnar()
+            blob = pickle.dumps(fresh)
+        with force_backend(load_backend):
+            clone = pickle.loads(blob)
+            assert [tuple(e) for e in clone.edges] == [
+                tuple(e) for e in graph.edges
+            ]
+            assert clone.vertices == graph.vertices
+            assert type(clone.edges[0].weight) is int
+            assert type(clone.edges[1].weight) is float
+            assert clone.columnar().backend == load_backend

@@ -178,3 +178,55 @@ class TestMain:
         bad.write_text("{not json")
         cur = self._write(tmp_path / "cur.json", doc())
         assert main([str(bad), str(cur)]) == 2
+
+
+class TestMetadataWarnings:
+    def _doc(self, jobs=None, cpu_count=None, start_method=None):
+        document = doc(row("a", 0.1))
+        if jobs is not None:
+            document["jobs"] = jobs
+        platform = {}
+        if cpu_count is not None:
+            platform["cpu_count"] = cpu_count
+        if start_method is not None:
+            platform["start_method"] = start_method
+        document["platform"] = platform
+        return document
+
+    def test_matching_metadata_stays_silent(self):
+        base = self._doc(jobs=2, cpu_count=4, start_method="fork")
+        report = compare_benchmarks(
+            base, self._doc(jobs=2, cpu_count=4, start_method="fork")
+        )
+        assert report.metadata_warnings == []
+        assert "metadata mismatch" not in report.render()
+
+    def test_each_disagreeing_field_warns(self):
+        report = compare_benchmarks(
+            self._doc(jobs=1, cpu_count=8, start_method="fork"),
+            self._doc(jobs=2, cpu_count=4, start_method="spawn"),
+        )
+        text = "\n".join(report.metadata_warnings)
+        assert len(report.metadata_warnings) == 3
+        assert "jobs differs" in text
+        assert "cpu_count differs" in text
+        assert "start_method differs" in text
+        # Warnings render ahead of the scenario table, and never gate.
+        assert report.ok
+        assert report.render().startswith("WARN  metadata mismatch")
+
+    def test_absent_fields_are_skipped(self):
+        """v1 documents carry no jobs/cpu metadata: no spurious warning."""
+        v1 = doc(row("a", 0.1))
+        v1["schema_version"] = 1
+        report = compare_benchmarks(
+            v1, self._doc(jobs=2, cpu_count=4, start_method="fork")
+        )
+        assert report.metadata_warnings == []
+
+    def test_warnings_never_fail_the_gate(self):
+        report = compare_benchmarks(
+            self._doc(jobs=1), self._doc(jobs=4)
+        )
+        assert report.ok
+        assert len(report.metadata_warnings) == 1

@@ -1,0 +1,180 @@
+"""Property suite: the sharded sweep equals the serial sweep, always.
+
+Satellite of the time-sharded engine: over random temporal graphs,
+random slide sequences (window length and step), and random shard
+counts, ``sweep_sharded`` / ``run_batch_sharded`` reproduce the serial
+reference row-for-row and value-for-value.  The strategy deliberately
+manufactures the nasty corners:
+
+* *empty shards* -- windows whose slice holds no edges (sparse graphs,
+  short windows) and shard counts above the window count (clamped);
+* *halo boundaries* -- integer timestamps with step dividing the window
+  length, so window edges land exactly on shard-hull boundaries and an
+  off-by-one in the bisect maths would drop or duplicate an edge;
+* *seeded worker crashes* -- a deterministic :class:`FaultPlan` firing
+  mid-run in a real pool must leave the merged output untouched.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import faults
+from repro.core.sliding import iter_windows, sweep
+from repro.faults import FaultPlan, FaultSpec, WORKER_CRASH
+from repro.parallel.batch import SweepCell, run_sweep_serial
+from repro.parallel.shard import plan_shards, run_batch_sharded, sweep_sharded
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.paths import reachable_set
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.window import TimeWindow
+
+
+@st.composite
+def shard_graphs(draw, max_vertices=8, max_edges=20):
+    """Random temporal graphs with integer timestamps on [0, 24].
+
+    Integer times + integer window grids make halo boundaries exact:
+    many drawn examples put an edge's start or arrival precisely on a
+    shard hull or window boundary, where ``>=``/``<=`` discipline in
+    the slice bisects is make-or-break.
+    """
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    edges = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_edges))):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        start = draw(st.integers(min_value=0, max_value=24))
+        duration = draw(st.integers(min_value=0, max_value=4))
+        weight = draw(st.integers(min_value=1, max_value=9))
+        edges.append(TemporalEdge(u, v, start, start + duration, weight))
+    return TemporalGraph(edges, vertices=range(n))
+
+
+@st.composite
+def slides(draw):
+    """A slide sequence: window length plus a step dividing it evenly."""
+    length = draw(st.integers(min_value=2, max_value=12))
+    step = draw(st.sampled_from([d for d in (1, 2, 3, 4, 6) if d <= length]))
+    return float(length), float(step)
+
+
+class TestShardedSweepProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        graph=shard_graphs(),
+        slide=slides(),
+        shards=st.integers(min_value=1, max_value=6),
+        kind=st.sampled_from(["msta", "mstw"]),
+    )
+    def test_sweep_rows_identical_to_serial(self, graph, slide, shards, kind):
+        length, step = slide
+        serial = sweep(graph, 0, length, step=step, kind=kind)
+        sharded = sweep_sharded(
+            graph, 0, length, step=step, kind=kind, shards=shards
+        )
+        assert sharded.rows() == serial.rows()
+        # The plan covered every window exactly once, empty or not.
+        windows = list(iter_windows(graph, length, step))
+        assert sum(
+            entry["windows"] for entry in sharded.stats["shards"]
+        ) == len(windows)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        graph=shard_graphs(),
+        slide=slides(),
+        shards=st.integers(min_value=1, max_value=5),
+        level=st.integers(min_value=1, max_value=2),
+    )
+    def test_batch_values_identical_to_serial(self, graph, slide, shards, level):
+        length, step = slide
+        # The cell pipeline (unlike the measurement sweep) propagates
+        # UnreachableRootError on both paths identically, but it aborts
+        # the reference loop too -- restrict to solvable windows.
+        windows = [
+            w
+            for w in iter_windows(graph, length, step)
+            if len(reachable_set(graph, 0, w)) > 1
+        ]
+        cells = [
+            SweepCell(0, window, level=level, algorithm=algorithm)
+            for window in windows
+            for algorithm in ("pruned", "improved")
+        ]
+        if not cells:
+            return
+
+        expected = run_sweep_serial(graph, cells)
+        result = run_batch_sharded(graph, cells, jobs=1, shards=shards)
+        assert result.values == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        graph=shard_graphs(),
+        slide=slides(),
+        shards=st.integers(min_value=1, max_value=8),
+    )
+    def test_plan_partitions_the_grid_exactly(self, graph, slide, shards):
+        length, step = slide
+        windows = list(iter_windows(graph, length, step))
+        specs = plan_shards(windows, shards)
+        flattened = [w for spec in specs for w in spec.windows]
+        assert flattened == sorted(
+            set(windows), key=lambda w: (w.t_alpha, w.t_omega)
+        )
+        assert all(spec.windows for spec in specs)  # never padded empty
+        for spec in specs:
+            for window in spec.windows:
+                assert spec.t_lo <= window.t_alpha <= window.t_omega <= spec.t_hi
+
+    def test_halo_boundary_edges_stay_in_every_owner_window(self):
+        """An edge exactly on two shards' hull boundary serves both.
+
+        Window grid [0,4],[2,6],[4,8] at 2 shards splits into hulls
+        [0,6] and [4,8]; the edge (0,1) at time 4 sits on both hulls and
+        must appear in each shard's slice for its windows to solve.
+        """
+        edges = [
+            TemporalEdge(0, 2, 0, 0, 3),
+            TemporalEdge(0, 1, 4, 4, 1),
+            TemporalEdge(1, 2, 5, 5, 1),
+            TemporalEdge(2, 1, 7, 8, 2),
+        ]
+        graph = TemporalGraph(edges, vertices=range(3))
+        serial = sweep(graph, 0, 4.0, step=2.0, kind="msta")
+        sharded = sweep_sharded(graph, 0, 4.0, step=2.0, kind="msta", shards=2)
+        assert sharded.rows() == serial.rows()
+        lows = [entry["t_lo"] for entry in sharded.stats["shards"]]
+        highs = [entry["t_hi"] for entry in sharded.stats["shards"]]
+        assert highs[0] > lows[1]  # the halo really overlaps
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_seeded_worker_crash_leaves_output_unchanged(self, seed):
+        """A seeded crash schedule in a real pool never alters the rows."""
+        import random
+
+        rng = random.Random(seed)
+        edges = [
+            TemporalEdge(
+                rng.randrange(6), rng.randrange(6),
+                rng.randint(0, 20), rng.randint(0, 2) + rng.randint(0, 20),
+                rng.randint(1, 9),
+            )
+            for _ in range(24)
+        ]
+        edges = [e for e in edges if e.arrival >= e.start]
+        graph = TemporalGraph(
+            [TemporalEdge(e.source, e.target, e.start, max(e.start, e.arrival), e.weight) for e in edges],
+            vertices=range(6),
+        )
+        serial = sweep(graph, 0, 8.0, kind="msta")
+        # occurrence=1: with one task per shard each worker fires the
+        # site once, so later occurrences would never detonate.
+        plan = FaultPlan.of(
+            FaultSpec("parallel.task", WORKER_CRASH, occurrence=1)
+        )
+        with faults.injected(plan):
+            sharded = sweep_sharded(graph, 0, 8.0, kind="msta", jobs=2)
+        assert sharded.rows() == serial.rows()
+        assert sharded.stats["faults"]["rebuilds"] >= 1

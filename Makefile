@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-full bench-parallel bench-sliding bench-shard bench-check pybench examples report quickcheck ci lint typecheck clean
+.PHONY: install test chaos bench bench-full bench-parallel bench-sliding bench-shard bench-dst bench-check pybench examples report quickcheck ci lint typecheck clean
 
 # Bench defaults (override: make bench BENCH_SCALE=full BENCH_REPEATS=9).
 BENCH_SCALE ?= smoke
@@ -13,6 +13,7 @@ BENCH_JOBS ?= 4
 BENCH_PARALLEL_OUT ?= BENCH_PR4.json
 BENCH_SLIDING_OUT ?= BENCH_PR5.json
 BENCH_SHARD_OUT ?= BENCH_PR9.json
+BENCH_DST_OUT ?= BENCH_PR10.json
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -53,6 +54,16 @@ bench-shard:
 	$(PYTHON) -m repro bench --scale full --repeats $(BENCH_REPEATS) \
 		--jobs 2 --only sharded_sweep_jobs2 --only sharded_sweep_jobs2_wholegraph \
 		--only sharded_sweep_shards1 --out $(BENCH_SHARD_OUT)
+
+# The dst_kernels family at full scale: the frozen scalar MST_w ladder
+# (repro.perf.legacy scalar_*) vs the batched density kernels (the
+# committed BENCH_PR10.json evidence).
+bench-dst:
+	$(PYTHON) -m repro bench --scale full --repeats $(BENCH_REPEATS) \
+		--only dst_kernels_charikar_scalar --only dst_kernels_charikar \
+		--only dst_kernels_improved_scalar --only dst_kernels_improved \
+		--only dst_kernels_pruned_scalar --only dst_kernels_pruned \
+		--out $(BENCH_DST_OUT)
 
 # The CI regression gate: run at smoke scale and diff against the
 # committed baseline (exit 1 on regression).

@@ -16,9 +16,16 @@ from repro.analysis.project.callgraph import CLASS, Edge, FunctionEntry, Project
 from repro.analysis.project.symbols import ArgInfo, CallSite
 from repro.analysis.rules.budget import TARGET_MODULES
 
-#: The module that owns the dual-backend store; everything numpy-flavored
-#: is legal inside it and gated everywhere else.
+#: The module that owns the dual-backend store; its private array
+#: internals stay off-limits everywhere else.
 COLUMNAR_OWNER = "repro.temporal.columnar"
+
+#: Modules that own the dual-backend ``_np`` discipline: the columnar
+#: store and the batched DST solver kernels.  Inside them, numpy-only
+#: helpers dereference ``_np`` behind a module-level backend dispatch
+#: instead of per-function guards; everywhere else every ``_np`` use
+#: must be dominated by a guard.
+BACKEND_OWNERS = frozenset({COLUMNAR_OWNER, "repro.steiner.kernels"})
 
 #: Handler names that protect a budgeted call for the REP204 contract.
 _COVERING_HANDLERS = frozenset(
@@ -373,10 +380,13 @@ class BackendPurityRule(ProjectRule):
     locally (``if _np is None: return``, ``if store.backend ==
     "numpy":``) or interprocedurally (every call edge into the function
     is guarded, or comes from a function that is itself only reachable
-    in guarded contexts).  Outside ``repro.temporal.columnar`` no code
-    may touch ``ColumnarEdgeStore``'s private arrays, and the
-    numpy-only ``earliest_arrival`` kernel may only be called under a
-    backend guard.
+    in guarded contexts).  The :data:`BACKEND_OWNERS` modules -- the
+    columnar store and the batched DST kernels, which *implement* the
+    dual-backend dispatch -- are exempt from the ``_np`` guard
+    requirement.  Outside ``repro.temporal.columnar`` no code may touch
+    ``ColumnarEdgeStore``'s private arrays, and the numpy-only
+    ``earliest_arrival`` kernel may only be called under a backend
+    guard.
     """
 
     name = "backend-purity"
@@ -433,7 +443,8 @@ class BackendPurityRule(ProjectRule):
             module = entry.module.module
             fn = entry.summary
             in_scope = (
-                entry.module.has_optional_numpy and module != COLUMNAR_OWNER
+                entry.module.has_optional_numpy
+                and module not in BACKEND_OWNERS
             )
             if in_scope and node not in safe:
                 for use in fn.numpy_uses:

@@ -22,7 +22,15 @@ exactly as they stood before the memoisation/hoisting pass:
   implemented before the columnar batch construction: ``O(M)`` window
   scan, per-edge ``setdefault`` grouping, ``sorted(set(...))`` arrival
   instances, and one ``add_vertex`` / ``add_edge`` call per transformed
-  element, with per-edge bisects locating the copy indices.
+  element, with per-edge bisects locating the copy indices;
+* :func:`scalar_charikar_dst` / :func:`scalar_improved_dst` /
+  :func:`scalar_pruned_dst` -- the full MST_w solver ladder exactly as
+  it stood before the batched density kernels
+  (:mod:`repro.steiner.kernels`): per-vertex Python scans over the
+  memoised ``cost_row`` / ``sorted_terminals_from`` lists, one budget
+  checkpoint per scanned vertex.  These are the ``dst_kernels`` bench
+  baselines and the byte-identity oracles for the kernel property
+  suite.
 
 Do not "fix" or speed up this module; its value is being frozen.
 """
@@ -280,6 +288,414 @@ def _b_prefix(
                 sub_best = candidate
                 sub_best_density = density
         assert sub_best is not None
+        newly_covered = sub_best.covered & remaining
+        if not newly_covered:  # pragma: no cover - defensive
+            break
+        current = current.merged(sub_best)
+        k -= len(newly_covered)
+        remaining -= sub_best.covered
+        density = current.density_with_edge(incoming_cost)
+        if density < best_density:
+            best = current
+            best_density = density
+    return best
+
+
+# ---------------------------------------------------------------------------
+# The pre-kernel scalar MST_w ladder (frozen before repro.steiner.kernels).
+# Verbatim copies of the Algorithm 3/4/5/6 bodies as they stood when every
+# w-iteration walked Python lists vertex by vertex; only the names changed.
+# ---------------------------------------------------------------------------
+
+
+def scalar_charikar_dst(
+    prepared: PreparedInstance,
+    level: int,
+    k: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> ClosureTree:
+    """``A^level(k, root, X)`` exactly as implemented before the kernels."""
+    if level < 1:
+        raise ValueError(f"level must be >= 1, got {level}")
+    terminals = frozenset(prepared.terminals)
+    if k is None:
+        k = len(terminals)
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
+    return _scalar_a_recursive(prepared, level, k, prepared.root, terminals, budget)
+
+
+def _scalar_a_recursive(
+    prepared: PreparedInstance,
+    i: int,
+    k: int,
+    r: int,
+    terminals: FrozenSet[int],
+    budget: Budget,
+) -> ClosureTree:
+    remaining: Set[int] = set(terminals)
+    k = min(k, len(remaining))
+    tree = ClosureTree.EMPTY
+
+    if i == 1:
+        budget.checkpoint()
+        row = prepared.cost_row(r)
+        taken = 0
+        for x in prepared.sorted_terminals_from(r):
+            if taken >= k:
+                break
+            if x not in remaining:
+                continue
+            leaf = ClosureTree(((r, x),), row[x], frozenset((x,)))
+            tree = tree.merged(leaf)
+            taken += 1
+        return tree
+
+    num_vertices = prepared.num_vertices
+    root_row = prepared.cost_row(r)
+    while k > 0:
+        best: Optional[ClosureTree] = None
+        best_density = float("inf")
+        for v in range(num_vertices):
+            budget.checkpoint()
+            edge_cost = root_row[v]
+            for k_prime in range(1, k + 1):
+                subtree = _scalar_a_recursive(
+                    prepared, i - 1, k_prime, v, frozenset(remaining), budget
+                )
+                candidate = subtree.with_edge(r, v, edge_cost)
+                density = candidate.density
+                if best is None or density < best_density:
+                    best = candidate
+                    best_density = density
+        assert best is not None
+        newly_covered = best.covered & remaining
+        if not newly_covered:  # pragma: no cover - cannot happen with k<=|X|
+            break
+        tree = tree.merged(best)
+        k -= len(newly_covered)
+        remaining -= best.covered
+    return tree
+
+
+def scalar_improved_dst(
+    prepared: PreparedInstance,
+    level: int,
+    k: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> ClosureTree:
+    """``Ã^level(k, root, X)`` exactly as implemented before the kernels."""
+    if level < 1:
+        raise ValueError(f"level must be >= 1, got {level}")
+    terminals = frozenset(prepared.terminals)
+    if k is None:
+        k = len(terminals)
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
+    return _scalar_a_improved(prepared, level, k, prepared.root, terminals, budget)
+
+
+def _scalar_base_greedy(
+    prepared: PreparedInstance,
+    k: int,
+    r: int,
+    remaining: Set[int],
+) -> ClosureTree:
+    row = prepared.cost_row(r)
+    chosen: list = []
+    for x in prepared.sorted_terminals_from(r):
+        if len(chosen) >= k:
+            break
+        if x in remaining:
+            chosen.append(x)
+    if not chosen:
+        return ClosureTree.EMPTY
+    cost = 0.0
+    for x in chosen:
+        cost += row[x]
+    return ClosureTree(
+        tuple((r, x) for x in chosen), cost, frozenset(chosen)
+    )
+
+
+def _scalar_a_improved(
+    prepared: PreparedInstance,
+    i: int,
+    k: int,
+    r: int,
+    terminals: FrozenSet[int],
+    budget: Budget,
+) -> ClosureTree:
+    remaining: Set[int] = set(terminals)
+    k = min(k, len(remaining))
+    if i == 1:
+        budget.checkpoint()
+        return _scalar_base_greedy(prepared, k, r, remaining)
+
+    tree = ClosureTree.EMPTY
+    num_vertices = prepared.num_vertices
+    root_row = prepared.cost_row(r)
+    while k > 0:
+        best: Optional[ClosureTree] = None
+        best_density = float("inf")
+        frozen_remaining = frozenset(remaining)
+        for v in range(num_vertices):
+            budget.checkpoint()
+            edge_cost = root_row[v]
+            subtree = _scalar_b_prefix(
+                prepared, i - 1, k, v, frozen_remaining, edge_cost, budget
+            )
+            density = subtree.density_with_edge(edge_cost)
+            if best is None or density < best_density:
+                best = subtree.with_edge(r, v, edge_cost)
+                best_density = density
+        assert best is not None
+        newly_covered = best.covered & remaining
+        if not newly_covered:  # pragma: no cover - defensive
+            break
+        tree = tree.merged(best)
+        k -= len(newly_covered)
+        remaining -= best.covered
+    return tree
+
+
+def _scalar_b_prefix(
+    prepared: PreparedInstance,
+    i: int,
+    k: int,
+    r: int,
+    terminals: FrozenSet[int],
+    incoming_cost: float,
+    budget: Budget,
+) -> ClosureTree:
+    remaining: Set[int] = set(terminals)
+    k = min(k, len(remaining))
+    best = ClosureTree.EMPTY  # density_with_edge == inf for the empty tree
+    best_density = float("inf")
+
+    if i == 1:
+        budget.checkpoint()
+        row = prepared.cost_row(r)
+        chosen: list = []
+        cost = 0.0
+        best_len = 0
+        for x in prepared.sorted_terminals_from(r):
+            if len(chosen) >= k:
+                break
+            if x not in remaining:
+                continue
+            chosen.append(x)
+            cost += row[x]
+            density = (cost + incoming_cost) / len(chosen)
+            if density < best_density:
+                best_density = density
+                best_len = len(chosen)
+        if best_len == 0:
+            return ClosureTree.EMPTY
+        prefix = chosen[:best_len]
+        prefix_cost = 0.0
+        for x in prefix:
+            prefix_cost += row[x]
+        return ClosureTree(
+            tuple((r, x) for x in prefix), prefix_cost, frozenset(prefix)
+        )
+
+    current = ClosureTree.EMPTY
+    num_vertices = prepared.num_vertices
+    root_row = prepared.cost_row(r)
+    while k > 0:
+        sub_best: Optional[ClosureTree] = None
+        sub_best_density = float("inf")
+        frozen_remaining = frozenset(remaining)
+        for v in range(num_vertices):
+            budget.checkpoint()
+            edge_cost = root_row[v]
+            subtree = _scalar_b_prefix(
+                prepared, i - 1, k, v, frozen_remaining, edge_cost, budget
+            )
+            density = subtree.density_with_edge(edge_cost)
+            if sub_best is None or density < sub_best_density:
+                sub_best = subtree.with_edge(r, v, edge_cost)
+                sub_best_density = density
+        assert sub_best is not None
+        newly_covered = sub_best.covered & remaining
+        if not newly_covered:  # pragma: no cover - defensive
+            break
+        current = current.merged(sub_best)
+        k -= len(newly_covered)
+        remaining -= sub_best.covered
+        density = current.density_with_edge(incoming_cost)
+        if density < best_density:
+            best = current
+            best_density = density
+    return best
+
+
+class _ScalarWarmMiss(Exception):
+    """Internal: the warm-start bound failed to certify an iteration."""
+
+
+def scalar_pruned_dst(
+    prepared: PreparedInstance,
+    level: int,
+    k: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    warm_bound: Optional[float] = None,
+    density_log: Optional[List[float]] = None,
+) -> ClosureTree:
+    """``FinalA^level(k, root, X)`` exactly as implemented before the kernels."""
+    if level < 1:
+        raise ValueError(f"level must be >= 1, got {level}")
+    terminals = frozenset(prepared.terminals)
+    if k is None:
+        k = len(terminals)
+    if budget is None:
+        budget = NULL_BUDGET
+    elif budget.is_limited:
+        budget.start()
+    if density_log is not None:
+        density_log.clear()
+    if warm_bound is not None:
+        try:
+            return _scalar_final_a(
+                prepared, level, k, prepared.root, terminals, budget,
+                bound=warm_bound, density_log=density_log,
+            )
+        except _ScalarWarmMiss:
+            if density_log is not None:
+                density_log.clear()
+    return _scalar_final_a(
+        prepared, level, k, prepared.root, terminals, budget,
+        density_log=density_log,
+    )
+
+
+def _scalar_scan_vertices(
+    prepared: PreparedInstance,
+    i: int,
+    k: int,
+    r: int,
+    remaining: FrozenSet[int],
+    tau: List[float],
+    order: List[int],
+    budget: Budget,
+    bound: Optional[float] = None,
+) -> "Tuple[ClosureTree, float]":
+    order.sort(key=tau.__getitem__)
+    root_row = prepared.cost_row(r)
+    bound_cost = None if bound is None else bound * k
+    best: Optional[ClosureTree] = None
+    best_density = math.inf
+    for v in order:
+        if best is not None and tau[v] >= best_density:
+            break
+        if bound_cost is not None and root_row[v] >= bound_cost:
+            continue
+        budget.checkpoint()
+        edge_cost = root_row[v]
+        subtree = _scalar_final_b(
+            prepared, i - 1, k, v, remaining, edge_cost, budget
+        )
+        density = subtree.density_with_edge(edge_cost)
+        tau[v] = density
+        if best is None or density < best_density:
+            best = subtree.with_edge(r, v, edge_cost)
+            best_density = density
+    if bound is not None and (best is None or best_density >= bound):
+        raise _ScalarWarmMiss
+    assert best is not None
+    return best, best_density
+
+
+def _scalar_final_a(
+    prepared: PreparedInstance,
+    i: int,
+    k: int,
+    r: int,
+    terminals: FrozenSet[int],
+    budget: Budget,
+    bound: Optional[float] = None,
+    density_log: Optional[List[float]] = None,
+) -> ClosureTree:
+    remaining: Set[int] = set(terminals)
+    k = min(k, len(remaining))
+    if i == 1:
+        budget.checkpoint()
+        return _scalar_base_greedy(prepared, k, r, remaining)
+
+    tree = ClosureTree.EMPTY
+    num_vertices = prepared.num_vertices
+    tau = [-math.inf] * num_vertices
+    order = list(range(num_vertices))
+    while k > 0:
+        best, best_density = _scalar_scan_vertices(
+            prepared, i, k, r, frozenset(remaining), tau, order, budget,
+            bound=bound,
+        )
+        if density_log is not None:
+            density_log.append(best_density)
+        newly_covered = best.covered & remaining
+        if not newly_covered:  # pragma: no cover - defensive
+            break
+        tree = tree.merged(best)
+        k -= len(newly_covered)
+        remaining -= best.covered
+    return tree
+
+
+def _scalar_final_b(
+    prepared: PreparedInstance,
+    i: int,
+    k: int,
+    r: int,
+    terminals: FrozenSet[int],
+    incoming_cost: float,
+    budget: Budget,
+) -> ClosureTree:
+    remaining: Set[int] = set(terminals)
+    k = min(k, len(remaining))
+    best = ClosureTree.EMPTY
+    best_density = math.inf
+
+    if i == 1:
+        budget.checkpoint()
+        row = prepared.cost_row(r)
+        chosen: list = []
+        cost = 0.0
+        best_len = 0
+        for x in prepared.sorted_terminals_from(r):
+            if len(chosen) >= k:
+                break
+            if x not in remaining:
+                continue
+            chosen.append(x)
+            cost += row[x]
+            density = (cost + incoming_cost) / len(chosen)
+            if density < best_density:
+                best_density = density
+                best_len = len(chosen)
+        if best_len == 0:
+            return ClosureTree.EMPTY
+        prefix = chosen[:best_len]
+        prefix_cost = 0.0
+        for x in prefix:
+            prefix_cost += row[x]
+        return ClosureTree(
+            tuple((r, x) for x in prefix), prefix_cost, frozenset(prefix)
+        )
+
+    current = ClosureTree.EMPTY
+    num_vertices = prepared.num_vertices
+    tau = [-math.inf] * num_vertices
+    order = list(range(num_vertices))
+    while k > 0:
+        sub_best, _ = _scalar_scan_vertices(
+            prepared, i, k, r, frozenset(remaining), tau, order, budget
+        )
         newly_covered = sub_best.covered & remaining
         if not newly_covered:  # pragma: no cover - defensive
             break

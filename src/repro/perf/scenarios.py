@@ -45,6 +45,9 @@ from repro.perf.legacy import (
     legacy_extract_window,
     legacy_improved_dst,
     legacy_transform,
+    scalar_charikar_dst,
+    scalar_improved_dst,
+    scalar_pruned_dst,
 )
 from repro.temporal.columnar import ColumnarEdgeStore
 from repro.resilience.budget import Budget
@@ -127,6 +130,15 @@ class _ScaleSpec:
     # bound (on sparse low-reach shapes the legacy heap already wins
     # and the batched kernel has nothing to vectorise).
     columnar_ea_dataset: Tuple[str, float, float] = ("phone", 1.0, 0.6)
+    # (dataset name, generator scale, window fraction) for the
+    # dst_kernels solver pairs.  The prepared instance MUST land above
+    # the batched-kernel size floor (``n * |T|`` >=
+    # ``repro.steiner.kernels.KERNEL_MIN_CELLS``) or the kernel legs
+    # silently run the scalar loops and the pair measures nothing; the
+    # setup asserts this.  The default mstw_dataset shapes sit *below*
+    # the floor by design (quick-mode tables stay scalar), hence the
+    # separate, larger spec here.
+    dst_kernels_dataset: Tuple[str, float, float] = ("slashdot", 0.6, 0.5)
 
 
 SCALES: Dict[str, _ScaleSpec] = {
@@ -138,6 +150,7 @@ SCALES: Dict[str, _ScaleSpec] = {
         sweep_fractions=(0.6, 0.45, 0.3),
         columnar_dataset=("epinions", 4.0, 0.02),
         columnar_ea_dataset=("phone", 1.0, 0.6),
+        dst_kernels_dataset=("slashdot", 0.6, 0.5),
     ),
     "full": _ScaleSpec(
         mstw_dataset=("epinions", 0.08, 0.3),
@@ -150,6 +163,7 @@ SCALES: Dict[str, _ScaleSpec] = {
         sliding_mstw_dataset=("slashdot", 1.0, 0.35, 0.02),
         columnar_dataset=("epinions", 600.0, 0.002),
         columnar_ea_dataset=("phone", 30.0, 0.6),
+        dst_kernels_dataset=("epinions", 0.12, 0.3),
     ),
 }
 
@@ -185,6 +199,35 @@ def _mstw_state(spec: _ScaleSpec):
         "transformed": transformed,
         "prepared": prepared,
     }
+
+
+def _dst_kernels_state(spec: _ScaleSpec):
+    """A prepared instance big enough for the batched density kernels.
+
+    Same pipeline as :func:`_mstw_state` but over
+    ``spec.dst_kernels_dataset``, and the instance is verified to sit
+    above the kernel size floor: below it ``workspace_for`` returns
+    None and the "kernel" legs time the scalar loops -- a silent
+    no-op pair.  Shrinking the dataset must fail loudly instead.
+    """
+    from repro.steiner import kernels
+
+    name, scale, fraction = spec.dst_kernels_dataset
+    base = load_dataset(name, scale=scale, weighted=True)
+    window = middle_tenth_window(base, fraction=fraction)
+    sub = extract_window(base, window)
+    root = select_root(sub, window, min_reach_fraction=0.02)
+    _, prepared = prepare_mstw_instance(sub, root, window, use_cache=False)
+    cells = prepared.num_vertices * len(prepared.terminals)
+    if cells < kernels.KERNEL_MIN_CELLS:
+        raise RuntimeError(
+            f"dst_kernels dataset {spec.dst_kernels_dataset} prepares "
+            f"{prepared.num_vertices} x {len(prepared.terminals)} = "
+            f"{cells} cells, below KERNEL_MIN_CELLS="
+            f"{kernels.KERNEL_MIN_CELLS}: the kernel legs would "
+            "silently run scalar"
+        )
+    return {"prepared": prepared}
 
 
 def _msta_state(spec: _ScaleSpec):
@@ -723,6 +766,53 @@ def build_scenarios(
             ),
         ]
     )
+
+    dk_name, dk_scale, dk_fraction = spec.dst_kernels_dataset
+    dst_kernels_params = {
+        "dataset": dk_name,
+        "scale": dk_scale,
+        "fraction": dk_fraction,
+        "level": 2,
+    }
+    _DST_KERNEL_PAIRS = (
+        ("charikar", charikar_dst, scalar_charikar_dst, "Algorithm 3"),
+        ("improved", improved_dst, scalar_improved_dst, "Algorithm 4/5"),
+        ("pruned", pruned_dst, scalar_pruned_dst, "Algorithm 6"),
+    )
+    for dk_label, dk_solver, dk_scalar, dk_alg in _DST_KERNEL_PAIRS:
+        scenarios.extend(
+            [
+                Scenario(
+                    name=f"dst_kernels_{dk_label}_scalar",
+                    group="dst_kernels",
+                    description=(
+                        f"{dk_alg} at level 2 through the frozen "
+                        "pre-kernel scalar walk (repro.perf.legacy "
+                        f"scalar_{dk_label}_dst) on an above-floor "
+                        "instance -- the speedup baseline."
+                    ),
+                    params=dict(dst_kernels_params),
+                    setup=lambda: _dst_kernels_state(spec),
+                    run=_solver_run(dk_scalar, 2),
+                ),
+                Scenario(
+                    name=f"dst_kernels_{dk_label}",
+                    group="dst_kernels",
+                    description=(
+                        f"{dk_alg} at level 2 through the batched "
+                        "density kernels (repro.steiner.kernels): "
+                        "cost-sorted terminal layout, cumsum prefix "
+                        "densities, one argmin per scan -- output "
+                        "bit-identical to the scalar baseline "
+                        "(property-tested)."
+                    ),
+                    params=dict(dst_kernels_params),
+                    setup=lambda: _dst_kernels_state(spec),
+                    run=_solver_run(dk_solver, 2),
+                    baseline=f"dst_kernels_{dk_label}_scalar",
+                ),
+            ]
+        )
 
     if spec.include_level3:
         scenarios.append(

@@ -10,6 +10,16 @@ This implementation is intentionally faithful to the published
 pseudo-code (including the per-``k'`` recomputation that Algorithms 4/5
 later eliminate) so the benchmark harness can reproduce the paper's
 orders-of-magnitude runtime gaps.
+
+The bottom-level ``(v, k')`` double loop (``i == 2``) dispatches to the
+batched density kernels of :mod:`repro.steiner.kernels` on real
+:class:`PreparedInstance` inputs: since ``k <= |remaining|`` throughout
+the w-loop, the ``k'`` choices map bijectively onto the prefix lengths
+of the cheapest-first remaining order, so the kernels' single argmin
+returns the identical winner without re-running ``A^1`` per ``k'``.
+The batched checkpoint posts the same ``n * (1 + k)`` ticks the scalar
+double loop would, preserving budget-trip behaviour; duck-typed
+instances (instrumentation proxies) keep the scalar loops.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from __future__ import annotations
 from typing import FrozenSet, Optional, Set
 
 from repro.resilience.budget import NULL_BUDGET, Budget
+from repro.steiner import kernels
 from repro.steiner.instance import PreparedInstance
 from repro.steiner.tree import ClosureTree
 
@@ -89,21 +100,44 @@ def _a_recursive(
 
     num_vertices = prepared.num_vertices
     root_row = prepared.cost_row(r)
+    workspace = kernels.workspace_for(prepared) if i == 2 else None
     while k > 0:
         best: Optional[ClosureTree] = None
         best_density = float("inf")
-        for v in range(num_vertices):
-            budget.checkpoint()
-            edge_cost = root_row[v]
-            for k_prime in range(1, k + 1):
-                subtree = _a_recursive(
-                    prepared, i - 1, k_prime, v, frozenset(remaining), budget
-                )
-                candidate = subtree.with_edge(r, v, edge_cost)
-                density = candidate.density
-                if best is None or density < best_density:
-                    best = candidate
-                    best_density = density
+        if workspace is not None:
+            # Batched scan: the scalar double loop posts 1 tick per
+            # vertex plus 1 per A^1 call (k of them per vertex), so one
+            # batched checkpoint posts the identical n*(1+k) total and
+            # the rung trips on the same w-iteration.
+            budget.checkpoint(num_vertices * (1 + k))
+            frozen_remaining = frozenset(remaining)
+            v, best_len, best_density = kernels.best_prefix_candidate(
+                prepared, workspace, k, frozen_remaining, r
+            )
+            if best_len == 0:
+                # All candidates are infinite: the scalar loop keeps its
+                # first candidate (v=0, k'=1), which covers the single
+                # cheapest remaining terminal at infinite cost, and the
+                # w-loop continues.
+                v, best_len = 0, 1
+            subtree = kernels.materialize_prefix(
+                prepared, v, frozen_remaining, best_len
+            )
+            best = subtree.with_edge(r, v, root_row[v])
+        else:
+            for v in range(num_vertices):
+                budget.checkpoint()
+                edge_cost = root_row[v]
+                for k_prime in range(1, k + 1):
+                    subtree = _a_recursive(
+                        prepared, i - 1, k_prime, v, frozenset(remaining),
+                        budget,
+                    )
+                    candidate = subtree.with_edge(r, v, edge_cost)
+                    density = candidate.density
+                    if best is None or density < best_density:
+                        best = candidate
+                        best_density = density
         assert best is not None  # num_vertices >= 1 always yields a candidate
         newly_covered = best.covered & remaining
         if not newly_covered:  # pragma: no cover - cannot happen with k<=|X|

@@ -9,6 +9,15 @@ minimal -- exactly the best choice over all ``k'`` by Lemmas 3 and 4.
 Theorem 7 proves ``Ã^i`` returns the same tree as ``A^i``; Theorem 8
 gives the improved ``O(n^i k^i)`` complexity with the unchanged
 ``i^2 (i-1) k^{1/i}`` ratio.
+
+The bottom-level vertex scan (``i == 2``: one ``B^1`` prefix evaluation
+per candidate vertex) dispatches to the batched density kernels of
+:mod:`repro.steiner.kernels` on real :class:`PreparedInstance` inputs
+-- one argmin over every ``(vertex, prefix)`` pair instead of ``n``
+Python loops -- with bit-identical winners, trees, and budget-trip
+behaviour (the batched checkpoint posts the same ``2n`` ticks the
+scalar scan would).  Duck-typed instances (the instrumentation
+proxies) and deeper recursion levels keep the scalar loops below.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from __future__ import annotations
 from typing import FrozenSet, Optional, Set
 
 from repro.resilience.budget import NULL_BUDGET, Budget
+from repro.steiner import kernels
 from repro.steiner.instance import PreparedInstance
 from repro.steiner.tree import ClosureTree
 
@@ -90,22 +100,42 @@ def _a_improved(
     tree = ClosureTree.EMPTY
     num_vertices = prepared.num_vertices
     root_row = prepared.cost_row(r)
+    workspace = kernels.workspace_for(prepared) if i == 2 else None
     while k > 0:
         best: Optional[ClosureTree] = None
         best_density = float("inf")
         frozen_remaining = frozenset(remaining)
-        for v in range(num_vertices):
-            budget.checkpoint()
-            edge_cost = root_row[v]
-            subtree = _b_prefix(
-                prepared, i - 1, k, v, frozen_remaining, edge_cost, budget
+        if workspace is not None:
+            # Batched scan: the scalar loop below posts 2 ticks per
+            # vertex (scan + B^1 base), so one batched checkpoint keeps
+            # the per-rung budget totals -- and therefore the trip
+            # w-iteration -- identical.
+            budget.checkpoint(2 * num_vertices)
+            v, best_len, best_density = kernels.best_prefix_candidate(
+                prepared, workspace, k, frozen_remaining, r
             )
-            # Density of ``subtree ∪ (r, v)`` without materialising the
-            # candidate tree; the tree is only built when it wins.
-            density = subtree.density_with_edge(edge_cost)
-            if best is None or density < best_density:
-                best = subtree.with_edge(r, v, edge_cost)
-                best_density = density
+            subtree = (
+                ClosureTree.EMPTY
+                if best_len == 0
+                else kernels.materialize_prefix(
+                    prepared, v, frozen_remaining, best_len
+                )
+            )
+            best = subtree.with_edge(r, v, root_row[v])
+        else:
+            for v in range(num_vertices):
+                budget.checkpoint()
+                edge_cost = root_row[v]
+                subtree = _b_prefix(
+                    prepared, i - 1, k, v, frozen_remaining, edge_cost, budget
+                )
+                # Density of ``subtree ∪ (r, v)`` without materialising
+                # the candidate tree; the tree is only built when it
+                # wins.
+                density = subtree.density_with_edge(edge_cost)
+                if best is None or density < best_density:
+                    best = subtree.with_edge(r, v, edge_cost)
+                    best_density = density
         assert best is not None
         newly_covered = best.covered & remaining
         if not newly_covered:  # pragma: no cover - defensive
@@ -171,20 +201,37 @@ def _b_prefix(
     current = ClosureTree.EMPTY
     num_vertices = prepared.num_vertices
     root_row = prepared.cost_row(r)
+    workspace = kernels.workspace_for(prepared) if i == 2 else None
     while k > 0:
         sub_best: Optional[ClosureTree] = None
         sub_best_density = float("inf")
         frozen_remaining = frozenset(remaining)
-        for v in range(num_vertices):
-            budget.checkpoint()
-            edge_cost = root_row[v]
-            subtree = _b_prefix(
-                prepared, i - 1, k, v, frozen_remaining, edge_cost, budget
+        if workspace is not None:
+            # Same batched scan as _a_improved's bottom level; 2n ticks
+            # match the scalar loop's per-vertex checkpoints.
+            budget.checkpoint(2 * num_vertices)
+            v, best_len, sub_best_density = kernels.best_prefix_candidate(
+                prepared, workspace, k, frozen_remaining, r
             )
-            density = subtree.density_with_edge(edge_cost)
-            if sub_best is None or density < sub_best_density:
-                sub_best = subtree.with_edge(r, v, edge_cost)
-                sub_best_density = density
+            subtree = (
+                ClosureTree.EMPTY
+                if best_len == 0
+                else kernels.materialize_prefix(
+                    prepared, v, frozen_remaining, best_len
+                )
+            )
+            sub_best = subtree.with_edge(r, v, root_row[v])
+        else:
+            for v in range(num_vertices):
+                budget.checkpoint()
+                edge_cost = root_row[v]
+                subtree = _b_prefix(
+                    prepared, i - 1, k, v, frozen_remaining, edge_cost, budget
+                )
+                density = subtree.density_with_edge(edge_cost)
+                if sub_best is None or density < sub_best_density:
+                    sub_best = subtree.with_edge(r, v, edge_cost)
+                    sub_best_density = density
         assert sub_best is not None
         newly_covered = sub_best.covered & remaining
         if not newly_covered:  # pragma: no cover - defensive

@@ -12,6 +12,7 @@ the temporal transformation, timed by the benchmark harness).
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Set, Tuple
 
@@ -20,6 +21,16 @@ from repro.static.closure import MetricClosure, build_metric_closure
 from repro.static.digraph import StaticDigraph
 
 Label = Hashable
+
+#: Bound on the per-instance ``cost_row`` memo (scalar-path lists that
+#: duplicate closure rows; the numpy kernel path reads the matrix
+#: directly, so only the handful of hot sources -- roots and winning
+#: branch vertices -- need to stay resident).
+COST_ROW_MEMO_SIZE = 256
+
+#: Bound on the per-instance ``sorted_terminals_from`` memo, same
+#: rationale (each entry is a ``T``-tuple per source vertex).
+TERMINAL_ORDER_MEMO_SIZE = 256
 
 
 @dataclass(frozen=True)
@@ -72,6 +83,7 @@ class PreparedInstance:
         "terminals",
         "_cost_rows",
         "_terminal_orders",
+        "_kernels",
     )
 
     def __init__(
@@ -85,18 +97,24 @@ class PreparedInstance:
         self.closure = closure
         self.root = root
         self.terminals = terminals
-        self._cost_rows: Dict[int, List[float]] = {}
-        self._terminal_orders: Dict[int, Tuple[int, ...]] = {}
+        self._cost_rows: "OrderedDict[int, List[float]]" = OrderedDict()
+        self._terminal_orders: "OrderedDict[int, Tuple[int, ...]]" = (
+            OrderedDict()
+        )
+        # Per-backend batched-scan workspaces, owned and populated by
+        # repro.steiner.kernels (kept opaque here to avoid a cycle).
+        self._kernels: Dict[str, object] = {}
 
     def __getstate__(
         self,
     ) -> Tuple[DSTInstance, MetricClosure, int, Tuple[int, ...]]:
         """Pickle only the problem data, never the memo dictionaries.
 
-        The ``cost_row`` / ``sorted_terminals_from`` memos are cheap,
-        per-process acceleration state; shipping them across a process
-        boundary would bloat the payload without changing any result
-        (workers rebuild them lazily on first use).
+        The ``cost_row`` / ``sorted_terminals_from`` memos and the
+        kernel workspaces are cheap, per-process acceleration state;
+        shipping them across a process boundary would bloat the payload
+        without changing any result (workers rebuild them lazily on
+        first use).
         """
         return (self.instance, self.closure, self.root, self.terminals)
 
@@ -108,8 +126,9 @@ class PreparedInstance:
         self.closure = closure
         self.root = root
         self.terminals = terminals
-        self._cost_rows = {}
-        self._terminal_orders = {}
+        self._cost_rows = OrderedDict()
+        self._terminal_orders = OrderedDict()
+        self._kernels = {}
 
     @property
     def num_vertices(self) -> int:
@@ -126,14 +145,25 @@ class PreparedInstance:
     def cost_row(self, source: int) -> List[float]:
         """``source``'s closure distances as a plain-float list, memoised.
 
-        The greedy solvers read ``cost(r, v)`` for every vertex ``v`` in
-        every w-iteration; indexing a Python list of floats avoids the
-        per-element ``numpy`` scalar boxing that dominated those scans.
+        The scalar greedy loops read ``cost(r, v)`` for every vertex
+        ``v`` in every w-iteration; indexing a Python list of floats
+        avoids the per-element ``numpy`` scalar boxing that dominated
+        those scans.  The memo is a bounded LRU
+        (:data:`COST_ROW_MEMO_SIZE` entries): the batched kernel path
+        (:mod:`repro.steiner.kernels`) reads the closure matrix
+        directly, so only the recurring scalar sources -- roots and
+        winning branch vertices -- benefit from residency, and an
+        unbounded dict would duplicate the whole ``O(n^2)`` closure as
+        Python lists on large instances.
         """
         row = self._cost_rows.get(source)
         if row is None:
             row = self.closure.costs_from(source).tolist()
             self._cost_rows[source] = row
+            if len(self._cost_rows) > COST_ROW_MEMO_SIZE:
+                self._cost_rows.popitem(last=False)
+        else:
+            self._cost_rows.move_to_end(source)
         return row
 
     def sorted_terminals_from(self, source: int) -> Tuple[int, ...]:
@@ -143,12 +173,18 @@ class PreparedInstance:
         *remaining* terminals; with this order memoised per source it
         becomes a filtered prefix scan instead of a fresh sort per call
         (the sort repeated ``O(n^{i-1})`` times in the recursion).
+        Bounded like :meth:`cost_row`
+        (:data:`TERMINAL_ORDER_MEMO_SIZE` entries, LRU eviction).
         """
         order = self._terminal_orders.get(source)
         if order is None:
             row = self.cost_row(source)
             order = tuple(sorted(self.terminals, key=lambda x: (row[x], x)))
             self._terminal_orders[source] = order
+            if len(self._terminal_orders) > TERMINAL_ORDER_MEMO_SIZE:
+                self._terminal_orders.popitem(last=False)
+        else:
+            self._terminal_orders.move_to_end(source)
         return order
 
 

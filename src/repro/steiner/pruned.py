@@ -9,6 +9,19 @@ a vertex whose bound is no better than the current best, every
 remaining vertex can be skipped.  The paper reports more than an order
 of magnitude speedup from this pruning (our Table 5 bench reproduces
 the gap).
+
+The bottom-level scans (``i == 2``) run through the batched density
+kernels of :mod:`repro.steiner.kernels` on the numpy backend: a
+:class:`repro.steiner.kernels.PrunedScan` owns the tau array and walk
+order for a whole ``FinalA^2``/``FinalB^2`` call and replays each
+w-iteration's tau-sorted walk -- early break, warm-bound skip, winner
+selection -- as chunked array passes instead of per-vertex Python.
+Each chunk reports its tick total (two per evaluated vertex) and the
+solver checkpoints it, so rungs trip on the same w-iteration.
+Winners, tau values, budget trips, and ``_WarmMiss`` certification are
+bit-identical to the scalar walk, which remains below as the pure
+backend's implementation and for duck-typed instrumentation
+instances and deeper levels.
 """
 
 from __future__ import annotations
@@ -17,6 +30,7 @@ import math
 from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.resilience.budget import NULL_BUDGET, Budget
+from repro.steiner import kernels
 from repro.steiner.improved import _base_greedy
 from repro.steiner.instance import PreparedInstance
 from repro.steiner.tree import ClosureTree
@@ -89,13 +103,16 @@ def _scan_vertices(
     order: List[int],
     budget: Budget,
     bound: Optional[float] = None,
+    scan: Optional[kernels.PrunedScan] = None,
 ) -> "Tuple[ClosureTree, float]":
     """One pruned w-iteration: the best candidate branch ``T' ∪ (r, v)``.
 
     ``tau`` holds each vertex's branch density from the previous
     w-iteration (``-inf`` initially); ``order`` is re-sorted by ``tau``
     before the scan so the early-break prunes all remaining vertices.
-    Both are updated in place.
+    Both are updated in place.  When ``scan`` is given (numpy backend,
+    bottom level) it owns that state as arrays instead and the walk
+    runs in batched chunks; ``tau``/``order`` are then unused.
 
     ``bound`` (warm start) skips any candidate ``v`` with
     ``root_row[v] >= bound * k``: a branch covers at most ``k``
@@ -108,9 +125,38 @@ def _scan_vertices(
     a skipped vertex might have won -- and :class:`_WarmMiss` asks the
     caller to re-run cold.
     """
-    order.sort(key=tau.__getitem__)
     root_row = prepared.cost_row(r)
     bound_cost = None if bound is None else bound * k
+    if scan is not None:
+        # Batched bottom level: the scan replays the tau-sorted walk in
+        # chunked array passes (its own tau/order arrays), reporting
+        # each chunk's tick total -- two per evaluated vertex, the scan
+        # tick plus the FinalB^1 base tick -- for the solver to
+        # checkpoint, so rungs trip on the same w-iteration as the
+        # scalar walk below.
+        scan.begin(k, remaining, bound_cost)
+        while True:
+            ticks = scan.step()
+            if ticks is None:
+                break
+            if ticks:
+                budget.checkpoint(ticks)
+        best_vertex = scan.best_vertex
+        if bound is not None and (best_vertex is None or scan.best_density >= bound):
+            raise _WarmMiss
+        assert best_vertex is not None
+        subtree = (
+            ClosureTree.EMPTY
+            if scan.best_length == 0
+            else kernels.materialize_prefix(
+                prepared, best_vertex, remaining, scan.best_length
+            )
+        )
+        return (
+            subtree.with_edge(r, best_vertex, root_row[best_vertex]),
+            scan.best_density,
+        )
+    order.sort(key=tau.__getitem__)
     best: Optional[ClosureTree] = None
     best_density = math.inf
     for v in order:
@@ -152,12 +198,13 @@ def _final_a(
 
     tree = ClosureTree.EMPTY
     num_vertices = prepared.num_vertices
-    tau = [-math.inf] * num_vertices
-    order = list(range(num_vertices))
+    scan = kernels.pruned_scan(prepared, r) if i == 2 else None
+    tau = [-math.inf] * num_vertices if scan is None else []
+    order = list(range(num_vertices)) if scan is None else []
     while k > 0:
         best, best_density = _scan_vertices(
             prepared, i, k, r, frozenset(remaining), tau, order, budget,
-            bound=bound,
+            bound=bound, scan=scan,
         )
         if density_log is not None:
             density_log.append(best_density)
@@ -216,13 +263,15 @@ def _final_b(
 
     current = ClosureTree.EMPTY
     num_vertices = prepared.num_vertices
-    tau = [-math.inf] * num_vertices
-    order = list(range(num_vertices))
+    scan = kernels.pruned_scan(prepared, r) if i == 2 else None
+    tau = [-math.inf] * num_vertices if scan is None else []
+    order = list(range(num_vertices)) if scan is None else []
     while k > 0:
         # Recursive scans never take the warm bound: it is derived from
         # the *top-level* iteration densities only.
         sub_best, _ = _scan_vertices(
-            prepared, i, k, r, frozenset(remaining), tau, order, budget
+            prepared, i, k, r, frozenset(remaining), tau, order, budget,
+            scan=scan,
         )
         newly_covered = sub_best.covered & remaining
         if not newly_covered:  # pragma: no cover - defensive

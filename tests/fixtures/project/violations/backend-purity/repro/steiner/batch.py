@@ -1,0 +1,16 @@
+"""Optional-numpy solver helper outside the owner set -- REP203.
+
+Same shape as the real batched kernels, but living in a module that is
+*not* in ``BACKEND_OWNERS``: the unguarded ``_np`` dereference must
+fire.
+"""
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def batched_densities(costs):
+    """Prefix densities for a batch of cost rows (unguarded: the bug)."""
+    return _np.cumsum(costs, axis=1)

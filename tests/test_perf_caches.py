@@ -28,6 +28,7 @@ from repro.core.transformation import (
     transform_temporal_graph,
     transformation_cache_info,
 )
+import repro.steiner.instance as steiner_instance
 from repro.perf.legacy import legacy_improved_dst
 from repro.steiner.improved import improved_dst
 from repro.steiner.pruned import pruned_dst
@@ -237,3 +238,32 @@ class TestRowMemoEquivalence:
                 sorted(prepared.terminals, key=lambda x: (costs[x], x))
             )
             assert order == expected
+
+    def test_cost_row_memo_is_bounded(self, monkeypatch):
+        """Eviction cap: the row memo never exceeds COST_ROW_MEMO_SIZE.
+
+        The cap is shrunk to 3 so a small instance exercises eviction:
+        the oldest entry leaves first, a fresh (equal) list is rebuilt
+        on re-query, and recently-used entries survive insertion.
+        """
+        monkeypatch.setattr(steiner_instance, "COST_ROW_MEMO_SIZE", 3)
+        graph = TemporalGraph(
+            [
+                TemporalEdge(0, v, t, t, 1.0)
+                for t, v in enumerate(range(1, 6), start=1)
+            ]
+        )
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        assert prepared.num_vertices >= 5
+        rows = [prepared.cost_row(s) for s in range(5)]
+        assert len(prepared._cost_rows) == 3
+        assert set(prepared._cost_rows) == {2, 3, 4}
+        # Evicted source 0 is recomputed: equal values, new list object.
+        rebuilt = prepared.cost_row(0)
+        assert rebuilt == rows[0]
+        assert rebuilt is not rows[0]
+        # LRU, not FIFO: touching source 2 keeps it through an insert.
+        prepared.cost_row(2)
+        prepared.cost_row(1)
+        assert 2 in prepared._cost_rows
+        assert len(prepared._cost_rows) == 3

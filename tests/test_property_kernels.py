@@ -1,0 +1,339 @@
+"""Byte-identity suite for the batched DST density kernels (PR 10).
+
+The vectorised solver cores in :mod:`repro.steiner.kernels` are only
+admissible if they return *exactly* what the scalar scans returned --
+same trees, same cost floats, same density logs, same budget trips,
+same fallback caveats -- on both backends.  These properties pin that
+against the verbatim pre-kernel solvers frozen in
+:mod:`repro.perf.legacy` (``scalar_charikar_dst`` /
+``scalar_improved_dst`` / ``scalar_pruned_dst``).
+
+The kernel dispatch has a size floor (``KERNEL_MIN_CELLS``) below which
+instances stay scalar; every test here pins the floor to 0 so the
+batched paths run on the small generated fixtures (including walks long
+enough to cross the pruned scan's scalar head into its chunked steps).
+
+CI runs this file on both matrix legs (numpy and ``REPRO_FORCE_PURE``)
+next to ``test_property_columnar.py`` and fails the job if any test
+here is skipped -- the module-level skip below can only trigger in a
+genuinely numpy-less environment, which no CI leg is.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from contextlib import contextmanager
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import BudgetExceededError
+from repro.core.mstw import prepare_mstw_instance
+from repro.experiments.runner import DegradedCell, OverBudgetCell
+from repro.perf.legacy import (
+    scalar_charikar_dst,
+    scalar_improved_dst,
+    scalar_pruned_dst,
+)
+from repro.resilience import fallback
+from repro.resilience.budget import Budget
+from repro.steiner import kernels
+from repro.steiner.charikar import charikar_dst
+from repro.steiner.improved import improved_dst
+from repro.steiner.pruned import pruned_dst
+from repro.temporal.columnar import force_backend, numpy_available
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.graph import TemporalGraph
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(),
+    reason="cross-backend kernel identity needs numpy importable",
+)
+
+BACKENDS = ("numpy", "pure")
+
+SOLVER_PAIRS = [
+    (charikar_dst, scalar_charikar_dst),
+    (improved_dst, scalar_improved_dst),
+    (pruned_dst, scalar_pruned_dst),
+]
+
+
+@contextmanager
+def kernel_floor(value):
+    """Temporarily pin ``KERNEL_MIN_CELLS`` (0 = kernels always on)."""
+    previous = kernels.KERNEL_MIN_CELLS
+    kernels.KERNEL_MIN_CELLS = value
+    try:
+        yield
+    finally:
+        kernels.KERNEL_MIN_CELLS = previous
+
+
+@st.composite
+def reachable_graphs(draw, max_vertices=7, max_extra=10, unit_weights=False):
+    """Temporal graphs where every vertex is reachable from root 0."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    edges = []
+    arrival = {0: 0}
+    for v in range(1, n):
+        parent = draw(st.sampled_from(sorted(arrival)))
+        start = arrival[parent] + draw(st.integers(min_value=0, max_value=3))
+        duration = draw(st.integers(min_value=0, max_value=2))
+        weight = 1 if unit_weights else draw(st.integers(min_value=1, max_value=9))
+        edges.append(TemporalEdge(parent, v, start, start + duration, weight))
+        arrival[v] = start + duration
+    for _ in range(draw(st.integers(min_value=0, max_value=max_extra))):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        start = draw(st.integers(min_value=0, max_value=12))
+        duration = draw(st.integers(min_value=0, max_value=2))
+        weight = 1 if unit_weights else draw(st.integers(min_value=1, max_value=9))
+        edges.append(TemporalEdge(u, v, start, start + duration, weight))
+    return TemporalGraph(edges, vertices=range(n))
+
+
+def _random_reachable_graph(seed, n):
+    """A seeded ``n``-vertex graph, big enough to cross chunk bounds."""
+    rng = random.Random(seed)
+    edges = []
+    arrival = {0: 0}
+    for v in range(1, n):
+        parent = rng.choice(sorted(arrival))
+        start = arrival[parent] + rng.randint(0, 3)
+        duration = rng.randint(0, 2)
+        edges.append(
+            TemporalEdge(parent, v, start, start + duration, rng.randint(1, 9))
+        )
+        arrival[v] = start + duration
+    for _ in range(3 * n):
+        u, v = rng.randint(0, n - 1), rng.randint(0, n - 1)
+        if u == v:
+            continue
+        start = rng.randint(0, 12)
+        edges.append(TemporalEdge(u, v, start, start + rng.randint(0, 2),
+                                  rng.randint(1, 9)))
+    return TemporalGraph(edges, vertices=range(n))
+
+
+def _fingerprint(tree):
+    return tree.edges, tree.cost, tuple(sorted(tree.covered))
+
+
+def _outcome(solver, prepared, level, max_expansions=None, **kwargs):
+    """Everything observable about one solve, trips included."""
+    budget = (
+        None if max_expansions is None else Budget(max_expansions=max_expansions)
+    )
+    try:
+        tree = solver(prepared, level, budget=budget, **kwargs)
+    except BudgetExceededError:
+        return ("trip",)
+    return ("ok", _fingerprint(tree), None if budget is None else budget.expansions)
+
+
+# ----------------------------------------------------------------------
+# Solver-level identity: kernels vs the frozen scalar ladder
+# ----------------------------------------------------------------------
+class TestSolverIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(graph=reachable_graphs(), level=st.sampled_from([1, 2, 3]))
+    def test_trees_match_scalar_on_both_backends(self, graph, level):
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        with kernel_floor(0):
+            for backend in BACKENDS:
+                with force_backend(backend):
+                    for new, old in SOLVER_PAIRS:
+                        assert _outcome(new, prepared, level) == _outcome(
+                            old, prepared, level
+                        ), (backend, new.__name__)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        graph=reachable_graphs(),
+        level=st.sampled_from([2, 3]),
+        max_expansions=st.integers(min_value=1, max_value=60),
+    )
+    def test_budget_trips_match_scalar(self, graph, level, max_expansions):
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        with kernel_floor(0):
+            for backend in BACKENDS:
+                with force_backend(backend):
+                    for new, old in SOLVER_PAIRS:
+                        assert _outcome(
+                            new, prepared, level, max_expansions
+                        ) == _outcome(old, prepared, level, max_expansions), (
+                            backend,
+                            new.__name__,
+                        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=reachable_graphs(), level=st.sampled_from([2, 3]))
+    def test_pruned_density_log_matches_scalar(self, graph, level):
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        with kernel_floor(0):
+            for backend in BACKENDS:
+                with force_backend(backend):
+                    log_new, log_old = [], []
+                    new = pruned_dst(prepared, level, density_log=log_new)
+                    old = scalar_pruned_dst(prepared, level, density_log=log_old)
+                    assert _fingerprint(new) == _fingerprint(old)
+                    assert log_new == log_old
+
+    def test_long_walks_and_warm_bounds_match_scalar(self):
+        """Seeded instances past the scalar head and chunk boundaries.
+
+        ``n`` well above ``PRUNED_SCALAR_HEAD + PRUNED_CHUNK`` drives
+        the pruned scan through its scalar head *and* several batched
+        chunks; warm bounds at every tightness exercise the skip mask
+        and the ``_WarmMiss`` cold-rerun path.  Level 2 only: the
+        frozen scalar oracle is quadratic in Python at level 3, and the
+        level-3 inner scans reuse the same level-2 walk anyway (the
+        hypothesis properties above cover level 3 on small graphs).
+        """
+        for seed in range(3):
+            graph = _random_reachable_graph(seed, n=70)
+            _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+            with kernel_floor(0):
+                for backend in BACKENDS:
+                    with force_backend(backend):
+                        log_new, log_old = [], []
+                        new = pruned_dst(prepared, 2, density_log=log_new)
+                        old = scalar_pruned_dst(prepared, 2, density_log=log_old)
+                        assert _fingerprint(new) == _fingerprint(old)
+                        assert log_new == log_old
+                        finite = [d for d in log_old if math.isfinite(d)]
+                        if not finite:
+                            continue
+                        for scale in (0.5, 1.0, 1.5, 10.0):
+                            bound = max(finite) * scale
+                            warm_new = pruned_dst(prepared, 2, warm_bound=bound)
+                            warm_old = scalar_pruned_dst(
+                                prepared, 2, warm_bound=bound
+                            )
+                            assert _fingerprint(warm_new) == _fingerprint(warm_old)
+
+    def test_floor_keeps_small_instances_scalar(self):
+        """Below ``KERNEL_MIN_CELLS`` the dispatch declines outright."""
+        graph = _random_reachable_graph(0, n=12)
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        assert prepared.num_vertices * prepared.num_terminals < 4096
+        assert kernels.workspace_for(prepared) is None
+        with kernel_floor(0):
+            assert kernels.workspace_for(prepared) is not None
+
+
+# ----------------------------------------------------------------------
+# Kernel-level identity: numpy vs pure, and the sorted-layout tie-break
+# ----------------------------------------------------------------------
+class TestKernelTieBreak:
+    @settings(max_examples=25, deadline=None)
+    @given(graph=reachable_graphs(unit_weights=True))
+    def test_sorted_terminals_tie_break_is_index_order(self, graph):
+        """Equal costs order by terminal index, on both backends.
+
+        Unit weights force dense cost ties, so any tie-break drift
+        between the memoised scalar order and the kernel workspace's
+        stable argsort layout would surface immediately.
+        """
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        with kernel_floor(0):
+            for backend in BACKENDS:
+                with force_backend(backend):
+                    workspace = kernels.workspace_for(prepared)
+                    assert workspace is not None
+                    for source in range(prepared.num_vertices):
+                        row = prepared.cost_row(source)
+                        order = prepared.sorted_terminals_from(source)
+                        keys = [(row[x], x) for x in order]
+                        assert keys == sorted(keys)
+                        if workspace.backend == "numpy":
+                            layout = [int(x) for x in workspace.sorted_ids[source]]
+                            costs = [float(c) for c in workspace.sorted_costs[source]]
+                        else:
+                            costs, ids = workspace.pure_row(prepared, source)
+                            layout = list(ids)
+                        assert layout == list(order)
+                        assert costs == [row[x] for x in order]
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=reachable_graphs(), data=st.data())
+    def test_best_prefix_candidate_backends_agree(self, graph, data):
+        _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+        terminals = sorted(prepared.terminals)
+        remaining = frozenset(
+            data.draw(
+                st.sets(st.sampled_from(terminals), min_size=1),
+                label="remaining",
+            )
+        )
+        k = data.draw(
+            st.integers(min_value=1, max_value=len(remaining)), label="k"
+        )
+        source = data.draw(
+            st.integers(min_value=0, max_value=prepared.num_vertices - 1),
+            label="source",
+        )
+        results = {}
+        with kernel_floor(0):
+            for backend in BACKENDS:
+                with force_backend(backend):
+                    workspace = kernels.workspace_for(prepared)
+                    results[backend] = kernels.best_prefix_candidate(
+                        prepared, workspace, k, remaining, source
+                    )
+        assert results["numpy"] == results["pure"]
+
+
+# ----------------------------------------------------------------------
+# Fallback caveats: kernel-path cells == legacy-path cells as budgets drain
+# ----------------------------------------------------------------------
+class TestFallbackCaveatParity:
+    def _ladder_outcome(self, prepared, max_expansions, solver):
+        budget = Budget(max_expansions=max_expansions)
+        outcome = fallback.run_with_fallback(
+            prepared, budget=budget, level=2, solver=solver
+        )
+        # The attempt *detail* strings embed the expansion count at the
+        # trip instant, which may sit mid-batch on the kernel path; the
+        # rung sequence, statuses, caveat, and answer must not move.
+        cells = [OverBudgetCell(0.0, outcome.rung)]
+        if outcome.degraded:
+            cells.append(DegradedCell(outcome.tree.cost, outcome.rung))
+        return (
+            outcome.rung,
+            outcome.level,
+            outcome.degraded,
+            outcome.caveat,
+            _fingerprint(outcome.tree),
+            [(a.rung, a.status) for a in outcome.attempts],
+            cells,
+        )
+
+    def test_degraded_cells_match_scalar_under_draining_budgets(self, monkeypatch):
+        scalar_map = {
+            "charikar": scalar_charikar_dst,
+            "improved": scalar_improved_dst,
+            "pruned": scalar_pruned_dst,
+        }
+        for seed, n in ((0, 40), (1, 24)):
+            graph = _random_reachable_graph(seed, n=n)
+            _, prepared = prepare_mstw_instance(graph, 0, use_cache=False)
+            with kernel_floor(0):
+                for solver in ("pruned", "improved", "charikar"):
+                    for max_expansions in (1, 25, 400, 10**9):
+                        with monkeypatch.context() as patch:
+                            patch.setattr(
+                                fallback, "_greedy_solvers", lambda: scalar_map
+                            )
+                            legacy = self._ladder_outcome(
+                                prepared, max_expansions, solver
+                            )
+                        live = self._ladder_outcome(
+                            prepared, max_expansions, solver
+                        )
+                        assert live == legacy, (seed, solver, max_expansions)
